@@ -1,0 +1,73 @@
+"""Ablation: embedding method for task inference.
+
+Compares t-SNE (the paper's choice) against plain SNE and PCA for separating
+task clusters and predicting task labels with a nearest-neighbour rule.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.datasets import HCPLikeDataset
+from repro.embedding import PCA, SNE, TSNE
+from repro.ml import KNeighborsClassifier, accuracy_score
+from repro.reporting.figures import cluster_separation
+from repro.reporting.tables import format_table
+
+
+def _run_comparison(hcp_config):
+    dataset = HCPLikeDataset(
+        n_subjects=max(hcp_config.n_subjects // 2, 10),
+        n_regions=hcp_config.n_regions,
+        n_timepoints=hcp_config.n_timepoints,
+        random_state=hcp_config.seed,
+    )
+    group = dataset.all_conditions_group_matrix(encoding="LR", day=1)
+    features = group.data.T
+    tasks = np.asarray(group.tasks)
+    subjects = np.asarray(group.subject_ids)
+    unique_subjects = sorted(set(subjects.tolist()))
+    rng = np.random.default_rng(hcp_config.seed)
+    labelled = set(
+        rng.choice(unique_subjects, size=len(unique_subjects) // 2, replace=False).tolist()
+    )
+    labelled_idx = np.asarray([i for i, s in enumerate(subjects) if s in labelled])
+    unlabelled_idx = np.asarray([i for i, s in enumerate(subjects) if s not in labelled])
+
+    n_scans = features.shape[0]
+    perplexity = min(30.0, (n_scans - 1) / 3.0)
+    methods = {
+        "t-SNE": TSNE(
+            perplexity=perplexity, n_iterations=hcp_config.tsne_iterations,
+            random_state=hcp_config.seed,
+        ),
+        "SNE": SNE(
+            perplexity=perplexity, n_iterations=hcp_config.tsne_iterations,
+            random_state=hcp_config.seed,
+        ),
+        "PCA (2 components)": PCA(n_components=2),
+    }
+    rows = []
+    for name, method in methods.items():
+        embedding = method.fit_transform(features)
+        classifier = KNeighborsClassifier(n_neighbors=1)
+        classifier.fit(embedding[labelled_idx], tasks[labelled_idx])
+        predictions = classifier.predict(embedding[unlabelled_idx])
+        accuracy = accuracy_score(tasks[unlabelled_idx], predictions)
+        separation = cluster_separation(embedding, tasks.tolist())["separation_ratio"]
+        rows.append([name, 100 * accuracy, separation])
+    return rows
+
+
+def test_ablation_embedding_method(benchmark, hcp_config):
+    rows = run_once(benchmark, _run_comparison, hcp_config)
+    print()
+    print(
+        format_table(
+            ["Embedding", "Task accuracy (%)", "Cluster separation"],
+            rows,
+            title="Ablation: embedding method for task inference",
+        )
+    )
+    accuracies = {row[0]: row[1] for row in rows}
+    # t-SNE should be at least as good as the PCA baseline for labelling tasks.
+    assert accuracies["t-SNE"] >= accuracies["PCA (2 components)"] - 5.0

@@ -1,0 +1,27 @@
+"""Benchmark: targeted-noise defense privacy/utility trade-off (Discussion)."""
+
+from conftest import report, run_once
+
+from repro.experiments import defense_tradeoff
+from repro.reporting.tables import format_table
+
+
+def test_defense_tradeoff(benchmark, hcp_config, output_dir):
+    record = run_once(benchmark, defense_tradeoff, hcp_config)
+    report(record, output_dir)
+    rows = [
+        [float(scale), 100 * float(accuracy), float(utility)]
+        for scale, accuracy, utility in zip(
+            record.arrays["noise_scales"],
+            record.arrays["attack_accuracy"],
+            record.arrays["utility"],
+        )
+    ]
+    print(
+        format_table(
+            ["Noise scale", "Attack accuracy (%)", "Utility (mean-connectome corr)"],
+            rows,
+            title="Targeted-noise defense trade-off",
+        )
+    )
+    assert record.shape_holds()

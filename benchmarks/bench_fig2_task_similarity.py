@@ -1,0 +1,16 @@
+"""Benchmark: Figure 2 — pairwise similarity of language-task connectomes."""
+
+from conftest import report, run_once
+
+from repro.experiments import figure2_task_similarity
+
+
+def test_figure2_task_similarity(benchmark, hcp_config, output_dir):
+    record = run_once(benchmark, figure2_task_similarity, hcp_config)
+    report(record, output_dir)
+    print(
+        "rest contrast {:.3f} vs task contrast {:.3f}".format(
+            record.metrics["rest_contrast"], record.metrics["task_contrast"]
+        )
+    )
+    assert record.shape_holds()

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 5 — cross-task identification-accuracy matrix."""
+
+from conftest import report, run_once
+
+from repro.experiments import figure5_cross_task_matrix
+from repro.reporting.tables import format_accuracy_matrix
+
+
+def test_figure5_cross_task_matrix(benchmark, hcp_config, output_dir):
+    record = run_once(benchmark, figure5_cross_task_matrix, hcp_config)
+    report(record, output_dir)
+    tasks = record.configuration["tasks"]
+    print(
+        format_accuracy_matrix(
+            record.arrays["accuracy"],
+            row_labels=tasks,
+            col_labels=tasks,
+            title="Identification accuracy (%) — rows de-anonymized, columns anonymous",
+        )
+    )
+    assert record.shape_holds()

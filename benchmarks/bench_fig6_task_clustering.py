@@ -1,0 +1,18 @@
+"""Benchmark: Figure 6 — t-SNE task clustering and task prediction."""
+
+from conftest import report, run_once
+
+from repro.experiments import figure6_task_prediction
+
+
+def test_figure6_task_prediction(benchmark, hcp_config, output_dir):
+    record = run_once(benchmark, figure6_task_prediction, hcp_config)
+    report(record, output_dir)
+    print(
+        "overall accuracy {:.1f} %, rest accuracy {:.1f} %, separation ratio {:.2f}".format(
+            100 * record.metrics["overall_accuracy"],
+            100 * record.metrics["rest_accuracy"],
+            record.metrics["cluster_separation_ratio"],
+        )
+    )
+    assert record.shape_holds()

@@ -1,0 +1,11 @@
+"""Benchmark: Figure 7 — inter-session similarity of ADHD subtype-1 subjects."""
+
+from conftest import report, run_once
+
+from repro.experiments import figure7_adhd_subtype1
+
+
+def test_figure7_adhd_subtype1(benchmark, adhd_config, output_dir):
+    record = run_once(benchmark, figure7_adhd_subtype1, adhd_config)
+    report(record, output_dir)
+    assert record.shape_holds()

@@ -1,0 +1,11 @@
+"""Benchmark: Figure 8 — inter-session similarity of ADHD subtype-3 subjects."""
+
+from conftest import report, run_once
+
+from repro.experiments import figure8_adhd_subtype3
+
+
+def test_figure8_adhd_subtype3(benchmark, adhd_config, output_dir):
+    record = run_once(benchmark, figure8_adhd_subtype3, adhd_config)
+    report(record, output_dir)
+    assert record.shape_holds()

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 9 — identification of the full ADHD-200 cohort."""
+
+from conftest import report, run_once
+
+from repro.experiments import figure9_adhd_identification
+
+
+def test_figure9_adhd_identification(benchmark, adhd_config, output_dir):
+    record = run_once(benchmark, figure9_adhd_identification, adhd_config)
+    report(record, output_dir)
+    print(
+        "train/test accuracy {:.1f} +- {:.1f} %, full cohort {:.1f} %".format(
+            100 * record.metrics["train_test_accuracy_mean"],
+            100 * record.metrics["train_test_accuracy_std"],
+            100 * record.metrics["full_cohort_accuracy"],
+        )
+    )
+    assert record.shape_holds()

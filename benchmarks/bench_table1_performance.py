@@ -1,0 +1,28 @@
+"""Benchmark: Table 1 — task-performance prediction error (nRMSE, %)."""
+
+from conftest import report, run_once
+
+from repro.experiments import table1_performance_prediction
+from repro.reporting.tables import format_table
+
+
+def test_table1_performance_prediction(benchmark, hcp_config, output_dir):
+    record = run_once(benchmark, table1_performance_prediction, hcp_config)
+    report(record, output_dir)
+    tasks = record.configuration["tasks"]
+    rows = [
+        [
+            task,
+            record.metrics[f"{task.lower()}_train_nrmse"],
+            record.metrics[f"{task.lower()}_test_nrmse"],
+        ]
+        for task in tasks
+    ]
+    print(
+        format_table(
+            ["Task", "Train nRMSE (%)", "Test nRMSE (%)"],
+            rows,
+            title="Task-wise prediction error (paper Table 1)",
+        )
+    )
+    assert record.shape_holds()

@@ -1,0 +1,31 @@
+"""Benchmark: Table 2 — identification accuracy under multi-site acquisition."""
+
+from conftest import report, run_once
+
+from repro.experiments import table2_multisite_noise
+from repro.reporting.tables import format_table
+
+
+def test_table2_multisite_noise(benchmark, hcp_config, adhd_config, output_dir):
+    record = run_once(benchmark, table2_multisite_noise, hcp_config, adhd_config)
+    report(record, output_dir)
+    rows = [
+        [
+            f"{int(100 * level)} %",
+            100 * float(hcp_acc),
+            100 * float(adhd_acc),
+        ]
+        for level, hcp_acc, adhd_acc in zip(
+            record.arrays["noise_levels"],
+            record.arrays["hcp_accuracy"],
+            record.arrays["adhd_accuracy"],
+        )
+    ]
+    print(
+        format_table(
+            ["Noise variance", "HCP accuracy (%)", "ADHD-200 accuracy (%)"],
+            rows,
+            title="Identification accuracy vs multi-site noise (paper Table 2)",
+        )
+    )
+    assert record.shape_holds()

@@ -1,0 +1,59 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures with the
+default (scaled-down) experiment configuration, prints the rows/series the
+paper reports, and times the run through pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see both the timing table and the reproduced numbers.  Results are also
+written to ``benchmarks/output/`` as JSON + NPZ for later inspection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ADHDExperimentConfig, HCPExperimentConfig
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def hcp_config() -> HCPExperimentConfig:
+    """Default scaled-down HCP configuration shared by all benchmarks."""
+    return HCPExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def adhd_config() -> ADHDExperimentConfig:
+    """Default scaled-down ADHD-200 configuration shared by all benchmarks."""
+    return ADHDExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    """Directory where benchmark records are persisted."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def report(record, output_dir: Path) -> None:
+    """Print the paper-vs-measured table of a record and persist it."""
+    print()
+    print(f"=== {record.experiment_id}: {record.title} ===")
+    for comparison in record.comparisons:
+        status = "OK " if comparison.matches_shape else "MISS"
+        print(
+            f"  [{status}] {comparison.description}\n"
+            f"         paper:    {comparison.paper_value}\n"
+            f"         measured: {comparison.measured_value}"
+        )
+    record.save(output_dir / record.experiment_id)

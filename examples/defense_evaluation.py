@@ -1,0 +1,68 @@
+"""Evaluating the targeted-noise defense (paper Section 4).
+
+The paper's closing argument: because the attack localizes the signature to a
+small set of connectome features, a defender can perturb exactly those
+features.  This example sweeps the strength of that perturbation and reports
+the privacy gain (drop in identification accuracy) against the utility cost
+(how much group-level connectome statistics change).
+
+Run with::
+
+    python examples/defense_evaluation.py
+"""
+
+from repro import HCPLikeDataset, SignatureNoiseDefense
+from repro.defense import defense_tradeoff_curve, evaluate_defense
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    dataset = HCPLikeDataset(
+        n_subjects=30, n_regions=100, n_timepoints=180, random_state=5
+    )
+    pair = dataset.encoding_pair("REST")
+
+    print("Sweeping the targeted-noise scale ...")
+    curve = defense_tradeoff_curve(
+        pair["reference"],
+        pair["target"],
+        noise_scales=[0.0, 1.0, 2.0, 4.0, 8.0, 16.0],
+        n_signature_features=100,
+        attack_features=100,
+        random_state=0,
+    )
+    rows = [
+        [scale, 100 * accuracy, utility]
+        for scale, accuracy, utility in zip(
+            curve["noise_scales"], curve["attack_accuracy"], curve["utility"]
+        )
+    ]
+    print()
+    print(
+        format_table(
+            ["Noise scale", "Attack accuracy (%)", "Utility (mean-connectome corr)"],
+            rows,
+            title="Privacy/utility trade-off of targeted noise",
+        )
+    )
+
+    print()
+    print("Comparing noise against feature shuffling at matched signature size:")
+    for strategy in ("noise", "shuffle"):
+        defense = SignatureNoiseDefense(
+            n_features=100, noise_scale=8.0, strategy=strategy, random_state=0
+        )
+        outcome = evaluate_defense(pair["reference"], pair["target"], defense)
+        print(
+            f"  {strategy:8s}: accuracy {100 * outcome['baseline_accuracy']:.1f} % -> "
+            f"{100 * outcome['protected_accuracy']:.1f} %, utility {outcome['utility']:.3f}"
+        )
+    print()
+    print(
+        "Targeted perturbation suppresses re-identification while leaving the\n"
+        "group-mean connectome (a proxy for downstream analyses) nearly unchanged."
+    )
+
+
+if __name__ == "__main__":
+    main()

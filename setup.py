@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that ``pip install -e .`` works in offline environments whose
+setuptools lacks the PEP 660 editable-wheel backend (no ``wheel`` package
+available).
+"""
+
+from setuptools import setup
+
+setup()

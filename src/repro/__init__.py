@@ -1,0 +1,72 @@
+"""repro: reproduction of "De-anonymization Attacks on Neuroimaging Datasets".
+
+The library implements the paper's de-anonymization attack on functional-MRI
+connectomes (leverage-score signature extraction + correlation matching),
+its companion inferences (t-SNE task prediction, SVR performance prediction),
+the synthetic imaging substrate the experiments need (scanner simulation,
+preprocessing, atlases, HCP-like and ADHD-200-like cohorts), and the targeted
+defense the paper's discussion proposes.
+
+Quick start
+-----------
+>>> from repro import HCPLikeDataset, AttackPipeline
+>>> dataset = HCPLikeDataset(n_subjects=20, n_regions=60, n_timepoints=120,
+...                          random_state=0)
+>>> reference = dataset.generate_session("REST", encoding="LR", day=1)
+>>> target = dataset.generate_session("REST", encoding="RL", day=2)
+>>> report = AttackPipeline(n_features=80).run(reference, target)
+>>> report.accuracy > 0.9
+True
+"""
+
+from repro.attack import (
+    AttackPipeline,
+    AttackReport,
+    FullConnectomeBaseline,
+    LeverageScoreAttack,
+    PerformanceInferenceAttack,
+    TaskInferenceAttack,
+)
+from repro.connectome import Connectome, GroupMatrix, build_group_matrix
+from repro.datasets import (
+    ADHD200LikeDataset,
+    HCPLikeDataset,
+    ScanRecord,
+    add_multisite_noise,
+)
+from repro.defense import SignatureNoiseDefense
+from repro.embedding import PCA, TSNE
+from repro.linalg import PrincipalFeaturesSubspace, RowSampler, leverage_scores
+from repro.ml import KNeighborsClassifier, LinearSVR
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # attack
+    "AttackPipeline",
+    "AttackReport",
+    "LeverageScoreAttack",
+    "FullConnectomeBaseline",
+    "TaskInferenceAttack",
+    "PerformanceInferenceAttack",
+    # connectomes
+    "Connectome",
+    "GroupMatrix",
+    "build_group_matrix",
+    # datasets
+    "HCPLikeDataset",
+    "ADHD200LikeDataset",
+    "ScanRecord",
+    "add_multisite_noise",
+    # defense
+    "SignatureNoiseDefense",
+    # algorithms
+    "TSNE",
+    "PCA",
+    "PrincipalFeaturesSubspace",
+    "RowSampler",
+    "leverage_scores",
+    "KNeighborsClassifier",
+    "LinearSVR",
+]

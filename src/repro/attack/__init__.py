@@ -1,0 +1,51 @@
+"""The de-anonymization attack — the paper's core contribution.
+
+Given a de-anonymized reference dataset and an anonymous target dataset of
+functional connectomes, the attack:
+
+1. selects the connectome features with the highest leverage scores in the
+   reference group matrix (:class:`~repro.attack.deanonymize.LeverageScoreAttack`),
+2. matches subjects across datasets by Pearson correlation in the reduced
+   feature space (:mod:`repro.attack.matching`),
+3. optionally predicts the task an anonymous scan was acquired under through
+   a t-SNE embedding (:class:`~repro.attack.task_inference.TaskInferenceAttack`),
+4. and predicts the subject's task performance through SVR on the same
+   features (:class:`~repro.attack.performance_inference.PerformanceInferenceAttack`).
+
+:class:`~repro.attack.pipeline.AttackPipeline` chains raw scans through
+connectome construction into the attack, reproducing the paper's Figure 3
+workflow end to end.
+"""
+
+from repro.attack.matching import MatchResult, match_subjects, matching_accuracy
+from repro.attack.deanonymize import LeverageScoreAttack, FullConnectomeBaseline
+from repro.attack.baselines import PCASubspaceBaseline
+from repro.attack.task_inference import TaskInferenceAttack, TaskInferenceResult
+from repro.attack.performance_inference import (
+    PerformanceInferenceAttack,
+    PerformancePredictionResult,
+)
+from repro.attack.evaluation import (
+    cross_task_identification_matrix,
+    evaluate_identification,
+    repeated_identification,
+)
+from repro.attack.pipeline import AttackPipeline, AttackReport
+
+__all__ = [
+    "MatchResult",
+    "match_subjects",
+    "matching_accuracy",
+    "LeverageScoreAttack",
+    "FullConnectomeBaseline",
+    "PCASubspaceBaseline",
+    "TaskInferenceAttack",
+    "TaskInferenceResult",
+    "PerformanceInferenceAttack",
+    "PerformancePredictionResult",
+    "cross_task_identification_matrix",
+    "evaluate_identification",
+    "repeated_identification",
+    "AttackPipeline",
+    "AttackReport",
+]

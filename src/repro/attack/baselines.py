@@ -1,0 +1,82 @@
+"""Additional identification baselines.
+
+The paper contrasts leverage-score feature selection with PCA-style
+dimensionality reduction (Section 3.1.2: PCA's eigenvectors are not
+interpretable as individual connectome features) and with whole-connectome
+matching (Finn et al.).  :class:`PCASubspaceBaseline` implements the former;
+:class:`repro.attack.deanonymize.FullConnectomeBaseline` the latter.  Both are
+used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.attack.matching import MatchResult, match_subjects
+from repro.connectome.group import GroupMatrix
+from repro.embedding.pca import PCA
+from repro.exceptions import AttackError, NotFittedError
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class PCASubspaceBaseline:
+    """Identify subjects by matching PCA projections of their connectomes.
+
+    The reference group matrix is projected onto its top principal
+    components (computed across subjects); target subjects are projected
+    onto the same components and matched by correlation in that space.
+    Unlike leverage-score selection, the resulting features are linear
+    combinations of *all* connectome entries, so they cannot be traced back
+    to specific region pairs — the interpretability argument the paper makes
+    against PCA.
+
+    Parameters
+    ----------
+    n_components:
+        Number of principal components retained.
+    """
+
+    n_components: int = 20
+    pca_: Optional[PCA] = field(default=None, repr=False)
+
+    def fit(self, reference: GroupMatrix) -> "PCASubspaceBaseline":
+        """Fit the PCA basis on the de-anonymized group matrix."""
+        check_positive_int(self.n_components, name="n_components")
+        max_components = min(reference.n_scans, reference.n_features)
+        if self.n_components > max_components:
+            raise AttackError(
+                f"n_components ({self.n_components}) exceeds the usable rank "
+                f"({max_components})"
+            )
+        # PCA expects samples in rows: here one sample = one scan.
+        self.pca_ = PCA(n_components=self.n_components).fit(reference.data.T)
+        self._reference = reference
+        return self
+
+    def identify(
+        self, target: GroupMatrix, reference: Optional[GroupMatrix] = None
+    ) -> MatchResult:
+        """Match target subjects against the reference in PCA space."""
+        if self.pca_ is None:
+            raise NotFittedError("PCASubspaceBaseline must be fitted before identify()")
+        reference = reference if reference is not None else self._reference
+        if reference.n_features != target.n_features:
+            raise AttackError(
+                "reference and target group matrices must share the feature space"
+            )
+        reference_projection = self.pca_.transform(reference.data.T).T
+        target_projection = self.pca_.transform(target.data.T).T
+        return match_subjects(
+            reference_projection,
+            target_projection,
+            reference_subject_ids=reference.subject_ids,
+            target_subject_ids=target.subject_ids,
+        )
+
+    def fit_identify(self, reference: GroupMatrix, target: GroupMatrix) -> MatchResult:
+        """Fit on the reference dataset and identify the target dataset."""
+        return self.fit(reference).identify(target)

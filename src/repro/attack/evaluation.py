@@ -1,0 +1,128 @@
+"""Attack evaluation harnesses.
+
+These helpers wrap the attack objects into the evaluation protocols the paper
+reports: single-pair identification accuracy, cross-task identification
+matrices (Figure 5), and repeated train/test identification with summary
+statistics (the ADHD and multi-site experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.attack.deanonymize import LeverageScoreAttack
+from repro.attack.matching import MatchResult
+from repro.connectome.group import GroupMatrix
+from repro.exceptions import AttackError, ValidationError
+from repro.ml.model_selection import train_test_split
+from repro.utils.rng import RandomStateLike, as_rng
+from repro.utils.stats import summarize
+
+
+def evaluate_identification(
+    reference: GroupMatrix,
+    target: GroupMatrix,
+    n_features: int = 100,
+    rank: Optional[int] = None,
+    selection: str = "deterministic",
+    random_state: RandomStateLike = None,
+) -> MatchResult:
+    """Fit a leverage-score attack on ``reference`` and identify ``target``."""
+    attack = LeverageScoreAttack(
+        n_features=n_features, rank=rank, selection=selection, random_state=random_state
+    )
+    return attack.fit_identify(reference, target)
+
+
+def cross_task_identification_matrix(
+    reference_groups: Dict[str, GroupMatrix],
+    target_groups: Dict[str, GroupMatrix],
+    n_features: int = 100,
+    rank: Optional[int] = None,
+) -> Dict[str, object]:
+    """The Figure 5 experiment: identification accuracy for every task pair.
+
+    Parameters
+    ----------
+    reference_groups:
+        Task name → de-anonymized group matrix (e.g. the L-R encodings).
+    target_groups:
+        Task name → anonymous group matrix (e.g. the R-L encodings).
+    n_features / rank:
+        Leverage-score attack parameters.
+
+    Returns
+    -------
+    dict
+        ``accuracy`` is a ``(n_reference_tasks, n_target_tasks)`` array,
+        ``reference_tasks`` / ``target_tasks`` give the row/column ordering.
+        Rows are the de-anonymized datasets (the paper's convention).
+    """
+    if not reference_groups or not target_groups:
+        raise AttackError("both group dictionaries must be non-empty")
+    reference_tasks = list(reference_groups)
+    target_tasks = list(target_groups)
+    accuracy = np.zeros((len(reference_tasks), len(target_tasks)))
+
+    for row, reference_task in enumerate(reference_tasks):
+        reference = reference_groups[reference_task]
+        attack = LeverageScoreAttack(n_features=n_features, rank=rank).fit(reference)
+        for col, target_task in enumerate(target_tasks):
+            target = target_groups[target_task]
+            result = attack.identify(target)
+            accuracy[row, col] = result.accuracy()
+    return {
+        "accuracy": accuracy,
+        "reference_tasks": reference_tasks,
+        "target_tasks": target_tasks,
+    }
+
+
+def repeated_identification(
+    reference: GroupMatrix,
+    target: GroupMatrix,
+    n_features: int = 100,
+    n_repetitions: int = 10,
+    train_fraction: float = 0.5,
+    random_state: RandomStateLike = None,
+) -> Dict[str, float]:
+    """Train/test identification protocol used for the ADHD-200 experiments.
+
+    In each repetition the cohort is split into train and test subjects; the
+    leverage scores are computed on the train subjects' reference scans only,
+    and the identification accuracy is measured on the held-out test
+    subjects.  This mirrors the paper's "divide the subjects into train and
+    test sets, and pick features that correspond to the highest leverage
+    scores of the train matrix" protocol.
+    """
+    if reference.n_scans != target.n_scans:
+        raise ValidationError(
+            "reference and target must contain the same subjects in the same order"
+        )
+    if reference.subject_ids != target.subject_ids:
+        raise ValidationError("reference and target subject orderings must match")
+    if not 0.0 < train_fraction < 1.0:
+        raise ValidationError("train_fraction must be in (0, 1)")
+    rng = as_rng(random_state)
+    accuracies: List[float] = []
+    for _ in range(n_repetitions):
+        train_idx, test_idx = train_test_split(
+            reference.n_scans, test_fraction=1.0 - train_fraction, random_state=rng
+        )
+        train_reference = reference.select_columns(train_idx)
+        n_features_effective = min(n_features, train_reference.n_features)
+        attack = LeverageScoreAttack(n_features=n_features_effective).fit(train_reference)
+
+        test_reference = reference.select_columns(test_idx)
+        test_target = target.select_columns(test_idx)
+        result = attack.identify(test_target, reference=test_reference)
+        accuracies.append(result.accuracy())
+    mean, std = summarize(np.asarray(accuracies))
+    return {
+        "accuracy_mean": mean,
+        "accuracy_std": std,
+        "n_repetitions": float(n_repetitions),
+        "accuracies": accuracies,
+    }

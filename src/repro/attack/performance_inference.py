@@ -1,0 +1,158 @@
+"""Task-performance inference (paper Section 3.3.3, Table 1).
+
+Given connectomes of subjects performing a task and the published performance
+metric of a training subset, the attack predicts the performance of held-out
+(anonymous) subjects: leverage scores are computed on the training group
+matrix, the feature space is restricted to the top-scoring features, and an
+SVR is fitted with the performance metric as the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.connectome.group import GroupMatrix
+from repro.exceptions import AttackError, ValidationError
+from repro.linalg.leverage import PrincipalFeaturesSubspace
+from repro.ml.metrics import nrmse_percent
+from repro.ml.model_selection import train_test_split
+from repro.ml.ridge import KernelRidge
+from repro.ml.svr import LinearSVR
+from repro.utils.rng import RandomStateLike, as_rng
+from repro.utils.stats import summarize
+from repro.utils.validation import check_array
+
+
+@dataclass
+class PerformancePredictionResult:
+    """Train/test errors of one repetition of the performance regression."""
+
+    train_nrmse_percent: float
+    test_nrmse_percent: float
+    train_indices: np.ndarray
+    test_indices: np.ndarray
+    predictions: np.ndarray
+    targets: np.ndarray
+
+
+@dataclass
+class PerformanceInferenceAttack:
+    """Predict task performance of anonymous subjects from their connectomes.
+
+    Parameters
+    ----------
+    n_features:
+        Number of top-leverage connectome features used as regressors.  The
+        regression needs a larger feature budget than the identification
+        attack because the performance-informative edges are spread across
+        the task-active sub-network.
+    test_fraction:
+        Fraction of subjects held out as the anonymous test set (20 of 100 in
+        the paper).
+    regressor:
+        ``"svr"`` (the paper's choice) or ``"kernel_ridge"`` (baseline).
+    svr_C / svr_epsilon:
+        SVR hyperparameters.
+    nrmse_normalization:
+        How the RMSE is normalized into the Table 1 metric: ``"mean"``
+        (divide by the mean performance) or ``"range"``.
+    random_state:
+        Seed controlling the train/test splits.
+    """
+
+    n_features: int = 300
+    test_fraction: float = 0.2
+    regressor: str = "svr"
+    svr_C: float = 2.0
+    svr_epsilon: float = 0.01
+    nrmse_normalization: str = "mean"
+    random_state: RandomStateLike = None
+
+    def _make_regressor(self):
+        if self.regressor == "svr":
+            return LinearSVR(C=self.svr_C, epsilon=self.svr_epsilon)
+        if self.regressor == "kernel_ridge":
+            return KernelRidge(alpha=1.0, kernel="rbf")
+        raise AttackError(
+            f"regressor must be 'svr' or 'kernel_ridge', got {self.regressor!r}"
+        )
+
+    def run_once(
+        self,
+        group: GroupMatrix,
+        performance: np.ndarray,
+        random_state: RandomStateLike = None,
+    ) -> PerformancePredictionResult:
+        """One train/test repetition of the performance regression."""
+        performance = check_array(performance, name="performance", ndim=1)
+        if performance.shape[0] != group.n_scans:
+            raise ValidationError(
+                "performance vector length must equal the number of scans "
+                f"({performance.shape[0]} != {group.n_scans})"
+            )
+        n_subjects = group.n_scans
+        train_idx, test_idx = train_test_split(
+            n_subjects, test_fraction=self.test_fraction, random_state=random_state
+        )
+
+        train_group = group.select_columns(train_idx)
+        n_features = min(self.n_features, train_group.n_features)
+        selector = PrincipalFeaturesSubspace(n_features=n_features).fit(train_group.data)
+
+        train_features = selector.transform(group.data[:, train_idx]).T
+        test_features = selector.transform(group.data[:, test_idx]).T
+
+        model = self._make_regressor()
+        model.fit(train_features, performance[train_idx])
+        train_predictions = model.predict(train_features)
+        test_predictions = model.predict(test_features)
+
+        return PerformancePredictionResult(
+            train_nrmse_percent=nrmse_percent(
+                performance[train_idx],
+                train_predictions,
+                normalization=self.nrmse_normalization,
+            ),
+            test_nrmse_percent=nrmse_percent(
+                performance[test_idx],
+                test_predictions,
+                normalization=self.nrmse_normalization,
+            ),
+            train_indices=train_idx,
+            test_indices=test_idx,
+            predictions=test_predictions,
+            targets=performance[test_idx],
+        )
+
+    def run(
+        self,
+        group: GroupMatrix,
+        performance: np.ndarray,
+        n_repetitions: int = 20,
+    ) -> Dict[str, float]:
+        """Repeat the regression over random splits and summarize the errors.
+
+        Returns a dictionary with mean and standard deviation of train and
+        test normalized RMSE (in percent), matching the format of Table 1.
+        """
+        if n_repetitions < 1:
+            raise ValidationError("n_repetitions must be at least 1")
+        rng = as_rng(self.random_state)
+        train_errors: List[float] = []
+        test_errors: List[float] = []
+        for _ in range(n_repetitions):
+            result = self.run_once(group, performance, random_state=rng)
+            train_errors.append(result.train_nrmse_percent)
+            test_errors.append(result.test_nrmse_percent)
+        train_mean, train_std = summarize(np.asarray(train_errors))
+        test_mean, test_std = summarize(np.asarray(test_errors))
+        return {
+            "train_nrmse_mean": train_mean,
+            "train_nrmse_std": train_std,
+            "test_nrmse_mean": test_mean,
+            "test_nrmse_std": test_std,
+            "n_repetitions": float(n_repetitions),
+        }

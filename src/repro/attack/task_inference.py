@@ -1,0 +1,153 @@
+"""Task inference through t-SNE (paper Section 3.3.2, Figure 6).
+
+All scans — labelled and anonymous — are embedded together into two
+dimensions with t-SNE.  Because scans cluster by task in the embedding, the
+task of an anonymous scan is predicted by the label of its nearest labelled
+neighbour.  The two-dimensional coordinates are the paper's
+"task-identifying signatures".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.connectome.group import GroupMatrix
+from repro.embedding.tsne import TSNE
+from repro.exceptions import AttackError
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.metrics import accuracy_score, confusion_matrix
+from repro.utils.rng import RandomStateLike
+
+
+@dataclass
+class TaskInferenceResult:
+    """Outcome of the t-SNE task-inference attack.
+
+    Attributes
+    ----------
+    embedding:
+        ``(n_scans, 2)`` task-identifying signatures for every scan.
+    predicted_tasks:
+        Predicted task label for every *unlabelled* scan (in the order of
+        ``unlabelled_indices``).
+    true_tasks:
+        Ground-truth task labels of the unlabelled scans.
+    labelled_indices / unlabelled_indices:
+        Which scans were treated as labelled (known) and anonymous.
+    """
+
+    embedding: np.ndarray
+    predicted_tasks: List[str]
+    true_tasks: List[str]
+    labelled_indices: np.ndarray
+    unlabelled_indices: np.ndarray
+
+    def accuracy(self) -> float:
+        """Overall task-prediction accuracy on the anonymous scans."""
+        return accuracy_score(self.true_tasks, self.predicted_tasks)
+
+    def per_task_accuracy(self) -> Dict[str, float]:
+        """Task → accuracy restricted to anonymous scans of that task."""
+        truths = np.asarray(self.true_tasks)
+        predictions = np.asarray(self.predicted_tasks)
+        output: Dict[str, float] = {}
+        for task in sorted(set(self.true_tasks)):
+            mask = truths == task
+            output[task] = float(np.mean(predictions[mask] == task))
+        return output
+
+    def confusion(self):
+        """Confusion matrix and its label ordering."""
+        return confusion_matrix(self.true_tasks, self.predicted_tasks)
+
+
+@dataclass
+class TaskInferenceAttack:
+    """Predict the task of anonymous scans from their connectomes.
+
+    Parameters
+    ----------
+    n_labelled_subjects:
+        Number of subjects whose task labels the attacker is assumed to know
+        (50 of 100 in the paper).
+    perplexity / n_iterations / learning_rate / pca_components:
+        t-SNE hyperparameters (see :class:`repro.embedding.tsne.TSNE`).
+    n_neighbors:
+        Neighbourhood size of the label-propagation classifier (1 in the
+        paper).
+    random_state:
+        Seed controlling the labelled/anonymous split and the t-SNE
+        initialization.
+    """
+
+    n_labelled_subjects: int = 50
+    perplexity: float = 30.0
+    n_iterations: int = 400
+    learning_rate: float = 200.0
+    pca_components: Optional[int] = 50
+    n_neighbors: int = 1
+    random_state: RandomStateLike = None
+
+    def run(self, group: GroupMatrix) -> TaskInferenceResult:
+        """Run the attack on a group matrix containing all conditions.
+
+        The group matrix must carry task labels and subject ids; the scans of
+        ``n_labelled_subjects`` randomly chosen subjects form the labelled
+        set, every other scan is treated as anonymous.
+        """
+        if group.tasks is None or all(t == "" for t in group.tasks):
+            raise AttackError("the group matrix must carry task labels")
+        unique_subjects = sorted(set(group.subject_ids))
+        if self.n_labelled_subjects >= len(unique_subjects):
+            raise AttackError(
+                f"n_labelled_subjects ({self.n_labelled_subjects}) must be smaller than "
+                f"the number of distinct subjects ({len(unique_subjects)})"
+            )
+
+        rng = np.random.default_rng(
+            self.random_state if isinstance(self.random_state, (int, np.integer)) else None
+        )
+        labelled_subjects = set(
+            rng.choice(unique_subjects, size=self.n_labelled_subjects, replace=False).tolist()
+        )
+        labelled_indices = np.asarray(
+            [i for i, s in enumerate(group.subject_ids) if s in labelled_subjects], dtype=int
+        )
+        unlabelled_indices = np.asarray(
+            [i for i, s in enumerate(group.subject_ids) if s not in labelled_subjects], dtype=int
+        )
+
+        embedding = self.embed(group)
+
+        classifier = KNeighborsClassifier(n_neighbors=self.n_neighbors)
+        classifier.fit(
+            embedding[labelled_indices],
+            [group.tasks[i] for i in labelled_indices],
+        )
+        predictions = classifier.predict(embedding[unlabelled_indices])
+
+        return TaskInferenceResult(
+            embedding=embedding,
+            predicted_tasks=[str(p) for p in predictions],
+            true_tasks=[group.tasks[i] for i in unlabelled_indices],
+            labelled_indices=labelled_indices,
+            unlabelled_indices=unlabelled_indices,
+        )
+
+    def embed(self, group: GroupMatrix) -> np.ndarray:
+        """Compute the two-dimensional task-identifying signatures."""
+        n_scans = group.n_scans
+        perplexity = min(self.perplexity, max(2.0, (n_scans - 1) / 3.0))
+        tsne = TSNE(
+            n_components=2,
+            perplexity=perplexity,
+            learning_rate=self.learning_rate,
+            n_iterations=self.n_iterations,
+            pca_components=self.pca_components,
+            random_state=self.random_state,
+        )
+        # t-SNE expects samples in rows; the group matrix stores scans in columns.
+        return tsne.fit_transform(group.data.T)

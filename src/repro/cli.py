@@ -1,0 +1,198 @@
+"""Command-line interface.
+
+Installed as the ``repro-attack`` console script (also runnable as
+``python -m repro.cli``).  Four subcommands cover the common workflows:
+
+``list``
+    Show the available experiments (one per paper figure/table).
+``run <experiment>``
+    Run one experiment, print its paper-vs-measured comparison, and
+    optionally persist the record.
+``report``
+    Run every experiment and write EXPERIMENTS.md-style markdown.
+``demo``
+    Run the core de-anonymization attack on a freshly generated cohort and
+    print the identification report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.attack import AttackPipeline
+from repro.datasets import HCPLikeDataset
+from repro.experiments import (
+    ADHDExperimentConfig,
+    HCPExperimentConfig,
+    defense_tradeoff,
+    figure1_rest_similarity,
+    figure2_task_similarity,
+    figure5_cross_task_matrix,
+    figure6_task_prediction,
+    figure7_adhd_subtype1,
+    figure8_adhd_subtype3,
+    figure9_adhd_identification,
+    generate_experiments_markdown,
+    paper_scale_adhd_config,
+    paper_scale_hcp_config,
+    run_all_experiments,
+    table1_performance_prediction,
+    table2_multisite_noise,
+)
+from repro.reporting.experiment import ExperimentRecord
+
+#: Experiment id -> (description, runner taking (hcp_config, adhd_config)).
+EXPERIMENTS: Dict[str, tuple] = {
+    "figure1": (
+        "Pairwise similarity of resting-state connectomes",
+        lambda hcp, adhd: figure1_rest_similarity(hcp),
+    ),
+    "figure2": (
+        "Pairwise similarity of language-task connectomes",
+        lambda hcp, adhd: figure2_task_similarity(hcp),
+    ),
+    "figure5": (
+        "Cross-task identification-accuracy matrix",
+        lambda hcp, adhd: figure5_cross_task_matrix(hcp),
+    ),
+    "figure6": (
+        "t-SNE task clustering and task prediction",
+        lambda hcp, adhd: figure6_task_prediction(hcp),
+    ),
+    "table1": (
+        "Task-performance prediction error",
+        lambda hcp, adhd: table1_performance_prediction(hcp),
+    ),
+    "figure7": (
+        "ADHD subtype-1 inter-session similarity",
+        lambda hcp, adhd: figure7_adhd_subtype1(adhd),
+    ),
+    "figure8": (
+        "ADHD subtype-3 inter-session similarity",
+        lambda hcp, adhd: figure8_adhd_subtype3(adhd),
+    ),
+    "figure9": (
+        "Identification of the full ADHD-200 cohort",
+        lambda hcp, adhd: figure9_adhd_identification(adhd),
+    ),
+    "table2": (
+        "Identification accuracy under multi-site acquisition",
+        lambda hcp, adhd: table2_multisite_noise(hcp, adhd),
+    ),
+    "defense": (
+        "Targeted-noise defense privacy/utility trade-off",
+        lambda hcp, adhd: defense_tradeoff(hcp),
+    ),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-attack",
+        description="Reproduction of 'De-anonymization Attacks on Neuroimaging Datasets'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument(
+        "--paper-scale", action="store_true", help="use the paper-sized configuration"
+    )
+    run_parser.add_argument(
+        "--save", metavar="PATH", default=None, help="persist the record to PATH(.json/.npz)"
+    )
+
+    report_parser = subparsers.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    report_parser.add_argument("--output", default="EXPERIMENTS.md")
+    report_parser.add_argument("--paper-scale", action="store_true")
+
+    demo_parser = subparsers.add_parser("demo", help="run the core attack on a fresh cohort")
+    demo_parser.add_argument("--subjects", type=int, default=30)
+    demo_parser.add_argument("--regions", type=int, default=100)
+    demo_parser.add_argument("--timepoints", type=int, default=180)
+    demo_parser.add_argument("--task", default="REST")
+    demo_parser.add_argument("--features", type=int, default=100)
+    demo_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _configs(paper_scale: bool):
+    if paper_scale:
+        return paper_scale_hcp_config(), paper_scale_adhd_config()
+    return HCPExperimentConfig(), ADHDExperimentConfig()
+
+
+def _print_record(record: ExperimentRecord) -> None:
+    print(f"{record.experiment_id}: {record.title}")
+    for comparison in record.comparisons:
+        status = "ok" if comparison.matches_shape else "MISMATCH"
+        print(f"  [{status:8s}] {comparison.description}")
+        print(f"             paper:    {comparison.paper_value}")
+        print(f"             measured: {comparison.measured_value}")
+    print(
+        "shape holds" if record.shape_holds() else "SHAPE MISMATCH — see comparisons above"
+    )
+
+
+def _command_list() -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name in sorted(EXPERIMENTS):
+        print(f"{name.ljust(width)}  {EXPERIMENTS[name][0]}")
+    return 0
+
+
+def _command_run(args) -> int:
+    hcp_config, adhd_config = _configs(args.paper_scale)
+    _, runner = EXPERIMENTS[args.experiment]
+    record = runner(hcp_config, adhd_config)
+    _print_record(record)
+    if args.save:
+        record.save(args.save)
+        print(f"record saved to {args.save}")
+    return 0 if record.shape_holds() else 1
+
+
+def _command_report(args) -> int:
+    hcp_config, adhd_config = _configs(args.paper_scale)
+    records = run_all_experiments(hcp_config, adhd_config)
+    generate_experiments_markdown(records, output_path=args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _command_demo(args) -> int:
+    dataset = HCPLikeDataset(
+        n_subjects=args.subjects,
+        n_regions=args.regions,
+        n_timepoints=args.timepoints,
+        random_state=args.seed,
+    )
+    reference = dataset.generate_session(args.task, encoding="LR", day=1)
+    target = dataset.generate_session(args.task, encoding="RL", day=2)
+    report = AttackPipeline(n_features=args.features).run(reference, target)
+    print(report)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-attack`` console script."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "report":
+        return _command_report(args)
+    if args.command == "demo":
+        return _command_demo(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Connectome substrate: correlation matrices, vectorization, group matrices.
+
+A functional connectome is the region-by-region correlation matrix of the
+preprocessed time series (paper Section 3.1.1).  Connectomes are vectorized
+(upper triangle) and stacked column-wise into *group matrices*, which are the
+objects the attack's matrix analysis operates on (paper Figure 3).
+"""
+
+from repro.connectome.correlation import (
+    correlation_connectome,
+    partial_correlation_connectome,
+    vectorize_connectome,
+    devectorize_connectome,
+    vector_index_to_region_pair,
+)
+from repro.connectome.connectome import Connectome
+from repro.connectome.group import GroupMatrix, build_group_matrix
+from repro.connectome.graph_metrics import (
+    global_efficiency,
+    graph_metric_profile,
+    mean_clustering_coefficient,
+    modularity,
+    node_strengths,
+    profile_distance,
+)
+from repro.connectome.similarity import (
+    identification_accuracy_from_similarity,
+    pairwise_similarity,
+    similarity_contrast,
+)
+
+__all__ = [
+    "correlation_connectome",
+    "partial_correlation_connectome",
+    "vectorize_connectome",
+    "devectorize_connectome",
+    "vector_index_to_region_pair",
+    "Connectome",
+    "GroupMatrix",
+    "build_group_matrix",
+    "pairwise_similarity",
+    "similarity_contrast",
+    "identification_accuracy_from_similarity",
+    "node_strengths",
+    "mean_clustering_coefficient",
+    "global_efficiency",
+    "modularity",
+    "graph_metric_profile",
+    "profile_distance",
+]

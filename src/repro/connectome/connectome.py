@@ -1,0 +1,134 @@
+"""The :class:`Connectome` object.
+
+Wraps a correlation matrix together with its provenance (subject, session,
+task, site) and offers the graph view the paper describes ("a weighted
+complete graph, where nodes correspond to regions and edge weights correspond
+to correlation in neuronal activity").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.connectome.correlation import (
+    correlation_connectome,
+    vectorize_connectome,
+)
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_matrix, check_symmetric
+
+
+@dataclass
+class Connectome:
+    """A functional connectome with provenance metadata.
+
+    Parameters
+    ----------
+    matrix:
+        ``(n_regions, n_regions)`` symmetric correlation matrix.
+    subject_id:
+        Identifier of the subject the scan belongs to.
+    session:
+        Session/encoding label (e.g. ``"REST1_LR"``).
+    task:
+        Task label (e.g. ``"LANGUAGE"`` or ``"REST"``).
+    site:
+        Acquisition site (relevant for the ADHD-200 / multi-site experiments).
+    """
+
+    matrix: np.ndarray
+    subject_id: str
+    session: Optional[str] = None
+    task: Optional[str] = None
+    site: Optional[str] = None
+
+    def __post_init__(self):
+        self.matrix = check_symmetric(self.matrix, name="connectome matrix", atol=1e-6)
+        if not self.subject_id:
+            raise ValidationError("subject_id must be a non-empty string")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_timeseries(
+        cls,
+        timeseries: np.ndarray,
+        subject_id: str,
+        session: Optional[str] = None,
+        task: Optional[str] = None,
+        site: Optional[str] = None,
+        fisher: bool = False,
+    ) -> "Connectome":
+        """Build a connectome from a preprocessed ``(regions, time)`` matrix."""
+        ts = check_matrix(timeseries, name="timeseries", min_cols=2)
+        matrix = correlation_connectome(ts, fisher=fisher)
+        return cls(matrix=matrix, subject_id=subject_id, session=session, task=task, site=site)
+
+    # ------------------------------------------------------------------ #
+    # Properties and views
+    # ------------------------------------------------------------------ #
+    @property
+    def n_regions(self) -> int:
+        """Number of atlas regions."""
+        return self.matrix.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Number of vectorized features (strict upper triangle)."""
+        n = self.n_regions
+        return n * (n - 1) // 2
+
+    def vectorize(self) -> np.ndarray:
+        """Vectorized strict upper triangle (the attack's feature vector)."""
+        return vectorize_connectome(self.matrix)
+
+    def to_graph(self, threshold: Optional[float] = None) -> nx.Graph:
+        """NetworkX weighted graph view of the connectome.
+
+        Parameters
+        ----------
+        threshold:
+            If given, only edges with ``|correlation| >= threshold`` are kept;
+            otherwise the complete weighted graph is returned.
+        """
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.n_regions))
+        rows, cols = np.triu_indices(self.n_regions, k=1)
+        for r, c in zip(rows, cols):
+            weight = float(self.matrix[r, c])
+            if threshold is not None and abs(weight) < threshold:
+                continue
+            graph.add_edge(int(r), int(c), weight=weight)
+        return graph
+
+    def strongest_edges(self, k: int = 10) -> list:
+        """The ``k`` most strongly (absolutely) correlated region pairs."""
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        rows, cols = np.triu_indices(self.n_regions, k=1)
+        weights = self.matrix[rows, cols]
+        order = np.argsort(-np.abs(weights))[:k]
+        return [
+            (int(rows[i]), int(cols[i]), float(weights[i]))
+            for i in order
+        ]
+
+    def label(self) -> str:
+        """Compact provenance label used in group-matrix bookkeeping."""
+        parts = [self.subject_id]
+        if self.task:
+            parts.append(self.task)
+        if self.session:
+            parts.append(self.session)
+        return "/".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Connectome(subject={self.subject_id!r}, task={self.task!r}, "
+            f"session={self.session!r}, regions={self.n_regions})"
+        )

@@ -1,0 +1,123 @@
+"""Connectome construction and (de)vectorization.
+
+The connectome of a scan is the Pearson correlation matrix of its region
+time series.  Because the matrix is symmetric with a unit diagonal, only the
+strict upper triangle is kept when vectorizing: 360 regions yield
+360*359/2 = 64 620 features, matching the paper's count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.stats import correlation_matrix, fisher_z
+from repro.utils.validation import check_matrix, check_square, check_symmetric
+
+
+def correlation_connectome(
+    timeseries: np.ndarray, fisher: bool = False
+) -> np.ndarray:
+    """Pearson-correlation connectome of a ``(regions, time)`` matrix.
+
+    Parameters
+    ----------
+    timeseries:
+        Preprocessed region time series.
+    fisher:
+        If true, apply the Fisher r-to-z transform to off-diagonal entries
+        (variance-stabilizing; useful before averaging connectomes).
+    """
+    corr = correlation_matrix(timeseries)
+    if fisher:
+        off_diagonal = ~np.eye(corr.shape[0], dtype=bool)
+        transformed = corr.copy()
+        transformed[off_diagonal] = fisher_z(corr[off_diagonal])
+        return transformed
+    return corr
+
+
+def partial_correlation_connectome(
+    timeseries: np.ndarray, shrinkage: float = 0.1
+) -> np.ndarray:
+    """Partial-correlation connectome via a shrinkage-regularized precision matrix.
+
+    Included as an alternative coherence measure (the paper notes the method
+    is agnostic to "a given measure of region-to-region coherence").
+    """
+    ts = check_matrix(timeseries, name="timeseries", min_cols=4)
+    if not 0.0 <= shrinkage < 1.0:
+        raise ValidationError(f"shrinkage must be in [0, 1), got {shrinkage}")
+    covariance = np.cov(ts)
+    n_regions = covariance.shape[0]
+    target = np.eye(n_regions) * np.trace(covariance) / n_regions
+    regularized = (1.0 - shrinkage) * covariance + shrinkage * target
+    precision = np.linalg.pinv(regularized)
+    diagonal = np.sqrt(np.abs(np.diag(precision)))
+    diagonal = np.where(diagonal < 1e-12, 1.0, diagonal)
+    partial = -precision / np.outer(diagonal, diagonal)
+    np.fill_diagonal(partial, 1.0)
+    return np.clip(partial, -1.0, 1.0)
+
+
+def vectorize_connectome(connectome: np.ndarray) -> np.ndarray:
+    """Stack the strict upper triangle of a symmetric connectome into a vector.
+
+    The ordering is row-major over the upper triangle (``numpy.triu_indices``),
+    so two connectomes with the same number of regions vectorize into
+    comparable feature spaces.
+    """
+    matrix = check_symmetric(connectome, name="connectome", atol=1e-6)
+    n_regions = matrix.shape[0]
+    if n_regions < 2:
+        raise ValidationError("connectome must have at least 2 regions to vectorize")
+    rows, cols = np.triu_indices(n_regions, k=1)
+    return matrix[rows, cols]
+
+
+def devectorize_connectome(vector: np.ndarray, n_regions: Optional[int] = None) -> np.ndarray:
+    """Rebuild a symmetric connectome (unit diagonal) from its vectorized form."""
+    vec = np.asarray(vector, dtype=np.float64)
+    if vec.ndim != 1:
+        raise ValidationError(f"vector must be 1-D, got shape {vec.shape}")
+    if n_regions is None:
+        n_regions = n_regions_from_vector_length(vec.shape[0])
+    expected = n_regions * (n_regions - 1) // 2
+    if vec.shape[0] != expected:
+        raise ValidationError(
+            f"vector of length {vec.shape[0]} does not match {n_regions} regions "
+            f"(expected {expected})"
+        )
+    matrix = np.eye(n_regions)
+    rows, cols = np.triu_indices(n_regions, k=1)
+    matrix[rows, cols] = vec
+    matrix[cols, rows] = vec
+    return matrix
+
+
+def n_regions_from_vector_length(length: int) -> int:
+    """Invert ``length = n (n - 1) / 2`` to recover the region count."""
+    n_float = (1.0 + np.sqrt(1.0 + 8.0 * length)) / 2.0
+    n_regions = int(round(n_float))
+    if n_regions * (n_regions - 1) // 2 != length:
+        raise ValidationError(
+            f"{length} is not a valid vectorized-connectome length"
+        )
+    return n_regions
+
+
+def vector_index_to_region_pair(index: int, n_regions: int) -> Tuple[int, int]:
+    """Map a vectorized-feature index back to its ``(row, col)`` region pair.
+
+    This is how the attack reports *where* in the brain the signature lives:
+    the top-leverage feature indices translate directly to region pairs.
+    """
+    if n_regions < 2:
+        raise ValidationError("n_regions must be at least 2")
+    n_features = n_regions * (n_regions - 1) // 2
+    if not 0 <= index < n_features:
+        raise ValidationError(f"index must be in [0, {n_features}), got {index}")
+    rows, cols = np.triu_indices(n_regions, k=1)
+    return int(rows[index]), int(cols[index])

@@ -1,0 +1,126 @@
+"""Graph-theoretic connectome analysis.
+
+Connectomics treats the connectome as a weighted graph (paper Section 1);
+group studies then compare graph metrics — node strength, clustering,
+efficiency, modularity — between cohorts.  These metrics serve two purposes
+here:
+
+* they are the "downstream analyses" whose integrity a defense must preserve
+  (paper Section 4), so :mod:`repro.defense.evaluation` uses them as an
+  additional utility measure, and
+* they give library users the standard connectomics toolbox on top of
+  :class:`~repro.connectome.connectome.Connectome`.
+
+All metrics operate on the absolute correlation weights of a thresholded
+graph, the common convention in the connectomics literature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.connectome.connectome import Connectome
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_symmetric
+
+
+def _as_weighted_graph(matrix: np.ndarray, threshold: float) -> nx.Graph:
+    """Build an absolute-weight graph keeping edges with ``|r| >= threshold``."""
+    n_regions = matrix.shape[0]
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n_regions))
+    rows, cols = np.triu_indices(n_regions, k=1)
+    for r, c in zip(rows, cols):
+        weight = abs(float(matrix[r, c]))
+        if weight >= threshold:
+            graph.add_edge(int(r), int(c), weight=weight)
+    return graph
+
+
+def node_strengths(connectome: Connectome, threshold: float = 0.0) -> np.ndarray:
+    """Sum of absolute edge weights incident to each region."""
+    matrix = check_symmetric(connectome.matrix, name="connectome matrix", atol=1e-6)
+    weights = np.abs(matrix.copy())
+    np.fill_diagonal(weights, 0.0)
+    weights[weights < threshold] = 0.0
+    return weights.sum(axis=1)
+
+
+def mean_clustering_coefficient(connectome: Connectome, threshold: float = 0.2) -> float:
+    """Average weighted clustering coefficient of the thresholded graph."""
+    graph = _as_weighted_graph(connectome.matrix, threshold)
+    if graph.number_of_edges() == 0:
+        return 0.0
+    return float(nx.average_clustering(graph, weight="weight"))
+
+
+def global_efficiency(connectome: Connectome, threshold: float = 0.2) -> float:
+    """Global efficiency (average inverse shortest path length) of the graph.
+
+    Edge lengths are ``1 / weight`` so strong correlations act as short
+    connections, the standard construction for weighted efficiency.
+    """
+    graph = _as_weighted_graph(connectome.matrix, threshold)
+    n_nodes = graph.number_of_nodes()
+    if n_nodes < 2 or graph.number_of_edges() == 0:
+        return 0.0
+    for _, _, data in graph.edges(data=True):
+        data["length"] = 1.0 / max(data["weight"], 1e-12)
+    total = 0.0
+    for source, lengths in nx.all_pairs_dijkstra_path_length(graph, weight="length"):
+        for target, distance in lengths.items():
+            if target != source and distance > 0:
+                total += 1.0 / distance
+    return total / (n_nodes * (n_nodes - 1))
+
+
+def modularity(connectome: Connectome, threshold: float = 0.2) -> float:
+    """Newman modularity of a greedy community partition of the graph."""
+    graph = _as_weighted_graph(connectome.matrix, threshold)
+    if graph.number_of_edges() == 0:
+        return 0.0
+    communities = nx.algorithms.community.greedy_modularity_communities(
+        graph, weight="weight"
+    )
+    return float(
+        nx.algorithms.community.modularity(graph, communities, weight="weight")
+    )
+
+
+def graph_metric_profile(
+    connectome: Connectome, threshold: float = 0.2
+) -> Dict[str, float]:
+    """The bundle of metrics used as a downstream-analysis utility proxy."""
+    if not 0.0 <= threshold < 1.0:
+        raise ValidationError(f"threshold must be in [0, 1), got {threshold}")
+    strengths = node_strengths(connectome, threshold=threshold)
+    return {
+        "mean_node_strength": float(strengths.mean()),
+        "node_strength_std": float(strengths.std()),
+        "mean_clustering": mean_clustering_coefficient(connectome, threshold=threshold),
+        "global_efficiency": global_efficiency(connectome, threshold=threshold),
+        "modularity": modularity(connectome, threshold=threshold),
+    }
+
+
+def profile_distance(
+    profile_a: Dict[str, float], profile_b: Dict[str, float]
+) -> float:
+    """Relative difference between two metric profiles (0 = identical).
+
+    Used by the defense evaluation: a small distance between the profiles of
+    the original and the protected dataset means downstream graph analyses
+    are largely unaffected by the defense.
+    """
+    keys = sorted(set(profile_a) & set(profile_b))
+    if not keys:
+        raise ValidationError("profiles share no metrics")
+    differences = []
+    for key in keys:
+        a, b = float(profile_a[key]), float(profile_b[key])
+        scale = max(abs(a), abs(b), 1e-12)
+        differences.append(abs(a - b) / scale)
+    return float(np.mean(differences))

@@ -1,0 +1,164 @@
+"""Group matrices: vectorized connectomes stacked column-wise.
+
+The paper's Figure 3 organizes each dataset (the de-anonymized one and the
+anonymous target) as a matrix whose columns are subjects and whose rows are
+vectorized connectome features.  :class:`GroupMatrix` is that object plus the
+bookkeeping (subject ids, task labels, sessions) the evaluation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.connectome.connectome import Connectome
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_matrix
+
+
+@dataclass
+class GroupMatrix:
+    """A ``(n_features, n_scans)`` matrix of vectorized connectomes.
+
+    Parameters
+    ----------
+    data:
+        Feature-by-scan matrix; column ``j`` is the vectorized connectome of
+        scan ``j``.
+    subject_ids:
+        Subject identifier per column.
+    tasks:
+        Optional task label per column.
+    sessions:
+        Optional session label per column.
+    """
+
+    data: np.ndarray
+    subject_ids: List[str]
+    tasks: Optional[List[str]] = None
+    sessions: Optional[List[str]] = None
+
+    def __post_init__(self):
+        self.data = check_matrix(self.data, name="group matrix")
+        self.subject_ids = list(self.subject_ids)
+        if len(self.subject_ids) != self.data.shape[1]:
+            raise ValidationError(
+                f"expected {self.data.shape[1]} subject ids, got {len(self.subject_ids)}"
+            )
+        if self.tasks is not None:
+            self.tasks = list(self.tasks)
+            if len(self.tasks) != self.data.shape[1]:
+                raise ValidationError(
+                    f"expected {self.data.shape[1]} task labels, got {len(self.tasks)}"
+                )
+        if self.sessions is not None:
+            self.sessions = list(self.sessions)
+            if len(self.sessions) != self.data.shape[1]:
+                raise ValidationError(
+                    f"expected {self.data.shape[1]} session labels, got {len(self.sessions)}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Shape helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def n_features(self) -> int:
+        """Number of connectome features (rows)."""
+        return self.data.shape[0]
+
+    @property
+    def n_scans(self) -> int:
+        """Number of scans (columns)."""
+        return self.data.shape[1]
+
+    # ------------------------------------------------------------------ #
+    # Subsetting
+    # ------------------------------------------------------------------ #
+    def select_columns(self, indices: Sequence[int]) -> "GroupMatrix":
+        """Return a new group matrix restricted to the given scan columns."""
+        indices = np.asarray(indices, dtype=int)
+        if indices.size == 0:
+            raise ValidationError("cannot select an empty set of columns")
+        if indices.min() < 0 or indices.max() >= self.n_scans:
+            raise ValidationError("column indices out of range")
+        return GroupMatrix(
+            data=self.data[:, indices],
+            subject_ids=[self.subject_ids[i] for i in indices],
+            tasks=[self.tasks[i] for i in indices] if self.tasks is not None else None,
+            sessions=[self.sessions[i] for i in indices] if self.sessions is not None else None,
+        )
+
+    def select_features(self, feature_indices: Sequence[int]) -> "GroupMatrix":
+        """Return a new group matrix restricted to the given feature rows."""
+        feature_indices = np.asarray(feature_indices, dtype=int)
+        if feature_indices.size == 0:
+            raise ValidationError("cannot select an empty set of features")
+        if feature_indices.min() < 0 or feature_indices.max() >= self.n_features:
+            raise ValidationError("feature indices out of range")
+        return GroupMatrix(
+            data=self.data[feature_indices, :],
+            subject_ids=list(self.subject_ids),
+            tasks=list(self.tasks) if self.tasks is not None else None,
+            sessions=list(self.sessions) if self.sessions is not None else None,
+        )
+
+    def columns_for_task(self, task: str) -> np.ndarray:
+        """Indices of scans with the given task label."""
+        if self.tasks is None:
+            raise ValidationError("this group matrix carries no task labels")
+        return np.asarray([i for i, t in enumerate(self.tasks) if t == task], dtype=int)
+
+    def subset_by_task(self, task: str) -> "GroupMatrix":
+        """Group matrix restricted to one task."""
+        indices = self.columns_for_task(task)
+        if indices.size == 0:
+            raise ValidationError(f"no scans with task {task!r} in this group matrix")
+        return self.select_columns(indices)
+
+    def unique_tasks(self) -> List[str]:
+        """Sorted list of distinct task labels."""
+        if self.tasks is None:
+            return []
+        return sorted(set(self.tasks))
+
+    def column_for_subject(self, subject_id: str) -> int:
+        """Index of the (first) column belonging to ``subject_id``."""
+        try:
+            return self.subject_ids.index(subject_id)
+        except ValueError as exc:
+            raise ValidationError(f"subject {subject_id!r} not present") from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GroupMatrix(features={self.n_features}, scans={self.n_scans}, "
+            f"tasks={self.unique_tasks()})"
+        )
+
+
+def build_group_matrix(connectomes: Iterable[Connectome]) -> GroupMatrix:
+    """Stack an iterable of connectomes into a :class:`GroupMatrix`.
+
+    All connectomes must share the same region count; columns preserve the
+    iteration order.
+    """
+    connectomes = list(connectomes)
+    if not connectomes:
+        raise ValidationError("cannot build a group matrix from zero connectomes")
+    n_regions = connectomes[0].n_regions
+    vectors = []
+    for connectome in connectomes:
+        if connectome.n_regions != n_regions:
+            raise ValidationError(
+                "all connectomes must have the same number of regions; "
+                f"got {connectome.n_regions} and {n_regions}"
+            )
+        vectors.append(connectome.vectorize())
+    data = np.column_stack(vectors)
+    return GroupMatrix(
+        data=data,
+        subject_ids=[c.subject_id for c in connectomes],
+        tasks=[c.task if c.task is not None else "" for c in connectomes],
+        sessions=[c.session if c.session is not None else "" for c in connectomes],
+    )

@@ -1,0 +1,112 @@
+"""Pairwise similarity analysis of connectomes across two sessions.
+
+Figures 1, 2, 7, 8, and 9 of the paper are subject-by-subject similarity
+matrices between two sessions of the same cohort: entry ``(i, j)`` is the
+similarity between subject ``i``'s scan in dataset A and subject ``j``'s scan
+in dataset B.  Strong diagonals demonstrate the identifiability the attack
+exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.connectome.group import GroupMatrix
+from repro.exceptions import ValidationError
+from repro.utils.stats import pairwise_pearson
+from repro.utils.validation import check_matrix
+
+
+def pairwise_similarity(
+    reference: GroupMatrix,
+    target: GroupMatrix,
+    feature_indices: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Subject-by-subject Pearson similarity between two group matrices.
+
+    Parameters
+    ----------
+    reference / target:
+        Group matrices with identical subject ordering (row ``i`` of the
+        output corresponds to reference column ``i``).
+    feature_indices:
+        Optional feature subset (e.g. the top-leverage features) applied to
+        both matrices before computing similarities.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_reference_scans, n_target_scans)`` similarity matrix.
+    """
+    if reference.n_features != target.n_features:
+        raise ValidationError(
+            "reference and target group matrices must share the feature space"
+        )
+    ref_data = reference.data
+    tgt_data = target.data
+    if feature_indices is not None:
+        feature_indices = np.asarray(feature_indices, dtype=int)
+        ref_data = ref_data[feature_indices, :]
+        tgt_data = tgt_data[feature_indices, :]
+    return pairwise_pearson(ref_data, tgt_data)
+
+
+def similarity_contrast(similarity: np.ndarray) -> Dict[str, float]:
+    """Diagonal-versus-off-diagonal statistics of a similarity matrix.
+
+    Quantifies the visual pattern of Figures 1/2/7/8: how much larger
+    same-subject similarity is than different-subject similarity.
+    """
+    sim = check_matrix(similarity, name="similarity")
+    n = min(sim.shape)
+    diagonal = np.array([sim[i, i] for i in range(n)])
+    mask = np.ones_like(sim, dtype=bool)
+    for i in range(n):
+        mask[i, i] = False
+    off_diagonal = sim[mask]
+    return {
+        "diagonal_mean": float(diagonal.mean()),
+        "diagonal_std": float(diagonal.std()),
+        "off_diagonal_mean": float(off_diagonal.mean()),
+        "off_diagonal_std": float(off_diagonal.std()),
+        "contrast": float(diagonal.mean() - off_diagonal.mean()),
+    }
+
+
+def identification_accuracy_from_similarity(
+    similarity: np.ndarray, axis: int = 1
+) -> float:
+    """Fraction of rows whose maximum similarity falls on the diagonal.
+
+    With matched subject orderings, row ``i`` is correctly identified when
+    ``argmax_j similarity[i, j] == i``.
+
+    Parameters
+    ----------
+    similarity:
+        ``(n, n)`` similarity matrix with matched orderings.
+    axis:
+        1 matches reference rows against target columns (the usual
+        direction); 0 matches target columns against reference rows.
+    """
+    sim = check_matrix(similarity, name="similarity")
+    if sim.shape[0] != sim.shape[1]:
+        raise ValidationError(
+            "identification accuracy requires a square similarity matrix "
+            f"(matched orderings); got shape {sim.shape}"
+        )
+    if axis not in (0, 1):
+        raise ValidationError("axis must be 0 or 1")
+    predictions = np.argmax(sim, axis=axis)
+    expected = np.arange(sim.shape[0])
+    return float(np.mean(predictions == expected))
+
+
+def dual_identification_accuracy(similarity: np.ndarray) -> Tuple[float, float]:
+    """Identification accuracy in both matching directions (A→B and B→A)."""
+    return (
+        identification_accuracy_from_similarity(similarity, axis=1),
+        identification_accuracy_from_similarity(similarity, axis=0),
+    )

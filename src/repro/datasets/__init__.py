@@ -1,0 +1,42 @@
+"""Synthetic dataset generators standing in for HCP and ADHD-200.
+
+The real Human Connectome Project and ADHD-200 releases cannot ship with this
+reproduction, so this subpackage provides generative models that plant the
+statistical structure the paper's attack exploits:
+
+* every subject carries a stable, session-invariant connectivity fingerprint,
+* tasks modulate connectivity in a task-specific, subject-shared way,
+* task performance couples into the connectome,
+* clinical cohorts add subtype- and site-specific structure, and
+* multi-site acquisition adds scanner noise to one session.
+
+See DESIGN.md for the substitution argument.
+"""
+
+from repro.datasets.base import ScanRecord, CohortDataset
+from repro.datasets.tasks import (
+    HCP_TASKS,
+    TaskDefinition,
+    default_hcp_task_battery,
+    get_task,
+)
+from repro.datasets.subject import SubjectModel, SubjectPopulation
+from repro.datasets.hcp import HCPLikeDataset
+from repro.datasets.adhd200 import ADHD200LikeDataset, ADHD_SUBTYPES
+from repro.datasets.multisite import add_multisite_noise, simulate_multisite_session
+
+__all__ = [
+    "ScanRecord",
+    "CohortDataset",
+    "TaskDefinition",
+    "HCP_TASKS",
+    "default_hcp_task_battery",
+    "get_task",
+    "SubjectModel",
+    "SubjectPopulation",
+    "HCPLikeDataset",
+    "ADHD200LikeDataset",
+    "ADHD_SUBTYPES",
+    "add_multisite_noise",
+    "simulate_multisite_session",
+]

@@ -1,0 +1,109 @@
+"""Shared dataset abstractions.
+
+A :class:`ScanRecord` is the unit the generators hand out: one scan of one
+subject in one condition, already at the region-time-series level (the fast
+path) or optionally rendered through the scanner simulator (the full imaging
+path).  :class:`CohortDataset` is the small amount of behaviour shared by the
+HCP-like and ADHD-200-like generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.connectome.connectome import Connectome
+from repro.connectome.group import GroupMatrix, build_group_matrix
+from repro.exceptions import DatasetError
+from repro.utils.validation import check_matrix
+
+
+@dataclass
+class ScanRecord:
+    """One simulated scan.
+
+    Parameters
+    ----------
+    subject_id:
+        Identifier of the scanned subject.
+    task:
+        Condition label (``"REST"``, ``"LANGUAGE"``, ...).
+    session:
+        Session/encoding label (``"REST1_LR"``, ``"SESSION2"``, ...).
+    timeseries:
+        ``(n_regions, n_timepoints)`` region-level BOLD time series.
+    site:
+        Acquisition site identifier (multi-site cohorts).
+    performance:
+        Task performance (percent correct) when the condition has one.
+    diagnosis:
+        Clinical label for the ADHD-200-like cohort (``"control"``,
+        ``"adhd_subtype_1"``, ...).
+    """
+
+    subject_id: str
+    task: str
+    session: str
+    timeseries: np.ndarray
+    site: Optional[str] = None
+    performance: Optional[float] = None
+    diagnosis: Optional[str] = None
+
+    def __post_init__(self):
+        self.timeseries = check_matrix(self.timeseries, name="timeseries", min_cols=2)
+
+    @property
+    def n_regions(self) -> int:
+        """Number of atlas regions in the scan."""
+        return self.timeseries.shape[0]
+
+    @property
+    def n_timepoints(self) -> int:
+        """Number of temporal frames in the scan."""
+        return self.timeseries.shape[1]
+
+    def to_connectome(self, fisher: bool = False) -> Connectome:
+        """Build the scan's functional connectome."""
+        return Connectome.from_timeseries(
+            self.timeseries,
+            subject_id=self.subject_id,
+            session=self.session,
+            task=self.task,
+            site=self.site,
+            fisher=fisher,
+        )
+
+
+class CohortDataset:
+    """Common behaviour of the synthetic cohort generators."""
+
+    def subject_ids(self) -> List[str]:  # pragma: no cover - overridden
+        """Identifiers of all subjects in the cohort."""
+        raise NotImplementedError
+
+    @staticmethod
+    def scans_to_group_matrix(scans: Sequence[ScanRecord], fisher: bool = False) -> GroupMatrix:
+        """Convert a list of scans into a vectorized-connectome group matrix."""
+        if not scans:
+            raise DatasetError("cannot build a group matrix from zero scans")
+        connectomes = [scan.to_connectome(fisher=fisher) for scan in scans]
+        return build_group_matrix(connectomes)
+
+    @staticmethod
+    def performance_vector(scans: Sequence[ScanRecord]) -> np.ndarray:
+        """Extract the per-scan performance metric as an array.
+
+        Raises if any scan lacks a performance value, because silently mixing
+        scans with and without metrics would corrupt the regression target.
+        """
+        values = []
+        for scan in scans:
+            if scan.performance is None:
+                raise DatasetError(
+                    f"scan of subject {scan.subject_id} ({scan.task}) has no "
+                    "performance metric"
+                )
+            values.append(float(scan.performance))
+        return np.asarray(values, dtype=np.float64)

@@ -1,0 +1,205 @@
+"""HCP-like cohort generator.
+
+Mirrors the structure of the Human Connectome Project healthy young adult
+release the paper uses (Section 3.2): each subject is scanned in two sessions
+spread over two days; each session contains a resting-state run and task
+runs; every run exists in a left-to-right (L-R) and a right-to-left (R-L)
+phase-encoding variant.  The paper's identification experiments use the L-R
+encodings as the de-anonymized dataset and the R-L encodings as the anonymous
+target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.connectome.group import GroupMatrix
+from repro.datasets.base import CohortDataset, ScanRecord
+from repro.datasets.subject import SubjectPopulation
+from repro.datasets.tasks import (
+    HCP_TASK_ORDER,
+    PERFORMANCE_TASKS,
+    TaskDefinition,
+    default_hcp_task_battery,
+    get_task,
+)
+from repro.exceptions import DatasetError
+from repro.utils.rng import RandomStateLike
+from repro.utils.validation import check_positive_int
+
+#: Phase-encoding directions of HCP runs.
+ENCODINGS = ("LR", "RL")
+
+
+class HCPLikeDataset(CohortDataset):
+    """Synthetic stand-in for the HCP healthy young adult cohort.
+
+    Parameters
+    ----------
+    n_subjects:
+        Cohort size (the paper uses 100 unrelated subjects).
+    n_regions:
+        Atlas granularity (360 for the Glasser atlas; smaller values give
+        faster experiments with the same qualitative behaviour).
+    n_timepoints:
+        Frames per run.
+    tr:
+        Repetition time in seconds (0.72 s in HCP).
+    tasks:
+        Task battery; defaults to the eight HCP conditions.
+    random_state:
+        Base seed for the whole cohort.
+    population_kwargs:
+        Extra keyword arguments forwarded to :class:`SubjectPopulation`
+        (e.g. ``fingerprint_distinctiveness`` or ``measurement_noise_std``).
+    """
+
+    def __init__(
+        self,
+        n_subjects: int = 100,
+        n_regions: int = 360,
+        n_timepoints: int = 180,
+        tr: float = 0.72,
+        tasks: Optional[Sequence[TaskDefinition]] = None,
+        random_state: RandomStateLike = 0,
+        **population_kwargs,
+    ):
+        self.n_subjects = check_positive_int(n_subjects, name="n_subjects", minimum=2)
+        self.n_regions = check_positive_int(n_regions, name="n_regions", minimum=8)
+        self.n_timepoints = check_positive_int(n_timepoints, name="n_timepoints", minimum=32)
+        if tr <= 0:
+            raise DatasetError(f"tr must be positive, got {tr}")
+        self.tr = float(tr)
+        self.tasks: List[TaskDefinition] = list(tasks or default_hcp_task_battery())
+        if not self.tasks:
+            raise DatasetError("task battery must not be empty")
+        self._task_by_name = {task.name: task for task in self.tasks}
+
+        self.population = SubjectPopulation(
+            n_subjects=self.n_subjects,
+            n_regions=self.n_regions,
+            performance_tasks=[
+                t.name for t in self.tasks if t.has_performance_metric
+            ],
+            subject_prefix="hcp",
+            random_state=random_state,
+            **population_kwargs,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def subject_ids(self) -> List[str]:
+        """Identifiers of all subjects in the cohort."""
+        return self.population.subject_ids()
+
+    def task_names(self) -> List[str]:
+        """Names of the conditions in this dataset's battery."""
+        return [task.name for task in self.tasks]
+
+    def task(self, name: str) -> TaskDefinition:
+        """Task definition by name (restricted to this dataset's battery)."""
+        key = name.upper()
+        if key not in self._task_by_name:
+            raise DatasetError(
+                f"task {name!r} is not part of this dataset; available: {self.task_names()}"
+            )
+        return self._task_by_name[key]
+
+    # ------------------------------------------------------------------ #
+    # Scan generation
+    # ------------------------------------------------------------------ #
+    def session_label(self, task_name: str, encoding: str, day: int = 1) -> str:
+        """Compose the run label, e.g. ``"REST1_LR"`` or ``"LANGUAGE2_RL"``."""
+        if encoding not in ENCODINGS:
+            raise DatasetError(f"encoding must be one of {ENCODINGS}, got {encoding!r}")
+        if day not in (1, 2):
+            raise DatasetError(f"day must be 1 or 2, got {day}")
+        return f"{task_name}{day}_{encoding}"
+
+    def generate_scan(
+        self,
+        subject_index: int,
+        task_name: str,
+        encoding: str = "LR",
+        day: int = 1,
+    ) -> ScanRecord:
+        """Generate a single run for one subject."""
+        task = self.task(task_name)
+        session = self.session_label(task.name, encoding, day)
+        timeseries = self.population.generate_timeseries(
+            subject_index=subject_index,
+            task=task,
+            session=session,
+            n_timepoints=self.n_timepoints,
+            tr=self.tr,
+        )
+        subject = self.population.subject(subject_index)
+        performance = (
+            subject.performance_percent(task.name) if task.has_performance_metric else None
+        )
+        return ScanRecord(
+            subject_id=subject.subject_id,
+            task=task.name,
+            session=session,
+            timeseries=timeseries,
+            performance=performance,
+        )
+
+    def generate_session(
+        self, task_name: str, encoding: str = "LR", day: int = 1
+    ) -> List[ScanRecord]:
+        """Generate the given run for every subject in the cohort."""
+        return [
+            self.generate_scan(i, task_name, encoding=encoding, day=day)
+            for i in range(self.n_subjects)
+        ]
+
+    def group_matrix(
+        self, task_name: str, encoding: str = "LR", day: int = 1, fisher: bool = False
+    ) -> GroupMatrix:
+        """Group matrix of one run across the whole cohort."""
+        scans = self.generate_session(task_name, encoding=encoding, day=day)
+        return self.scans_to_group_matrix(scans, fisher=fisher)
+
+    def encoding_pair(
+        self, task_name: str, fisher: bool = False
+    ) -> Dict[str, GroupMatrix]:
+        """The (de-anonymized, anonymous) pair the paper matches across.
+
+        The L-R encoding of day 1 plays the role of the identified dataset and
+        the R-L encoding of day 2 the anonymous target.
+        """
+        return {
+            "reference": self.group_matrix(task_name, encoding="LR", day=1, fisher=fisher),
+            "target": self.group_matrix(task_name, encoding="RL", day=2, fisher=fisher),
+        }
+
+    def performance_table(self, task_name: str) -> np.ndarray:
+        """Per-subject performance metric for a task with a published measure."""
+        task = self.task(task_name)
+        if not task.has_performance_metric:
+            raise DatasetError(f"task {task_name!r} has no performance metric")
+        return np.asarray(
+            [
+                self.population.subject(i).performance_percent(task.name)
+                for i in range(self.n_subjects)
+            ],
+            dtype=np.float64,
+        )
+
+    def all_conditions_group_matrix(
+        self, encoding: str = "LR", day: int = 1, fisher: bool = False
+    ) -> GroupMatrix:
+        """Group matrix stacking every condition of every subject.
+
+        This is the 800-scan matrix (100 subjects x 8 conditions in the
+        paper) used by the t-SNE task-prediction experiment.
+        """
+        scans: List[ScanRecord] = []
+        for task in self.tasks:
+            scans.extend(self.generate_session(task.name, encoding=encoding, day=day))
+        return self.scans_to_group_matrix(scans, fisher=fisher)

@@ -1,0 +1,342 @@
+"""The generative subject model.
+
+Every subject is modelled by a latent connectivity loading matrix
+``L_s`` (regions x latent factors).  The loading is the sum of a cohort-wide
+template (what all human connectomes share) and a subject-specific
+perturbation (the fingerprint the attack exploits).  A scan of subject ``s``
+in condition ``k`` during session ``e`` is generated as
+
+    neural(t) = expr_k * (L_s + J_{s,e}) f(t)  +  amp_k * M_k g(t)  +  noise(t)
+
+where ``f`` and ``g`` are session-specific factor time courses, ``J_{s,e}``
+is a small session-specific perturbation (day-to-day state), ``M_k`` is the
+task-specific loading shared by all subjects, and ``expr_k`` / ``amp_k`` come
+from the :class:`~repro.datasets.tasks.TaskDefinition`.  The neural signal is
+convolved with the canonical HRF and measurement noise is added, yielding the
+region-level BOLD time series.
+
+This construction plants exactly the structure the paper measures:
+
+* the ``L_s`` term is stable across sessions and tasks → subjects are
+  re-identifiable, most strongly when ``expr_k`` is large (rest);
+* the ``M_k`` term is shared across subjects → scans cluster by task in
+  t-SNE, and strong ``amp_k`` (motor, working memory) drowns the fingerprint;
+* task performance scales the effective task amplitude → performance is
+  predictable from connectome features.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.datasets.tasks import TaskDefinition
+from repro.exceptions import DatasetError
+from repro.imaging.hemodynamics import convolve_hrf
+from repro.utils.rng import RandomStateLike, as_rng
+from repro.utils.validation import check_positive_int
+
+
+def _derive_seed(base_seed: int, *parts) -> int:
+    """Deterministically derive an integer seed from a base seed and labels."""
+    message = ":".join([str(base_seed)] + [str(p) for p in parts])
+    digest = hashlib.sha256(message.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") % (2**63 - 1)
+
+
+@dataclass
+class SubjectModel:
+    """Latent description of one subject.
+
+    Attributes
+    ----------
+    subject_id:
+        Cohort-unique identifier.
+    loading:
+        ``(n_regions, n_subject_factors)`` individual connectivity loading.
+    abilities:
+        Task name → ability in [0, 1] for tasks with performance metrics.
+    group_loading:
+        Optional additional loading shared by the subject's clinical group
+        (used by the ADHD-200-like cohort); ``None`` for healthy cohorts.
+    """
+
+    subject_id: str
+    loading: np.ndarray
+    abilities: Dict[str, float] = field(default_factory=dict)
+    group_loading: Optional[np.ndarray] = None
+
+    @property
+    def n_regions(self) -> int:
+        """Number of atlas regions the subject is defined over."""
+        return self.loading.shape[0]
+
+    def ability_for(self, task_name: str) -> float:
+        """Ability for ``task_name`` (0.5 when the task has no metric)."""
+        return self.abilities.get(task_name, 0.5)
+
+    def performance_percent(self, task_name: str) -> float:
+        """Published-style performance metric: percent correct on the task."""
+        ability = self.ability_for(task_name)
+        return 100.0 * (0.55 + 0.43 * ability)
+
+
+class SubjectPopulation:
+    """Factory for subjects and their scans.
+
+    Parameters
+    ----------
+    n_subjects:
+        Cohort size.
+    n_regions:
+        Number of atlas regions (360 for the HCP-like cohort, 116 for the
+        AAL2/ADHD-200-like cohort).
+    n_subject_factors:
+        Latent dimensionality of individual connectivity.
+    n_task_factors:
+        Latent dimensionality of task-driven co-activation.
+    fingerprint_distinctiveness:
+        Fraction of the subject loading that is individual rather than
+        shared template (0 = all subjects identical, 1 = no shared anatomy).
+    fingerprint_region_fraction:
+        Fraction of regions in which individual variability is concentrated.
+        Mirrors the empirical finding (Finn et al., cited by the paper) that
+        identifying variability lives in specific association-cortex regions
+        (parieto-frontal cortex), not uniformly across the brain.
+    fingerprint_gain_high / fingerprint_gain_low:
+        Scaling of the individual loading inside / outside the
+        high-variability regions.
+    performance_coupling:
+        How strongly a subject's task ability reshapes the task-specific
+        loading (0 = no coupling; the Table 1 regression then has nothing to
+        learn).
+    session_jitter:
+        Magnitude of the day-to-day perturbation of the subject loading.
+    measurement_noise_std:
+        Standard deviation of additive measurement noise on the BOLD signal.
+    performance_tasks:
+        Names of tasks for which abilities are drawn.
+    subject_prefix:
+        Prefix for generated subject identifiers.
+    random_state:
+        Base seed; all per-subject/per-scan randomness derives from it
+        deterministically, so the same population object always produces the
+        same cohort.
+    """
+
+    def __init__(
+        self,
+        n_subjects: int,
+        n_regions: int,
+        n_subject_factors: int = 15,
+        n_task_factors: int = 4,
+        fingerprint_distinctiveness: float = 0.35,
+        fingerprint_region_fraction: float = 0.35,
+        fingerprint_gain_high: float = 1.3,
+        fingerprint_gain_low: float = 0.32,
+        performance_coupling: float = 1.8,
+        session_jitter: float = 0.12,
+        measurement_noise_std: float = 0.5,
+        performance_tasks: Optional[List[str]] = None,
+        subject_prefix: str = "sub",
+        random_state: RandomStateLike = 0,
+    ):
+        self.n_subjects = check_positive_int(n_subjects, name="n_subjects")
+        self.n_regions = check_positive_int(n_regions, name="n_regions", minimum=4)
+        self.n_subject_factors = check_positive_int(n_subject_factors, name="n_subject_factors")
+        self.n_task_factors = check_positive_int(n_task_factors, name="n_task_factors")
+        if not 0.0 <= fingerprint_distinctiveness <= 1.0:
+            raise DatasetError(
+                "fingerprint_distinctiveness must lie in [0, 1], "
+                f"got {fingerprint_distinctiveness}"
+            )
+        if session_jitter < 0 or measurement_noise_std < 0:
+            raise DatasetError("session_jitter and measurement_noise_std must be non-negative")
+        if not 0.0 < fingerprint_region_fraction <= 1.0:
+            raise DatasetError("fingerprint_region_fraction must lie in (0, 1]")
+        if fingerprint_gain_high < 0 or fingerprint_gain_low < 0:
+            raise DatasetError("fingerprint gains must be non-negative")
+        if performance_coupling < 0:
+            raise DatasetError("performance_coupling must be non-negative")
+        self.fingerprint_distinctiveness = float(fingerprint_distinctiveness)
+        self.fingerprint_region_fraction = float(fingerprint_region_fraction)
+        self.fingerprint_gain_high = float(fingerprint_gain_high)
+        self.fingerprint_gain_low = float(fingerprint_gain_low)
+        self.performance_coupling = float(performance_coupling)
+        self.session_jitter = float(session_jitter)
+        self.measurement_noise_std = float(measurement_noise_std)
+        self.performance_tasks = list(performance_tasks or [])
+        self.subject_prefix = subject_prefix
+
+        base_rng = as_rng(random_state)
+        self._base_seed = int(base_rng.integers(0, 2**31 - 1))
+
+        scale = 1.0 / np.sqrt(self.n_subject_factors)
+        template_rng = np.random.default_rng(_derive_seed(self._base_seed, "template"))
+        self._template = template_rng.standard_normal(
+            (self.n_regions, self.n_subject_factors)
+        ) * scale
+
+        # Individual variability is concentrated in a fixed subset of regions
+        # (the "fingerprint regions"), shared by the whole cohort.
+        n_fingerprint = max(int(round(self.fingerprint_region_fraction * self.n_regions)), 1)
+        fingerprint_indices = template_rng.choice(
+            self.n_regions, size=n_fingerprint, replace=False
+        )
+        self.fingerprint_region_mask = np.zeros(self.n_regions, dtype=bool)
+        self.fingerprint_region_mask[fingerprint_indices] = True
+        self._individual_gain = np.where(
+            self.fingerprint_region_mask,
+            self.fingerprint_gain_high,
+            self.fingerprint_gain_low,
+        )
+
+        self._subjects: List[SubjectModel] = []
+        self._build_subjects(scale)
+        self._task_loadings: Dict[str, np.ndarray] = {}
+        self._performance_loadings: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # Cohort construction
+    # ------------------------------------------------------------------ #
+    def _build_subjects(self, scale: float) -> None:
+        # The cohort-shared template is expressed in every scan regardless of
+        # condition (the brain's common functional architecture never
+        # disappears); only the individual component's expression is
+        # modulated by the task.  The template weight is therefore kept on
+        # the population and applied at generation time, while the subject
+        # model stores the individual component only.
+        self._shared_scale = np.sqrt(1.0 - self.fingerprint_distinctiveness)
+        individual = np.sqrt(self.fingerprint_distinctiveness)
+        for index in range(self.n_subjects):
+            rng = np.random.default_rng(_derive_seed(self._base_seed, "subject", index))
+            unique = rng.standard_normal((self.n_regions, self.n_subject_factors)) * scale
+            unique = unique * self._individual_gain[:, None]
+            loading = individual * unique
+            abilities = {
+                task: float(rng.uniform(0.0, 1.0)) for task in self.performance_tasks
+            }
+            self._subjects.append(
+                SubjectModel(
+                    subject_id=f"{self.subject_prefix}-{index:04d}",
+                    loading=loading,
+                    abilities=abilities,
+                )
+            )
+
+    @property
+    def subjects(self) -> List[SubjectModel]:
+        """The cohort's subject models, in index order."""
+        return list(self._subjects)
+
+    def subject(self, index: int) -> SubjectModel:
+        """Subject model at position ``index``."""
+        if not 0 <= index < self.n_subjects:
+            raise DatasetError(f"subject index {index} out of range [0, {self.n_subjects})")
+        return self._subjects[index]
+
+    def subject_ids(self) -> List[str]:
+        """Identifiers of all subjects."""
+        return [s.subject_id for s in self._subjects]
+
+    # ------------------------------------------------------------------ #
+    # Task structure
+    # ------------------------------------------------------------------ #
+    def task_loading(self, task: TaskDefinition) -> np.ndarray:
+        """Task-specific loading matrix (shared across subjects, cached)."""
+        self._ensure_task_loadings(task)
+        return self._task_loadings[task.name]
+
+    def performance_loading(self, task: TaskDefinition) -> np.ndarray:
+        """Ability-dependent component of the task loading (same active regions)."""
+        self._ensure_task_loadings(task)
+        return self._performance_loadings[task.name]
+
+    def _ensure_task_loadings(self, task: TaskDefinition) -> None:
+        if task.name in self._task_loadings:
+            return
+        rng = np.random.default_rng(_derive_seed(self._base_seed, "task", task.name))
+        scale = 1.0 / np.sqrt(self.n_task_factors)
+        loading = rng.standard_normal((self.n_regions, self.n_task_factors)) * scale
+        performance = rng.standard_normal((self.n_regions, self.n_task_factors)) * scale
+        n_active = max(int(round(task.active_fraction * self.n_regions)), 1)
+        active = rng.choice(self.n_regions, size=n_active, replace=False)
+        mask = np.zeros(self.n_regions, dtype=bool)
+        mask[active] = True
+        loading[~mask, :] = 0.0
+        performance[~mask, :] = 0.0
+        self._task_loadings[task.name] = loading
+        self._performance_loadings[task.name] = performance
+
+    # ------------------------------------------------------------------ #
+    # Scan generation
+    # ------------------------------------------------------------------ #
+    def generate_timeseries(
+        self,
+        subject_index: int,
+        task: TaskDefinition,
+        session: str,
+        n_timepoints: int = 180,
+        tr: float = 0.72,
+        apply_hrf: bool = True,
+    ) -> np.ndarray:
+        """Generate one scan's ``(n_regions, n_timepoints)`` BOLD time series.
+
+        The same ``(subject_index, task, session)`` triple always produces the
+        same scan; different sessions of the same subject share the stable
+        fingerprint but differ in factor time courses and day-to-day jitter.
+        """
+        n_timepoints = check_positive_int(n_timepoints, name="n_timepoints", minimum=8)
+        subject = self.subject(subject_index)
+        rng = np.random.default_rng(
+            _derive_seed(self._base_seed, "scan", subject_index, task.name, session)
+        )
+
+        # Day-to-day perturbation of the individual loading.
+        jitter = rng.standard_normal(subject.loading.shape) * (
+            self.session_jitter / np.sqrt(self.n_subject_factors)
+        )
+        # Shared architecture is always expressed; the individual signature is
+        # expressed according to the task (rest expresses it fully, motor and
+        # working-memory scans suppress it).
+        session_loading = (
+            self._shared_scale * self._template
+            + task.subject_expression * subject.loading
+            + jitter
+        )
+        if subject.group_loading is not None:
+            session_loading = session_loading + subject.group_loading
+
+        subject_factors = rng.standard_normal((self.n_subject_factors, n_timepoints))
+        neural = session_loading @ subject_factors
+
+        if task.task_amplitude > 0:
+            amplitude = task.task_amplitude
+            effective_loading = self.task_loading(task)
+            if task.has_performance_metric:
+                # Better performers engage the task network more strongly and
+                # with a systematically different spatial pattern; both effects
+                # couple the connectome to the performance metric the SVR
+                # later predicts (Table 1).
+                ability = subject.ability_for(task.name)
+                amplitude = amplitude * (0.8 + 0.4 * ability)
+                effective_loading = (
+                    effective_loading
+                    + self.performance_coupling
+                    * (ability - 0.5)
+                    * self.performance_loading(task)
+                )
+            task_factors = rng.standard_normal((self.n_task_factors, n_timepoints))
+            neural = neural + amplitude * (effective_loading @ task_factors)
+
+        if apply_hrf:
+            signal = convolve_hrf(neural, tr=tr)
+        else:
+            signal = neural
+
+        if self.measurement_noise_std > 0:
+            signal = signal + self.measurement_noise_std * rng.standard_normal(signal.shape)
+        return signal

@@ -1,0 +1,154 @@
+"""Task battery definitions.
+
+The HCP protocol acquires one resting-state scan and seven task scans per
+session (working memory, gambling, motor, language, social cognition,
+relational processing, emotional processing — paper Section 3.2).  Each
+:class:`TaskDefinition` captures the knobs the generative model needs:
+
+``subject_expression``
+    How strongly the subject's individual fingerprint is expressed during the
+    task.  The paper observes that motor and working-memory scans are much
+    less identifying than rest or language; this is the knob that reproduces
+    that ordering.
+``task_amplitude``
+    Strength of the task-specific, subject-shared co-activation component.
+``active_fraction``
+    Fraction of regions participating in the task-specific component
+    (task activations are localized — e.g. visual tasks activate visual
+    cortex).
+``has_performance_metric``
+    Whether HCP publishes a percent-correct performance measure for the task
+    (language, emotion, relational, working memory — the Table 1 tasks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class TaskDefinition:
+    """Generative parameters of one scan condition."""
+
+    name: str
+    subject_expression: float
+    task_amplitude: float
+    active_fraction: float = 0.3
+    block_duration_s: float = 25.0
+    rest_duration_s: float = 15.0
+    has_performance_metric: bool = False
+
+    def __post_init__(self):
+        if not self.name:
+            raise DatasetError("task name must be non-empty")
+        if self.subject_expression < 0:
+            raise DatasetError("subject_expression must be non-negative")
+        if self.task_amplitude < 0:
+            raise DatasetError("task_amplitude must be non-negative")
+        if not 0.0 < self.active_fraction <= 1.0:
+            raise DatasetError("active_fraction must lie in (0, 1]")
+
+    @property
+    def is_rest(self) -> bool:
+        """Whether this condition is a resting-state scan."""
+        return self.task_amplitude == 0.0
+
+
+#: The default HCP-like battery.  ``subject_expression`` values are chosen so
+#: the identification ordering of paper Figure 5 emerges: rest is the most
+#: identifying condition, language/relational close behind, social and
+#: emotion intermediate, working memory and motor the least identifying.
+HCP_TASKS: Dict[str, TaskDefinition] = {
+    "REST": TaskDefinition(
+        name="REST",
+        subject_expression=1.00,
+        task_amplitude=0.0,
+        active_fraction=1.0,
+    ),
+    "LANGUAGE": TaskDefinition(
+        name="LANGUAGE",
+        subject_expression=0.85,
+        task_amplitude=2.00,
+        active_fraction=0.35,
+        has_performance_metric=True,
+    ),
+    "RELATIONAL": TaskDefinition(
+        name="RELATIONAL",
+        subject_expression=0.82,
+        task_amplitude=2.10,
+        active_fraction=0.30,
+        has_performance_metric=True,
+    ),
+    "SOCIAL": TaskDefinition(
+        name="SOCIAL",
+        subject_expression=0.62,
+        task_amplitude=2.20,
+        active_fraction=0.35,
+    ),
+    "EMOTION": TaskDefinition(
+        name="EMOTION",
+        subject_expression=0.70,
+        task_amplitude=2.15,
+        active_fraction=0.30,
+        has_performance_metric=True,
+    ),
+    "GAMBLING": TaskDefinition(
+        name="GAMBLING",
+        subject_expression=0.58,
+        task_amplitude=1.95,
+        active_fraction=0.40,
+    ),
+    "WM": TaskDefinition(
+        name="WM",
+        subject_expression=0.15,
+        task_amplitude=2.70,
+        active_fraction=0.45,
+        has_performance_metric=True,
+    ),
+    "MOTOR": TaskDefinition(
+        name="MOTOR",
+        subject_expression=0.12,
+        task_amplitude=2.85,
+        active_fraction=0.25,
+    ),
+}
+
+#: Canonical ordering of the eight HCP conditions (rest first, then the
+#: session-1 tasks, then the session-2 tasks) used by the Figure 5/6 harness.
+HCP_TASK_ORDER: List[str] = [
+    "REST",
+    "WM",
+    "GAMBLING",
+    "MOTOR",
+    "LANGUAGE",
+    "SOCIAL",
+    "RELATIONAL",
+    "EMOTION",
+]
+
+#: Tasks for which HCP publishes a percent-accuracy performance measure
+#: (the Table 1 tasks).
+PERFORMANCE_TASKS: List[str] = ["LANGUAGE", "EMOTION", "RELATIONAL", "WM"]
+
+
+def default_hcp_task_battery() -> List[TaskDefinition]:
+    """The eight HCP conditions in canonical order."""
+    return [HCP_TASKS[name] for name in HCP_TASK_ORDER]
+
+
+def get_task(name: str) -> TaskDefinition:
+    """Look up a task definition by (case-insensitive) name."""
+    key = name.upper()
+    if key not in HCP_TASKS:
+        raise DatasetError(
+            f"unknown task {name!r}; known tasks: {sorted(HCP_TASKS)}"
+        )
+    return HCP_TASKS[key]
+
+
+def rest_only_battery() -> List[TaskDefinition]:
+    """A battery containing only the resting-state condition."""
+    return [HCP_TASKS["REST"]]

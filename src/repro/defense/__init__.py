@@ -1,0 +1,25 @@
+"""Defenses against the de-anonymization attack (paper Section 4).
+
+The paper argues that an effective defense must remove the signature without
+damaging the image for downstream analyses, and that the localized signature
+found by leverage scores tells a defender exactly *where* to add noise.  This
+subpackage implements that targeted-noise defense plus the privacy/utility
+evaluation needed to study the trade-off.
+"""
+
+from repro.defense.noise_injection import (
+    SignatureNoiseDefense,
+    add_noise_to_features,
+    shuffle_features_across_subjects,
+)
+from repro.defense.reconstruction import LowRankReconstructionDefense
+from repro.defense.evaluation import defense_tradeoff_curve, evaluate_defense
+
+__all__ = [
+    "SignatureNoiseDefense",
+    "LowRankReconstructionDefense",
+    "add_noise_to_features",
+    "shuffle_features_across_subjects",
+    "defense_tradeoff_curve",
+    "evaluate_defense",
+]

@@ -1,0 +1,141 @@
+"""Targeted noise injection on signature features.
+
+The defense perturbs only the connectome features that carry the identifying
+signature (the top-leverage features), leaving the rest of the connectome —
+and therefore most downstream analyses — untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.connectome.group import GroupMatrix
+from repro.exceptions import ValidationError
+from repro.linalg.leverage import PrincipalFeaturesSubspace
+from repro.utils.rng import RandomStateLike, as_rng
+from repro.utils.validation import check_matrix
+
+
+def add_noise_to_features(
+    group: GroupMatrix,
+    feature_indices: np.ndarray,
+    noise_scale: float,
+    random_state: RandomStateLike = None,
+) -> GroupMatrix:
+    """Add Gaussian noise to the selected features of every subject.
+
+    Parameters
+    ----------
+    group:
+        Group matrix to protect (features x subjects).
+    feature_indices:
+        Which features (rows) to perturb.
+    noise_scale:
+        Noise standard deviation expressed as a multiple of each selected
+        feature's across-subject standard deviation.
+    random_state:
+        Seed for the noise.
+    """
+    if noise_scale < 0:
+        raise ValidationError(f"noise_scale must be non-negative, got {noise_scale}")
+    feature_indices = np.asarray(feature_indices, dtype=int)
+    if feature_indices.size == 0:
+        return GroupMatrix(
+            data=group.data.copy(),
+            subject_ids=list(group.subject_ids),
+            tasks=list(group.tasks) if group.tasks is not None else None,
+            sessions=list(group.sessions) if group.sessions is not None else None,
+        )
+    if feature_indices.min() < 0 or feature_indices.max() >= group.n_features:
+        raise ValidationError("feature indices out of range for the group matrix")
+
+    rng = as_rng(random_state)
+    data = group.data.copy()
+    selected = data[feature_indices, :]
+    scales = selected.std(axis=1, keepdims=True)
+    scales = np.where(scales < 1e-12, 1.0, scales)
+    data[feature_indices, :] = selected + noise_scale * scales * rng.standard_normal(
+        selected.shape
+    )
+    return GroupMatrix(
+        data=data,
+        subject_ids=list(group.subject_ids),
+        tasks=list(group.tasks) if group.tasks is not None else None,
+        sessions=list(group.sessions) if group.sessions is not None else None,
+    )
+
+
+def shuffle_features_across_subjects(
+    group: GroupMatrix,
+    feature_indices: np.ndarray,
+    random_state: RandomStateLike = None,
+) -> GroupMatrix:
+    """Stronger defense: permute the selected features across subjects.
+
+    Shuffling destroys the subject-feature association entirely while keeping
+    every feature's marginal distribution (and hence group-level statistics)
+    intact.
+    """
+    feature_indices = np.asarray(feature_indices, dtype=int)
+    if feature_indices.size and (
+        feature_indices.min() < 0 or feature_indices.max() >= group.n_features
+    ):
+        raise ValidationError("feature indices out of range for the group matrix")
+    rng = as_rng(random_state)
+    data = group.data.copy()
+    for feature in feature_indices:
+        data[feature, :] = rng.permutation(data[feature, :])
+    return GroupMatrix(
+        data=data,
+        subject_ids=list(group.subject_ids),
+        tasks=list(group.tasks) if group.tasks is not None else None,
+        sessions=list(group.sessions) if group.sessions is not None else None,
+    )
+
+
+@dataclass
+class SignatureNoiseDefense:
+    """Locate the signature with leverage scores and perturb only it.
+
+    Parameters
+    ----------
+    n_features:
+        Number of top-leverage features treated as the signature.
+    noise_scale:
+        Noise standard deviation in units of per-feature across-subject
+        standard deviation (``strategy="noise"``).
+    strategy:
+        ``"noise"`` adds Gaussian noise to the signature features,
+        ``"shuffle"`` permutes them across subjects.
+    random_state:
+        Seed for the perturbation.
+    """
+
+    n_features: int = 100
+    noise_scale: float = 2.0
+    strategy: str = "noise"
+    random_state: RandomStateLike = None
+    signature_features_: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def protect(self, group: GroupMatrix) -> GroupMatrix:
+        """Return a protected copy of ``group``."""
+        if self.strategy not in ("noise", "shuffle"):
+            raise ValidationError(
+                f"strategy must be 'noise' or 'shuffle', got {self.strategy!r}"
+            )
+        n_features = min(self.n_features, group.n_features)
+        selector = PrincipalFeaturesSubspace(n_features=n_features).fit(group.data)
+        self.signature_features_ = selector.selected_indices_
+        if self.strategy == "noise":
+            return add_noise_to_features(
+                group,
+                self.signature_features_,
+                noise_scale=self.noise_scale,
+                random_state=self.random_state,
+            )
+        return shuffle_features_across_subjects(
+            group, self.signature_features_, random_state=self.random_state
+        )

@@ -1,0 +1,79 @@
+"""Low-rank reconstruction defense.
+
+An alternative to targeted noise (paper Section 4 discusses the general
+requirement, not a specific mechanism): publish, for every subject, a
+connectome reconstructed from the *shared* group structure only.  Keeping the
+top-``k`` principal components of the group matrix preserves what group-level
+analyses measure (the common connectome architecture and large-scale
+condition effects) while discarding the low-variance individual directions
+the signature lives in.
+
+The defense trades privacy against utility through ``n_components``: fewer
+components remove more individual signal but also more legitimate structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.connectome.group import GroupMatrix
+from repro.embedding.pca import PCA
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class LowRankReconstructionDefense:
+    """Replace each published connectome by its rank-``k`` group reconstruction.
+
+    Parameters
+    ----------
+    n_components:
+        Number of principal components (computed across the published
+        cohort's scans) used for the reconstruction.
+    residual_fraction:
+        Fraction of each subject's residual (individual) component added back
+        in; 0 publishes the pure low-rank reconstruction, 1 publishes the
+        original data.  Values in between trace a privacy/utility curve.
+
+    Attributes
+    ----------
+    explained_variance_ratio_:
+        Variance captured by the retained components (set after
+        :meth:`protect`).
+    """
+
+    n_components: int = 5
+    residual_fraction: float = 0.0
+    explained_variance_ratio_: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def protect(self, group: GroupMatrix) -> GroupMatrix:
+        """Return the protected copy of ``group``."""
+        check_positive_int(self.n_components, name="n_components")
+        if not 0.0 <= self.residual_fraction <= 1.0:
+            raise ValidationError(
+                f"residual_fraction must lie in [0, 1], got {self.residual_fraction}"
+            )
+        max_components = min(group.n_scans, group.n_features)
+        if self.n_components > max_components:
+            raise ValidationError(
+                f"n_components ({self.n_components}) exceeds the usable rank "
+                f"({max_components})"
+            )
+        # Scans are samples (rows) for the PCA; features are connectome entries.
+        samples = group.data.T
+        pca = PCA(n_components=self.n_components).fit(samples)
+        reconstructed = pca.inverse_transform(pca.transform(samples))
+        self.explained_variance_ratio_ = pca.explained_variance_ratio_
+
+        residual = samples - reconstructed
+        protected = reconstructed + self.residual_fraction * residual
+        return GroupMatrix(
+            data=protected.T,
+            subject_ids=list(group.subject_ids),
+            tasks=list(group.tasks) if group.tasks is not None else None,
+            sessions=list(group.sessions) if group.sessions is not None else None,
+        )

@@ -1,0 +1,25 @@
+"""Embedding substrate: t-SNE (paper Algorithm 2), vanilla SNE, and PCA.
+
+The task-inference half of the attack (Section 3.3.2) embeds vectorized
+connectomes into two dimensions with t-SNE and labels unknown scans by
+nearest neighbours in the embedding.  Everything here is implemented from
+scratch on top of NumPy.
+"""
+
+from repro.embedding.pca import PCA
+from repro.embedding.perplexity import (
+    conditional_probabilities,
+    joint_probabilities,
+    perplexity_of_distribution,
+)
+from repro.embedding.sne import SNE
+from repro.embedding.tsne import TSNE
+
+__all__ = [
+    "PCA",
+    "SNE",
+    "TSNE",
+    "conditional_probabilities",
+    "joint_probabilities",
+    "perplexity_of_distribution",
+]

@@ -1,0 +1,102 @@
+"""Principal Component Analysis.
+
+PCA plays two roles in this library: it is the dimensionality-reduction
+baseline the paper contrasts leverage-score sampling against (eigenvectors
+are not interpretable as individual connectome features), and it is the
+standard pre-reduction step applied before t-SNE to keep pairwise-distance
+computations tractable at paper scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import check_matrix, check_positive_int
+
+
+class PCA:
+    """Principal component analysis via the economy SVD of centred data.
+
+    Parameters
+    ----------
+    n_components:
+        Number of components to keep; ``None`` keeps ``min(n_samples, n_features)``.
+
+    Attributes
+    ----------
+    components_:
+        ``(n_components, n_features)`` matrix of principal axes.
+    explained_variance_:
+        Variance explained by each component.
+    explained_variance_ratio_:
+        Fraction of total variance explained by each component.
+    mean_:
+        Per-feature mean removed before projection.
+    """
+
+    def __init__(self, n_components: Optional[int] = None):
+        if n_components is not None:
+            n_components = check_positive_int(n_components, name="n_components")
+        self.n_components = n_components
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+        self.mean_: Optional[np.ndarray] = None
+        self.singular_values_: Optional[np.ndarray] = None
+
+    def fit(self, data: np.ndarray) -> "PCA":
+        """Fit the PCA model on ``(n_samples, n_features)`` data."""
+        x = check_matrix(data, name="data", min_rows=2)
+        n_samples, n_features = x.shape
+        max_components = min(n_samples, n_features)
+        n_components = self.n_components or max_components
+        if n_components > max_components:
+            raise ValidationError(
+                f"n_components must be <= {max_components}, got {n_components}"
+            )
+        self.mean_ = x.mean(axis=0)
+        centred = x - self.mean_
+        _, s, vt = np.linalg.svd(centred, full_matrices=False)
+        variance = (s**2) / (n_samples - 1)
+        total_variance = variance.sum()
+        self.components_ = vt[:n_components]
+        self.singular_values_ = s[:n_components]
+        self.explained_variance_ = variance[:n_components]
+        if total_variance > 0:
+            self.explained_variance_ratio_ = variance[:n_components] / total_variance
+        else:
+            self.explained_variance_ratio_ = np.zeros(n_components)
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Project ``data`` onto the fitted principal axes."""
+        self._check_fitted()
+        x = check_matrix(data, name="data")
+        if x.shape[1] != self.mean_.shape[0]:
+            raise ValidationError(
+                f"data has {x.shape[1]} features but PCA was fitted on "
+                f"{self.mean_.shape[0]}"
+            )
+        return (x - self.mean_) @ self.components_.T
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit the model and return the projected data."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, projected: np.ndarray) -> np.ndarray:
+        """Map projected points back into the original feature space."""
+        self._check_fitted()
+        z = check_matrix(projected, name="projected")
+        if z.shape[1] != self.components_.shape[0]:
+            raise ValidationError(
+                f"projected data has {z.shape[1]} components but the model keeps "
+                f"{self.components_.shape[0]}"
+            )
+        return z @ self.components_ + self.mean_
+
+    def _check_fitted(self) -> None:
+        if self.components_ is None:
+            raise NotFittedError("PCA must be fitted before use")

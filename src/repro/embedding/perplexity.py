@@ -1,0 +1,159 @@
+"""Perplexity calibration and probability matrices for SNE / t-SNE.
+
+SNE converts pairwise distances into conditional probabilities using a
+per-point Gaussian kernel whose bandwidth is set so that the induced
+distribution has a user-specified perplexity (paper Equations 7-8).  The
+binary search over ``sigma_i`` implemented here is the standard van der
+Maaten construction.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_matrix
+
+_MACHINE_EPS = 1e-12
+
+
+def squared_euclidean_distances(points: np.ndarray) -> np.ndarray:
+    """Dense matrix of squared Euclidean distances between rows of ``points``."""
+    x = check_matrix(points, name="points")
+    sq_norms = np.sum(x * x, axis=1)
+    distances = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (x @ x.T)
+    np.fill_diagonal(distances, 0.0)
+    return np.maximum(distances, 0.0)
+
+
+def perplexity_of_distribution(probabilities: np.ndarray) -> float:
+    """Perplexity ``2**H(P)`` of a discrete distribution (paper Eq. 7)."""
+    p = np.asarray(probabilities, dtype=np.float64)
+    p = p[p > _MACHINE_EPS]
+    if p.size == 0:
+        return 0.0
+    entropy = -np.sum(p * np.log2(p))
+    return float(2.0**entropy)
+
+
+def _row_probabilities(
+    sq_distances_row: np.ndarray, beta: float, index: int
+) -> Tuple[np.ndarray, float]:
+    """Conditional probabilities and Shannon entropy for one row at precision ``beta``.
+
+    ``beta = 1 / (2 sigma^2)`` is the precision of the Gaussian kernel.
+    """
+    logits = -sq_distances_row * beta
+    logits[index] = -np.inf
+    logits -= logits.max()
+    weights = np.exp(logits)
+    weights[index] = 0.0
+    total = weights.sum()
+    if total <= _MACHINE_EPS:
+        probabilities = np.zeros_like(weights)
+        return probabilities, 0.0
+    probabilities = weights / total
+    positive = probabilities > _MACHINE_EPS
+    entropy = -np.sum(probabilities[positive] * np.log2(probabilities[positive]))
+    return probabilities, float(entropy)
+
+
+def conditional_probabilities(
+    points: np.ndarray,
+    perplexity: float = 30.0,
+    tolerance: float = 1e-5,
+    max_iterations: int = 64,
+) -> np.ndarray:
+    """Matrix of conditional probabilities ``p_{j|i}`` at the target perplexity.
+
+    A per-point binary search finds the Gaussian precision whose induced
+    distribution has (log-)perplexity within ``tolerance`` of the target.
+
+    Parameters
+    ----------
+    points:
+        ``(n_samples, n_features)`` data matrix.
+    perplexity:
+        Target perplexity; must be smaller than the number of points.
+    tolerance:
+        Acceptable absolute error in Shannon entropy (base-2).
+    max_iterations:
+        Maximum binary-search iterations per point.
+    """
+    x = check_matrix(points, name="points", min_rows=3)
+    n_samples = x.shape[0]
+    if not 1.0 <= perplexity < n_samples:
+        raise ValidationError(
+            f"perplexity must be in [1, n_samples); got {perplexity} for "
+            f"{n_samples} samples"
+        )
+    sq_distances = squared_euclidean_distances(x)
+    target_entropy = np.log2(perplexity)
+    conditional = np.zeros((n_samples, n_samples))
+
+    for i in range(n_samples):
+        beta, beta_min, beta_max = 1.0, -np.inf, np.inf
+        row = sq_distances[i]
+        probabilities, entropy = _row_probabilities(row, beta, i)
+        iteration = 0
+        while abs(entropy - target_entropy) > tolerance and iteration < max_iterations:
+            if entropy > target_entropy:
+                beta_min = beta
+                beta = beta * 2.0 if beta_max == np.inf else (beta + beta_max) / 2.0
+            else:
+                beta_max = beta
+                beta = beta / 2.0 if beta_min == -np.inf else (beta + beta_min) / 2.0
+            probabilities, entropy = _row_probabilities(row, beta, i)
+            iteration += 1
+        conditional[i] = probabilities
+    return conditional
+
+
+def joint_probabilities(
+    points: np.ndarray,
+    perplexity: float = 30.0,
+    tolerance: float = 1e-5,
+) -> np.ndarray:
+    """Symmetrized joint probabilities ``p_ij = (p_{j|i} + p_{i|j}) / (2n)``.
+
+    The symmetrization guarantees every point contributes at least ``1/(2n)``
+    of probability mass, which is the outlier-robustness argument in the
+    paper's t-SNE section.
+    """
+    conditional = conditional_probabilities(points, perplexity=perplexity, tolerance=tolerance)
+    n_samples = conditional.shape[0]
+    joint = (conditional + conditional.T) / (2.0 * n_samples)
+    return np.maximum(joint, _MACHINE_EPS)
+
+
+def low_dimensional_affinities(embedding: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Student-t joint probabilities ``q_ij`` of an embedding (paper Eq. 11).
+
+    Returns
+    -------
+    (q, numerator):
+        ``q`` is the normalized affinity matrix, ``numerator`` the
+        un-normalized ``(1 + ||y_i - y_j||^2)^{-1}`` kernel needed by the
+        gradient (paper Eq. 12).
+    """
+    sq_distances = squared_euclidean_distances(embedding)
+    numerator = 1.0 / (1.0 + sq_distances)
+    np.fill_diagonal(numerator, 0.0)
+    total = numerator.sum()
+    if total <= _MACHINE_EPS:
+        q = np.full_like(numerator, _MACHINE_EPS)
+    else:
+        q = numerator / total
+    return np.maximum(q, _MACHINE_EPS), numerator
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """Kullback-Leibler divergence ``KL(P || Q)`` between affinity matrices."""
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ValidationError("P and Q must have the same shape")
+    mask = p > _MACHINE_EPS
+    return float(np.sum(p[mask] * np.log(p[mask] / q[mask])))

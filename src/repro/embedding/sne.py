@@ -1,0 +1,117 @@
+"""Vanilla (asymmetric, Gaussian) Stochastic Neighbour Embedding.
+
+The paper introduces t-SNE by first describing SNE and its shortcomings
+(asymmetric KL objective, data crowding, per-point variance estimation).  The
+SNE implementation here exists as a baseline so the ablation benchmarks can
+show *why* the heavier-tailed Student-t output kernel matters for separating
+task clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.embedding.pca import PCA
+from repro.embedding.perplexity import conditional_probabilities, squared_euclidean_distances
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.rng import RandomStateLike, as_rng
+from repro.utils.validation import check_matrix, check_positive_int
+
+_EPS = 1e-12
+
+
+class SNE:
+    """Gaussian SNE with the asymmetric KL objective (paper Section 3.1.3).
+
+    The interface mirrors :class:`repro.embedding.tsne.TSNE`.
+
+    Parameters are a subset of the t-SNE parameters; see that class for their
+    meaning.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 2,
+        perplexity: float = 30.0,
+        learning_rate: float = 10.0,
+        n_iterations: int = 300,
+        momentum: float = 0.8,
+        pca_components: Optional[int] = 50,
+        random_state: RandomStateLike = None,
+    ):
+        self.n_components = check_positive_int(n_components, name="n_components")
+        if perplexity < 1.0:
+            raise ValidationError(f"perplexity must be >= 1, got {perplexity}")
+        self.perplexity = float(perplexity)
+        self.learning_rate = float(learning_rate)
+        self.n_iterations = check_positive_int(n_iterations, name="n_iterations")
+        self.momentum = float(momentum)
+        self.pca_components = pca_components
+        self.random_state = random_state
+        self.embedding_: Optional[np.ndarray] = None
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Compute and return the SNE embedding of ``data``."""
+        x = check_matrix(data, name="data", min_rows=4)
+        n_samples = x.shape[0]
+        if self.perplexity >= n_samples:
+            raise ValidationError(
+                f"perplexity ({self.perplexity}) must be < n_samples ({n_samples})"
+            )
+        if self.pca_components is not None and self.pca_components < x.shape[1]:
+            x = PCA(n_components=min(self.pca_components, min(x.shape))).fit_transform(x)
+
+        p_conditional = conditional_probabilities(x, perplexity=self.perplexity)
+        rng = as_rng(self.random_state)
+        embedding = rng.normal(0.0, 1e-2, size=(n_samples, self.n_components))
+        velocity = np.zeros_like(embedding)
+
+        for _ in range(self.n_iterations):
+            q_conditional = self._embedding_conditionals(embedding)
+            gradient = self._gradient(p_conditional, q_conditional, embedding)
+            # Clip the gradient norm: plain SNE has no adaptive gains and can
+            # otherwise diverge for well-separated inputs.
+            gradient_norm = np.linalg.norm(gradient)
+            if gradient_norm > 10.0:
+                gradient = gradient * (10.0 / gradient_norm)
+            velocity = self.momentum * velocity - self.learning_rate * gradient
+            embedding = embedding + velocity
+            embedding -= embedding.mean(axis=0, keepdims=True)
+
+        self.embedding_ = embedding
+        return embedding
+
+    def fit(self, data: np.ndarray) -> "SNE":
+        """Fit the embedding (see :meth:`fit_transform`)."""
+        self.fit_transform(data)
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Return the stored embedding (SNE is transductive)."""
+        if self.embedding_ is None:
+            raise NotFittedError("SNE must be fitted before calling transform")
+        return self.embedding_
+
+    @staticmethod
+    def _embedding_conditionals(embedding: np.ndarray) -> np.ndarray:
+        """Gaussian conditional probabilities in the embedding (fixed unit variance)."""
+        sq_distances = squared_euclidean_distances(embedding)
+        logits = -sq_distances
+        np.fill_diagonal(logits, -np.inf)
+        logits -= logits.max(axis=1, keepdims=True)
+        weights = np.exp(logits)
+        np.fill_diagonal(weights, 0.0)
+        totals = weights.sum(axis=1, keepdims=True)
+        totals = np.where(totals < _EPS, 1.0, totals)
+        return weights / totals
+
+    @staticmethod
+    def _gradient(
+        p: np.ndarray, q: np.ndarray, embedding: np.ndarray
+    ) -> np.ndarray:
+        """SNE gradient (paper Equation 9)."""
+        coefficient = (p - q) + (p - q).T
+        sums = coefficient.sum(axis=1)
+        return 2.0 * (np.diag(sums) @ embedding - coefficient @ embedding)

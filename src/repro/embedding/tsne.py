@@ -1,0 +1,195 @@
+"""t-distributed Stochastic Neighbour Embedding (paper Algorithm 2).
+
+This is a from-scratch implementation of the exact (dense) t-SNE algorithm of
+van der Maaten & Hinton, matching the version described in Section 3.1.3 of
+the paper: symmetric joint probabilities in the input space, Student-t (one
+degree of freedom) affinities in the embedding, gradient descent with
+momentum, plus the two standard practical refinements (early exaggeration and
+per-parameter adaptive gains).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.embedding.pca import PCA
+from repro.embedding.perplexity import (
+    joint_probabilities,
+    kl_divergence,
+    low_dimensional_affinities,
+)
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.rng import RandomStateLike, as_rng
+from repro.utils.validation import check_matrix, check_positive_int
+
+
+class TSNE:
+    """Exact t-SNE for small-to-medium datasets (hundreds to a few thousand points).
+
+    Parameters
+    ----------
+    n_components:
+        Dimensionality of the embedding (2 for the paper's task map).
+    perplexity:
+        Target perplexity of the conditional distributions.
+    learning_rate:
+        Gradient-descent step size ``eta``.
+    n_iterations:
+        Total number of gradient-descent iterations ``T``.
+    early_exaggeration:
+        Factor by which ``P`` is multiplied during the first
+        ``exaggeration_iterations`` iterations; encourages tight, well
+        separated clusters.
+    exaggeration_iterations:
+        Number of iterations the exaggeration is applied for.
+    initial_momentum / final_momentum:
+        Momentum schedule ``alpha(t)`` (switches after ``momentum_switch``).
+    pca_components:
+        If not ``None``, the input is first reduced with PCA to this many
+        dimensions — the standard preprocessing for very wide connectome
+        matrices.
+    min_gain:
+        Lower bound for the adaptive per-parameter gains.
+    random_state:
+        Seed for the initial embedding (drawn from ``N(0, 1e-4 I)`` as in the
+        paper's Algorithm 2).
+    verbose:
+        If true, records the KL divergence every 50 iterations in
+        :attr:`history_`.
+
+    Attributes
+    ----------
+    embedding_:
+        ``(n_samples, n_components)`` final embedding.
+    kl_divergence_:
+        Final value of the objective.
+    history_:
+        List of ``(iteration, kl_divergence)`` checkpoints.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 2,
+        perplexity: float = 30.0,
+        learning_rate: float = 200.0,
+        n_iterations: int = 500,
+        early_exaggeration: float = 12.0,
+        exaggeration_iterations: int = 100,
+        initial_momentum: float = 0.5,
+        final_momentum: float = 0.8,
+        momentum_switch: int = 150,
+        pca_components: Optional[int] = 50,
+        min_gain: float = 0.01,
+        random_state: RandomStateLike = None,
+        verbose: bool = False,
+    ):
+        self.n_components = check_positive_int(n_components, name="n_components")
+        if perplexity < 1.0:
+            raise ValidationError(f"perplexity must be >= 1, got {perplexity}")
+        self.perplexity = float(perplexity)
+        if learning_rate <= 0:
+            raise ValidationError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+        self.n_iterations = check_positive_int(n_iterations, name="n_iterations")
+        if early_exaggeration < 1.0:
+            raise ValidationError(
+                f"early_exaggeration must be >= 1, got {early_exaggeration}"
+            )
+        self.early_exaggeration = float(early_exaggeration)
+        self.exaggeration_iterations = int(exaggeration_iterations)
+        self.initial_momentum = float(initial_momentum)
+        self.final_momentum = float(final_momentum)
+        self.momentum_switch = int(momentum_switch)
+        self.pca_components = pca_components
+        self.min_gain = float(min_gain)
+        self.random_state = random_state
+        self.verbose = bool(verbose)
+
+        self.embedding_: Optional[np.ndarray] = None
+        self.kl_divergence_: Optional[float] = None
+        self.history_: list = []
+
+    def fit(self, data: np.ndarray) -> "TSNE":
+        """Compute the embedding of ``(n_samples, n_features)`` data."""
+        self.fit_transform(data)
+        return self
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Compute and return the embedding of ``data``."""
+        x = check_matrix(data, name="data", min_rows=4)
+        n_samples = x.shape[0]
+        if self.perplexity >= n_samples:
+            raise ValidationError(
+                f"perplexity ({self.perplexity}) must be < n_samples ({n_samples})"
+            )
+
+        x = self._maybe_reduce(x)
+        p = joint_probabilities(x, perplexity=self.perplexity)
+        rng = as_rng(self.random_state)
+
+        embedding = rng.normal(0.0, 1e-2, size=(n_samples, self.n_components))
+        velocity = np.zeros_like(embedding)
+        gains = np.ones_like(embedding)
+
+        exaggerated = p * self.early_exaggeration
+        self.history_ = []
+
+        for iteration in range(1, self.n_iterations + 1):
+            use_exaggeration = iteration <= self.exaggeration_iterations
+            current_p = exaggerated if use_exaggeration else p
+            gradient, q = self._gradient(current_p, embedding)
+
+            momentum = (
+                self.initial_momentum
+                if iteration <= self.momentum_switch
+                else self.final_momentum
+            )
+            same_sign = np.sign(gradient) == np.sign(velocity)
+            gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+            gains = np.maximum(gains, self.min_gain)
+
+            velocity = momentum * velocity - self.learning_rate * gains * gradient
+            embedding = embedding + velocity
+            embedding = embedding - embedding.mean(axis=0, keepdims=True)
+
+            if self.verbose and (iteration % 50 == 0 or iteration == self.n_iterations):
+                self.history_.append((iteration, kl_divergence(p, q)))
+
+        final_q, _ = low_dimensional_affinities(embedding)
+        self.kl_divergence_ = kl_divergence(p, final_q)
+        self.embedding_ = embedding
+        return embedding
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Return the embedding computed by the last :meth:`fit_transform` call.
+
+        t-SNE is a transductive method: it has no parametric mapping for new
+        points, so ``transform`` only returns the stored embedding and exists
+        for API symmetry with the other reducers.
+        """
+        if self.embedding_ is None:
+            raise NotFittedError("TSNE must be fitted before calling transform")
+        return self.embedding_
+
+    def _maybe_reduce(self, x: np.ndarray) -> np.ndarray:
+        """Apply the optional PCA pre-reduction."""
+        if self.pca_components is None:
+            return x
+        max_components = min(x.shape)
+        n_components = min(int(self.pca_components), max_components)
+        if n_components >= x.shape[1]:
+            return x
+        return PCA(n_components=n_components).fit_transform(x)
+
+    @staticmethod
+    def _gradient(p: np.ndarray, embedding: np.ndarray):
+        """t-SNE gradient (paper Equation 12) and the current ``Q`` matrix."""
+        q, numerator = low_dimensional_affinities(embedding)
+        pq_diff = (p - q) * numerator
+        gradient = np.zeros_like(embedding)
+        # dC/dy_i = 4 * sum_j (p_ij - q_ij)(y_i - y_j)(1 + ||y_i - y_j||^2)^-1
+        sums = pq_diff.sum(axis=1)
+        gradient = 4.0 * (np.diag(sums) @ embedding - pq_diff @ embedding)
+        return gradient, q

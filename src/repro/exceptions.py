@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch a single base class at API boundaries while still being able to
+distinguish configuration problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, dtype, range, or value)."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration object is internally inconsistent."""
+
+
+class DimensionMismatchError(ValidationError):
+    """Two arrays that must agree on a dimension do not."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a prior ``fit`` was called before fitting."""
+
+
+class AtlasError(ReproError):
+    """An atlas is malformed or incompatible with the supplied image."""
+
+
+class PreprocessingError(ReproError):
+    """A preprocessing step received data it cannot handle."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator or loader was asked for something impossible."""
+
+
+class AttackError(ReproError):
+    """The de-anonymization attack could not be carried out as requested."""

@@ -1,0 +1,51 @@
+"""Experiment harness: one callable per paper figure/table.
+
+Every function builds the synthetic data it needs, runs the corresponding
+attack, compares the measured numbers against the values the paper reports,
+and returns an :class:`repro.reporting.experiment.ExperimentRecord`.  The
+benchmark suite (``benchmarks/``) wraps these callables with
+pytest-benchmark; the EXPERIMENTS.md document is assembled from their output.
+"""
+
+from repro.experiments.config import (
+    ADHDExperimentConfig,
+    HCPExperimentConfig,
+    paper_scale_adhd_config,
+    paper_scale_hcp_config,
+)
+from repro.experiments.similarity import (
+    figure1_rest_similarity,
+    figure2_task_similarity,
+    figure7_adhd_subtype1,
+    figure8_adhd_subtype3,
+)
+from repro.experiments.identification import (
+    figure5_cross_task_matrix,
+    figure9_adhd_identification,
+    table2_multisite_noise,
+)
+from repro.experiments.inference import (
+    figure6_task_prediction,
+    table1_performance_prediction,
+)
+from repro.experiments.defense import defense_tradeoff
+from repro.experiments.report import generate_experiments_markdown, run_all_experiments
+
+__all__ = [
+    "HCPExperimentConfig",
+    "ADHDExperimentConfig",
+    "paper_scale_hcp_config",
+    "paper_scale_adhd_config",
+    "figure1_rest_similarity",
+    "figure2_task_similarity",
+    "figure5_cross_task_matrix",
+    "figure6_task_prediction",
+    "table1_performance_prediction",
+    "figure7_adhd_subtype1",
+    "figure8_adhd_subtype3",
+    "figure9_adhd_identification",
+    "table2_multisite_noise",
+    "defense_tradeoff",
+    "run_all_experiments",
+    "generate_experiments_markdown",
+]

@@ -1,0 +1,136 @@
+"""Experiment configurations.
+
+The paper's evaluation uses 100 HCP subjects with a 360-region atlas (64 620
+connectome features) and the full ADHD-200 cohort.  The library supports
+those sizes, but the *default* configurations below are scaled down so that
+the full benchmark suite completes within CI time.  ``paper_scale_*``
+constructors return the paper-sized configurations; switching is a parameter
+change only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class HCPExperimentConfig:
+    """Configuration of the HCP-like experiments (Figures 1, 2, 5, 6; Tables 1, 2).
+
+    Parameters
+    ----------
+    n_subjects:
+        Cohort size.
+    n_regions:
+        Atlas granularity (360 at paper scale).
+    n_timepoints:
+        Frames per run.
+    n_features:
+        Number of leverage-selected features used by the attack.
+    n_labelled_subjects:
+        Subjects with known task labels in the t-SNE experiment.
+    tsne_iterations:
+        Gradient-descent iterations of the t-SNE embedding.
+    performance_repetitions:
+        Random train/test splits for the Table 1 regression (1000 in the
+        paper).
+    multisite_noise_levels:
+        Noise-variance fractions swept in the Table 2 experiment.
+    multisite_repetitions:
+        Independent noise draws per level.
+    multisite_n_timepoints:
+        Run length used for the multi-site experiment.  Clinical multi-site
+        scans are considerably shorter than HCP research runs, so Table 2 is
+        evaluated on shorter time series than the other HCP experiments.
+    seed:
+        Base seed for the cohort and all experiment randomness.
+    """
+
+    n_subjects: int = 40
+    n_regions: int = 120
+    n_timepoints: int = 200
+    n_features: int = 100
+    n_labelled_subjects: int = 20
+    tsne_iterations: int = 300
+    performance_repetitions: int = 15
+    multisite_noise_levels: List[float] = field(default_factory=lambda: [0.10, 0.20, 0.30])
+    multisite_repetitions: int = 3
+    multisite_n_timepoints: int = 140
+    seed: int = 7
+
+    def __post_init__(self):
+        if self.n_subjects < 4:
+            raise ConfigurationError("n_subjects must be at least 4")
+        if self.n_regions < 16:
+            raise ConfigurationError("n_regions must be at least 16")
+        if self.n_timepoints < 64:
+            raise ConfigurationError("n_timepoints must be at least 64")
+        if self.n_features < 2:
+            raise ConfigurationError("n_features must be at least 2")
+        if not 1 <= self.n_labelled_subjects < self.n_subjects:
+            raise ConfigurationError(
+                "n_labelled_subjects must be in [1, n_subjects)"
+            )
+        if any(level < 0 for level in self.multisite_noise_levels):
+            raise ConfigurationError("multisite noise levels must be non-negative")
+
+    def as_dict(self) -> Dict:
+        """Plain-dict view for experiment records."""
+        return asdict(self)
+
+
+@dataclass
+class ADHDExperimentConfig:
+    """Configuration of the ADHD-200-like experiments (Figures 7, 8, 9; Table 2)."""
+
+    n_cases: int = 24
+    n_controls: int = 24
+    n_regions: int = 116
+    n_timepoints: int = 140
+    n_features: int = 100
+    identification_repetitions: int = 8
+    train_fraction: float = 0.5
+    seed: int = 11
+
+    def __post_init__(self):
+        if self.n_cases < 3 or self.n_controls < 3:
+            raise ConfigurationError("n_cases and n_controls must be at least 3")
+        if self.n_regions < 16:
+            raise ConfigurationError("n_regions must be at least 16")
+        if self.n_timepoints < 64:
+            raise ConfigurationError("n_timepoints must be at least 64")
+        if not 0.0 < self.train_fraction < 1.0:
+            raise ConfigurationError("train_fraction must be in (0, 1)")
+
+    def as_dict(self) -> Dict:
+        """Plain-dict view for experiment records."""
+        return asdict(self)
+
+
+def paper_scale_hcp_config() -> HCPExperimentConfig:
+    """The paper-sized HCP configuration (100 subjects, 360 regions)."""
+    return HCPExperimentConfig(
+        n_subjects=100,
+        n_regions=360,
+        n_timepoints=400,
+        n_features=100,
+        n_labelled_subjects=50,
+        tsne_iterations=500,
+        performance_repetitions=1000,
+        seed=7,
+    )
+
+
+def paper_scale_adhd_config() -> ADHDExperimentConfig:
+    """A paper-sized ADHD-200 configuration (hundreds of subjects)."""
+    return ADHDExperimentConfig(
+        n_cases=180,
+        n_controls=290,
+        n_regions=116,
+        n_timepoints=200,
+        identification_repetitions=50,
+        seed=11,
+    )

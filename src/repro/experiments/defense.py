@@ -1,0 +1,75 @@
+"""Defense experiment (paper Section 4 discussion).
+
+The paper argues that the localized signature enables a targeted defense:
+add noise only where the signature lives.  This experiment measures the
+privacy/utility trade-off of that defense on the HCP-like resting-state pair.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.datasets.hcp import HCPLikeDataset
+from repro.defense.evaluation import defense_tradeoff_curve
+from repro.experiments.config import HCPExperimentConfig
+from repro.reporting.experiment import ExperimentRecord
+
+
+def defense_tradeoff(
+    config: Optional[HCPExperimentConfig] = None,
+    noise_scales: Optional[List[float]] = None,
+) -> ExperimentRecord:
+    """Sweep the targeted-noise defense and record accuracy vs utility."""
+    config = config or HCPExperimentConfig()
+    noise_scales = noise_scales or [0.0, 1.0, 2.0, 4.0, 8.0]
+    dataset = HCPLikeDataset(
+        n_subjects=config.n_subjects,
+        n_regions=config.n_regions,
+        n_timepoints=config.n_timepoints,
+        random_state=config.seed,
+    )
+    pair = dataset.encoding_pair("REST")
+    curve = defense_tradeoff_curve(
+        pair["reference"],
+        pair["target"],
+        noise_scales=noise_scales,
+        n_signature_features=config.n_features,
+        attack_features=config.n_features,
+        random_state=config.seed,
+    )
+    accuracies = np.asarray(curve["attack_accuracy"])
+    utilities = np.asarray(curve["utility"])
+
+    record = ExperimentRecord(
+        experiment_id="defense",
+        title="Targeted noise on signature features: privacy/utility trade-off",
+        configuration={**config.as_dict(), "noise_scales": noise_scales},
+        metrics={
+            "baseline_accuracy": float(accuracies[0]),
+            "protected_accuracy_at_max_noise": float(accuracies[-1]),
+            "utility_at_max_noise": float(utilities[-1]),
+        },
+        arrays={
+            "noise_scales": np.asarray(noise_scales, dtype=np.float64),
+            "attack_accuracy": accuracies,
+            "utility": utilities,
+        },
+    )
+    record.add_comparison(
+        description="targeted noise reduces the attack's accuracy",
+        paper_value="defense must remove the signature (Section 4)",
+        measured_value=(
+            f"accuracy {100 * accuracies[0]:.1f} % -> {100 * accuracies[-1]:.1f} % "
+            f"at noise scale {noise_scales[-1]}"
+        ),
+        matches_shape=bool(accuracies[-1] < accuracies[0]),
+    )
+    record.add_comparison(
+        description="group-level utility remains high under targeted noise",
+        paper_value="integrity of the image must be retained for downstream analyses",
+        measured_value=f"mean-connectome correlation {utilities[-1]:.3f} at max noise",
+        matches_shape=bool(utilities[-1] > 0.9),
+    )
+    return record

@@ -1,0 +1,42 @@
+"""Imaging substrate: volumes, phantoms, atlases, acquisition, preprocessing.
+
+The paper's attack consumes *preprocessed* functional MRI: region-averaged
+BOLD time series cleaned of spatial and temporal artifacts (paper Figure 4).
+Because the real HCP/ADHD-200 images cannot ship with this reproduction, the
+imaging subpackage provides the full synthetic substrate:
+
+* a 4-D volume container (:mod:`repro.imaging.volume`),
+* a digital brain phantom with brain and skull compartments
+  (:mod:`repro.imaging.phantom`),
+* synthetic atlases mirroring the Glasser 360-region and AAL2 parcellations
+  (:mod:`repro.imaging.atlas`),
+* a haemodynamic response model (:mod:`repro.imaging.hemodynamics`),
+* a scanner/acquisition simulator that injects motion, drift, bias fields and
+  thermal noise (:mod:`repro.imaging.acquisition`), and
+* a composable preprocessing pipeline that removes those artifacts again
+  (:mod:`repro.imaging.preprocessing`), ending in atlas parcellation
+  (:mod:`repro.imaging.parcellation`).
+"""
+
+from repro.imaging.volume import Volume4D
+from repro.imaging.phantom import BrainPhantom
+from repro.imaging.atlas import Atlas, aal2_like_atlas, glasser_like_atlas, random_parcellation
+from repro.imaging.hemodynamics import block_design_regressor, canonical_hrf, convolve_hrf
+from repro.imaging.acquisition import AcquisitionParameters, ScannerSimulator, SiteProfile
+from repro.imaging.parcellation import parcellate
+
+__all__ = [
+    "Volume4D",
+    "BrainPhantom",
+    "Atlas",
+    "glasser_like_atlas",
+    "aal2_like_atlas",
+    "random_parcellation",
+    "canonical_hrf",
+    "block_design_regressor",
+    "convolve_hrf",
+    "AcquisitionParameters",
+    "ScannerSimulator",
+    "SiteProfile",
+    "parcellate",
+]

@@ -1,0 +1,170 @@
+"""Brain atlases (parcellations).
+
+An atlas assigns every brain voxel to exactly one labelled region ("parcel").
+The paper uses the 360-region Glasser multi-modal parcellation for HCP and
+the AAL2 atlas for ADHD-200 (Section 3.2.2).  Real atlas volumes cannot ship
+with this reproduction, so the constructors here grow synthetic parcellations
+over a :class:`~repro.imaging.phantom.BrainPhantom` that preserve the two
+properties the attack depends on: a fixed region count shared by every
+subject, and spatially contiguous, non-overlapping regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import AtlasError, ValidationError
+from repro.imaging.phantom import BrainPhantom
+from repro.utils.rng import RandomStateLike, as_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class Atlas:
+    """A voxel labelling over a phantom grid.
+
+    Parameters
+    ----------
+    labels:
+        Integer array matching the phantom's spatial shape; 0 is background,
+        regions are numbered 1..n_regions.
+    name:
+        Human-readable atlas name.
+    region_names:
+        Optional list of region names (defaults to ``"{name}_region_{i}"``).
+    """
+
+    labels: np.ndarray
+    name: str = "atlas"
+    region_names: Optional[List[str]] = None
+
+    def __post_init__(self):
+        self.labels = np.asarray(self.labels, dtype=np.int32)
+        if self.labels.ndim != 3:
+            raise AtlasError(f"atlas labels must be 3-D, got shape {self.labels.shape}")
+        present = np.unique(self.labels)
+        present = present[present > 0]
+        if present.size == 0:
+            raise AtlasError("atlas contains no labelled regions")
+        expected = np.arange(1, present.size + 1)
+        if not np.array_equal(np.sort(present), expected):
+            raise AtlasError(
+                "atlas region labels must be contiguous integers starting at 1"
+            )
+        self._n_regions = int(present.size)
+        if self.region_names is None:
+            self.region_names = [
+                f"{self.name}_region_{i}" for i in range(1, self._n_regions + 1)
+            ]
+        elif len(self.region_names) != self._n_regions:
+            raise AtlasError(
+                f"expected {self._n_regions} region names, got {len(self.region_names)}"
+            )
+
+    @property
+    def n_regions(self) -> int:
+        """Number of labelled regions."""
+        return self._n_regions
+
+    @property
+    def spatial_shape(self) -> Tuple[int, int, int]:
+        """Shape of the label grid."""
+        return self.labels.shape
+
+    def region_mask(self, region: int) -> np.ndarray:
+        """Boolean mask of the voxels belonging to ``region`` (1-based)."""
+        if not 1 <= region <= self._n_regions:
+            raise AtlasError(f"region must be in [1, {self._n_regions}], got {region}")
+        return self.labels == region
+
+    def region_sizes(self) -> np.ndarray:
+        """Number of voxels in each region, indexed 0..n_regions-1."""
+        return np.bincount(self.labels.ravel(), minlength=self._n_regions + 1)[1:]
+
+    def brain_mask(self) -> np.ndarray:
+        """Mask of all labelled voxels."""
+        return self.labels > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Atlas(name={self.name!r}, n_regions={self.n_regions}, shape={self.spatial_shape})"
+
+
+def random_parcellation(
+    phantom: BrainPhantom,
+    n_regions: int,
+    name: str = "random",
+    random_state: RandomStateLike = None,
+) -> Atlas:
+    """Grow a contiguous parcellation of the phantom brain into ``n_regions`` parcels.
+
+    The construction mirrors the automatic atlas generation described in the
+    paper (Section 3.2.2): sample ``n_regions`` seed voxels, then assign every
+    brain voxel to its nearest seed, which yields compact, approximately
+    equal-sized Voronoi parcels.
+    """
+    n_regions = check_positive_int(n_regions, name="n_regions")
+    coordinates = phantom.brain_coordinates().astype(np.float64)
+    n_voxels = coordinates.shape[0]
+    if n_regions > n_voxels:
+        raise AtlasError(
+            f"cannot split {n_voxels} brain voxels into {n_regions} regions"
+        )
+    rng = as_rng(random_state)
+    seed_indices = rng.choice(n_voxels, size=n_regions, replace=False)
+    seeds = coordinates[seed_indices]
+
+    # Assign each voxel to its nearest seed (Voronoi labelling).
+    distances = (
+        np.sum(coordinates**2, axis=1)[:, None]
+        + np.sum(seeds**2, axis=1)[None, :]
+        - 2.0 * coordinates @ seeds.T
+    )
+    assignment = np.argmin(distances, axis=1) + 1
+
+    # Guard against empty parcels (possible when two seeds coincide in a tiny
+    # grid): reassign the closest unlabelled voxels to any empty parcel.
+    counts = np.bincount(assignment, minlength=n_regions + 1)[1:]
+    for empty_region in np.where(counts == 0)[0]:
+        donor_voxel = int(np.argmin(distances[:, empty_region]))
+        assignment[donor_voxel] = empty_region + 1
+
+    labels = np.zeros(phantom.shape, dtype=np.int32)
+    voxel_coords = phantom.brain_coordinates()
+    labels[voxel_coords[:, 0], voxel_coords[:, 1], voxel_coords[:, 2]] = assignment
+    return Atlas(labels=labels, name=name)
+
+
+def glasser_like_atlas(
+    phantom: Optional[BrainPhantom] = None,
+    n_regions: int = 360,
+    random_state: RandomStateLike = 7,
+) -> Atlas:
+    """Synthetic analogue of the Glasser 360-region multi-modal parcellation.
+
+    The default seed is fixed so every caller sees the *same* parcellation,
+    mirroring the fact that the real Glasser atlas is a single canonical
+    labelling shared by all HCP subjects.
+    """
+    phantom = phantom or BrainPhantom()
+    if n_regions > phantom.n_brain_voxels:
+        n_regions = phantom.n_brain_voxels
+    return random_parcellation(
+        phantom, n_regions=n_regions, name="glasser_like", random_state=random_state
+    )
+
+
+def aal2_like_atlas(
+    phantom: Optional[BrainPhantom] = None,
+    n_regions: int = 120,
+    random_state: RandomStateLike = 11,
+) -> Atlas:
+    """Synthetic analogue of the AAL2 anatomical atlas used for ADHD-200."""
+    phantom = phantom or BrainPhantom()
+    if n_regions > phantom.n_brain_voxels:
+        n_regions = phantom.n_brain_voxels
+    return random_parcellation(
+        phantom, n_regions=n_regions, name="aal2_like", random_state=random_state
+    )

@@ -1,0 +1,116 @@
+"""Haemodynamic response modelling.
+
+BOLD fMRI measures neuronal activity only indirectly, through the slow
+haemodynamic response of blood oxygenation (paper Section 1).  The dataset
+generators convolve neural activity time courses with the canonical
+double-gamma haemodynamic response function (HRF) so that the synthetic BOLD
+signals carry the low-frequency structure the paper's band-pass filter
+(0.008-0.1 Hz) is designed around.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_array, check_positive_int
+
+
+def _gamma_pdf(times: np.ndarray, shape: float, scale: float) -> np.ndarray:
+    """Gamma probability density evaluated at ``times`` (vectorized, log-space)."""
+    times = np.maximum(times, 1e-12)
+    log_pdf = (
+        (shape - 1.0) * np.log(times)
+        - times / scale
+        - gammaln(shape)
+        - shape * np.log(scale)
+    )
+    return np.exp(log_pdf)
+
+
+def canonical_hrf(
+    tr: float = 0.72,
+    duration: float = 32.0,
+    peak_delay: float = 6.0,
+    undershoot_delay: float = 16.0,
+    peak_dispersion: float = 1.0,
+    undershoot_dispersion: float = 1.0,
+    undershoot_ratio: float = 1.0 / 6.0,
+) -> np.ndarray:
+    """Canonical double-gamma haemodynamic response function sampled at ``tr``.
+
+    The positive lobe peaks around ``peak_delay`` seconds after the stimulus
+    and the negative undershoot around ``undershoot_delay`` seconds, matching
+    the standard SPM parameterization.
+    """
+    if tr <= 0:
+        raise ValidationError(f"tr must be positive, got {tr}")
+    if duration <= tr:
+        raise ValidationError(f"duration must exceed tr, got {duration} <= {tr}")
+    times = np.arange(0.0, duration, tr)
+    peak = _gamma_pdf(times, peak_delay / peak_dispersion, peak_dispersion)
+    undershoot = _gamma_pdf(
+        times, undershoot_delay / undershoot_dispersion, undershoot_dispersion
+    )
+    hrf = peak - undershoot_ratio * undershoot
+    max_abs = np.max(np.abs(hrf))
+    if max_abs < 1e-15:
+        raise ValidationError("degenerate HRF: all samples are zero")
+    return hrf / max_abs
+
+
+def block_design_regressor(
+    n_timepoints: int,
+    tr: float,
+    block_duration: float = 20.0,
+    rest_duration: float = 20.0,
+    onset: float = 0.0,
+) -> np.ndarray:
+    """Boxcar stimulus regressor for a block-design task.
+
+    The HCP task scans alternate stimulus blocks with rest/fixation blocks;
+    this helper generates the corresponding 0/1 boxcar at the scan's TR.
+    """
+    n_timepoints = check_positive_int(n_timepoints, name="n_timepoints")
+    if tr <= 0:
+        raise ValidationError(f"tr must be positive, got {tr}")
+    if block_duration <= 0 or rest_duration < 0:
+        raise ValidationError("block_duration must be positive and rest_duration non-negative")
+    times = np.arange(n_timepoints) * tr
+    cycle = block_duration + rest_duration
+    phase = np.mod(times - onset, cycle) if cycle > 0 else np.zeros_like(times)
+    regressor = ((times >= onset) & (phase < block_duration)).astype(np.float64)
+    return regressor
+
+
+def convolve_hrf(neural_signal: np.ndarray, tr: float, **hrf_kwargs) -> np.ndarray:
+    """Convolve neural activity with the canonical HRF (same length as input).
+
+    Accepts a 1-D signal or a ``(n_signals, n_timepoints)`` matrix and applies
+    the convolution along the last axis.
+    """
+    signal = np.asarray(neural_signal, dtype=np.float64)
+    if signal.ndim not in (1, 2):
+        raise ValidationError(
+            f"neural_signal must be 1-D or 2-D, got {signal.ndim} dimensions"
+        )
+    hrf = canonical_hrf(tr=tr, **hrf_kwargs)
+    if signal.ndim == 1:
+        return np.convolve(signal, hrf)[: signal.shape[0]]
+    convolved = np.empty_like(signal)
+    for row in range(signal.shape[0]):
+        convolved[row] = np.convolve(signal[row], hrf)[: signal.shape[1]]
+    return convolved
+
+
+def task_timing(
+    n_timepoints: int, tr: float, block_duration: float, rest_duration: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (stimulus regressor, HRF-convolved regressor) for a block design."""
+    boxcar = block_design_regressor(
+        n_timepoints, tr, block_duration=block_duration, rest_duration=rest_duration
+    )
+    return boxcar, convolve_hrf(boxcar, tr=tr)

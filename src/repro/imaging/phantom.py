@@ -1,0 +1,115 @@
+"""Digital brain phantom.
+
+A small, deterministic stand-in for a subject's head: an ellipsoidal brain
+compartment surrounded by a thin "skull" shell, embedded in empty background.
+The scanner simulator paints region time series into the brain compartment
+and static tissue signal into the skull; the preprocessing pipeline must then
+strip the skull and recover the brain voxels, exactly as the real pipeline
+does (paper Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def _ellipsoid_mask(
+    shape: Tuple[int, int, int], semi_axes_fraction: Tuple[float, float, float]
+) -> np.ndarray:
+    """Boolean ellipsoid mask centred in a grid of the given shape."""
+    nx, ny, nz = shape
+    x, y, z = np.meshgrid(
+        np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
+    )
+    cx, cy, cz = (nx - 1) / 2.0, (ny - 1) / 2.0, (nz - 1) / 2.0
+    ax = semi_axes_fraction[0] * nx / 2.0
+    ay = semi_axes_fraction[1] * ny / 2.0
+    az = semi_axes_fraction[2] * nz / 2.0
+    distance = ((x - cx) / ax) ** 2 + ((y - cy) / ay) ** 2 + ((z - cz) / az) ** 2
+    return distance <= 1.0
+
+
+@dataclass
+class BrainPhantom:
+    """Ellipsoidal brain-plus-skull phantom on a regular voxel grid.
+
+    Parameters
+    ----------
+    shape:
+        Grid shape ``(nx, ny, nz)``; modest sizes (e.g. 24 x 28 x 24) are
+        enough to exercise the full preprocessing path.
+    brain_fraction:
+        Semi-axis lengths of the brain ellipsoid as fractions of the grid
+        half-extent.
+    skull_thickness_fraction:
+        Additional fraction added to each semi-axis for the outer skull
+        surface; the skull compartment is the shell between the two
+        ellipsoids.
+    """
+
+    shape: Tuple[int, int, int] = (24, 28, 24)
+    brain_fraction: Tuple[float, float, float] = (0.70, 0.75, 0.70)
+    skull_thickness_fraction: float = 0.12
+
+    def __post_init__(self):
+        if len(self.shape) != 3 or any(int(s) < 8 for s in self.shape):
+            raise ValidationError(
+                f"phantom shape must be three dimensions of at least 8 voxels, got {self.shape}"
+            )
+        self.shape = tuple(int(s) for s in self.shape)
+        if any(not 0.1 <= f <= 0.95 for f in self.brain_fraction):
+            raise ValidationError(
+                "brain_fraction components must lie in [0.1, 0.95], "
+                f"got {self.brain_fraction}"
+            )
+        if not 0.01 <= self.skull_thickness_fraction <= 0.3:
+            raise ValidationError(
+                "skull_thickness_fraction must lie in [0.01, 0.3], "
+                f"got {self.skull_thickness_fraction}"
+            )
+        self._brain_mask = _ellipsoid_mask(self.shape, self.brain_fraction)
+        outer_fraction = tuple(
+            min(f + self.skull_thickness_fraction, 0.99) for f in self.brain_fraction
+        )
+        outer = _ellipsoid_mask(self.shape, outer_fraction)
+        self._skull_mask = outer & ~self._brain_mask
+
+    @property
+    def brain_mask(self) -> np.ndarray:
+        """Boolean mask of brain voxels."""
+        return self._brain_mask
+
+    @property
+    def skull_mask(self) -> np.ndarray:
+        """Boolean mask of skull (non-brain head) voxels."""
+        return self._skull_mask
+
+    @property
+    def head_mask(self) -> np.ndarray:
+        """Boolean mask of all head voxels (brain plus skull)."""
+        return self._brain_mask | self._skull_mask
+
+    @property
+    def n_brain_voxels(self) -> int:
+        """Number of voxels inside the brain compartment."""
+        return int(self._brain_mask.sum())
+
+    @property
+    def n_skull_voxels(self) -> int:
+        """Number of voxels in the skull shell."""
+        return int(self._skull_mask.sum())
+
+    def brain_coordinates(self) -> np.ndarray:
+        """``(n_brain_voxels, 3)`` integer coordinates of brain voxels."""
+        return np.argwhere(self._brain_mask)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BrainPhantom(shape={self.shape}, brain_voxels={self.n_brain_voxels}, "
+            f"skull_voxels={self.n_skull_voxels})"
+        )

@@ -1,0 +1,44 @@
+"""Composable preprocessing pipeline (paper Figure 4).
+
+Spatial steps operate on :class:`~repro.imaging.volume.Volume4D` objects and
+temporal steps on ``(regions, time)`` matrices.  The
+:class:`~repro.imaging.preprocessing.pipeline.PreprocessingPipeline` chains
+both phases and ends with atlas parcellation, producing exactly the input the
+connectome construction expects.
+"""
+
+from repro.imaging.preprocessing.motion import MotionCorrection
+from repro.imaging.preprocessing.skull_strip import SkullStripping
+from repro.imaging.preprocessing.field_correction import BiasFieldCorrection
+from repro.imaging.preprocessing.registration import RegistrationToTemplate
+from repro.imaging.preprocessing.temporal import (
+    BandpassFilter,
+    Detrend,
+    GlobalSignalRegression,
+    HighPassFilter,
+)
+from repro.imaging.preprocessing.normalization import ZScoreNormalization
+from repro.imaging.preprocessing.pipeline import (
+    PreprocessingPipeline,
+    SpatialStep,
+    TemporalStep,
+    default_hcp_pipeline,
+    default_adhd_pipeline,
+)
+
+__all__ = [
+    "MotionCorrection",
+    "SkullStripping",
+    "BiasFieldCorrection",
+    "RegistrationToTemplate",
+    "BandpassFilter",
+    "HighPassFilter",
+    "Detrend",
+    "GlobalSignalRegression",
+    "ZScoreNormalization",
+    "PreprocessingPipeline",
+    "SpatialStep",
+    "TemporalStep",
+    "default_hcp_pipeline",
+    "default_adhd_pipeline",
+]

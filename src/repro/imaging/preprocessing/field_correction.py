@@ -1,0 +1,62 @@
+"""Bias-field (magnetic-field inhomogeneity) correction.
+
+The scanner applies a smooth multiplicative gain field across the volume; the
+correction estimates that field by heavily smoothing the temporal mean image
+and divides it out — the classic homomorphic approach used when a dedicated
+field map is not available (paper Figure 4: "correction for spatial
+distortions due to gradient non-linearity").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+from repro.exceptions import PreprocessingError
+from repro.imaging.volume import Volume4D
+
+
+class BiasFieldCorrection:
+    """Homomorphic bias-field correction via Gaussian-smoothed mean image.
+
+    Parameters
+    ----------
+    smoothing_sigma:
+        Standard deviation (in voxels) of the Gaussian used to estimate the
+        low-frequency intensity field; should be large relative to anatomical
+        detail but small relative to the head.
+    epsilon:
+        Numerical floor for the estimated field.
+    """
+
+    def __init__(self, smoothing_sigma: float = 6.0, epsilon: float = 1e-6):
+        if smoothing_sigma <= 0:
+            raise PreprocessingError(
+                f"smoothing_sigma must be positive, got {smoothing_sigma}"
+            )
+        self.smoothing_sigma = float(smoothing_sigma)
+        self.epsilon = float(epsilon)
+        self.estimated_field_: Optional[np.ndarray] = None
+
+    def apply(self, volume: Volume4D) -> Volume4D:
+        """Divide out the estimated low-frequency intensity field."""
+        if not isinstance(volume, Volume4D):
+            raise PreprocessingError("BiasFieldCorrection expects a Volume4D input")
+        mean_image = volume.mean_image()
+        head = mean_image > 1e-9
+        if not head.any():
+            raise PreprocessingError("volume appears to be empty; cannot estimate a bias field")
+        head_mean = float(mean_image[head].mean())
+        if head_mean <= self.epsilon:
+            raise PreprocessingError("estimated bias field is degenerate (near zero)")
+        # Fill the (dark) background with the head mean before smoothing so
+        # the estimated field is not dragged towards zero at the head
+        # boundary, which would otherwise brighten edge voxels artificially.
+        filled = np.where(head, mean_image, head_mean)
+        smoothed = gaussian_filter(filled, sigma=self.smoothing_sigma)
+        field = np.maximum(smoothed / head_mean, self.epsilon)
+        corrected = volume.data / field[..., None]
+        self.estimated_field_ = field
+        return volume.with_data(corrected)

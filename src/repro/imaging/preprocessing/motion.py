@@ -1,0 +1,106 @@
+"""Head-motion correction.
+
+Subjects invariably move during acquisition; the scanner simulator models
+this as rigid integer translations of individual frames.  Correction
+re-aligns every frame to a reference (the temporal mean of the uncorrected
+scan, or the first frame) by exhaustive search over small integer shifts that
+maximize correlation with the reference — a deliberately simple but fully
+functional analogue of FSL's MCFLIRT rigid realignment.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import PreprocessingError
+from repro.imaging.volume import Volume4D
+
+
+class MotionCorrection:
+    """Rigid (integer-translation) frame realignment.
+
+    Parameters
+    ----------
+    max_shift:
+        Maximum absolute shift (in voxels) searched along each axis.
+    reference:
+        ``"mean"`` aligns to the temporal mean image, ``"first"`` to frame 0.
+    """
+
+    def __init__(self, max_shift: int = 2, reference: str = "mean"):
+        if max_shift < 0:
+            raise PreprocessingError(f"max_shift must be non-negative, got {max_shift}")
+        if reference not in ("mean", "first"):
+            raise PreprocessingError("reference must be 'mean' or 'first'")
+        self.max_shift = int(max_shift)
+        self.reference = reference
+        self.estimated_shifts_: Optional[np.ndarray] = None
+
+    @staticmethod
+    def _head_mask(image: np.ndarray) -> np.ndarray:
+        """Binary head mask used for alignment scoring.
+
+        Realignment must track the *anatomy* (the bright head silhouette),
+        not the BOLD signal fluctuations inside it, so frames are compared
+        through their thresholded silhouettes.  The threshold is set at half
+        the 95th-percentile intensity, which separates head tissue from the
+        (noisy, near-zero) background regardless of the noise level.
+        """
+        bright = float(np.percentile(image, 95))
+        if bright <= 0:
+            return image > 0
+        return image > 0.5 * bright
+
+    def _score(self, frame_mask: np.ndarray, reference_mask: np.ndarray) -> float:
+        """Overlap (Jaccard index) between candidate and reference silhouettes."""
+        union = np.count_nonzero(frame_mask | reference_mask)
+        if union == 0:
+            return 0.0
+        intersection = np.count_nonzero(frame_mask & reference_mask)
+        return intersection / union
+
+    def _best_shift(
+        self, frame: np.ndarray, reference_mask: np.ndarray
+    ) -> Tuple[int, int, int]:
+        """Exhaustive search for the integer shift that best aligns ``frame``."""
+        frame_mask = self._head_mask(frame)
+        best_score = -np.inf
+        best_shift = (0, 0, 0)
+        candidates = range(-self.max_shift, self.max_shift + 1)
+        for shift in product(candidates, candidates, candidates):
+            candidate = np.roll(frame_mask, shift=shift, axis=(0, 1, 2))
+            score = self._score(candidate, reference_mask)
+            if score > best_score:
+                best_score = score
+                best_shift = shift
+        return best_shift
+
+    def apply(self, volume: Volume4D) -> Volume4D:
+        """Return a motion-corrected copy of ``volume``.
+
+        The per-frame estimated shifts are stored in
+        :attr:`estimated_shifts_` (shape ``(n_timepoints, 3)``) so callers can
+        inspect or regress them out later.
+        """
+        if not isinstance(volume, Volume4D):
+            raise PreprocessingError("MotionCorrection expects a Volume4D input")
+        data = volume.data
+        n_timepoints = volume.n_timepoints
+        reference = data.mean(axis=3) if self.reference == "mean" else data[..., 0]
+        reference_mask = self._head_mask(reference)
+
+        corrected = np.empty_like(data)
+        shifts = np.zeros((n_timepoints, 3), dtype=int)
+        if self.max_shift == 0:
+            self.estimated_shifts_ = shifts
+            return volume.copy()
+
+        for t in range(n_timepoints):
+            shift = self._best_shift(data[..., t], reference_mask)
+            shifts[t] = shift
+            corrected[..., t] = np.roll(data[..., t], shift=shift, axis=(0, 1, 2))
+        self.estimated_shifts_ = shifts
+        return volume.with_data(corrected)

@@ -1,0 +1,27 @@
+"""Z-score normalization of region time series.
+
+The final temporal step before correlation: each region's series is scaled to
+zero mean and unit variance (paper Section 3.1.1: "The time-series matrix ...
+is z-score normalized").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.stats import zscore
+from repro.utils.validation import check_matrix
+
+
+class ZScoreNormalization:
+    """Z-score each region time series (row-wise)."""
+
+    def __init__(self, ddof: int = 0):
+        if ddof < 0:
+            raise ValueError(f"ddof must be non-negative, got {ddof}")
+        self.ddof = int(ddof)
+
+    def apply(self, timeseries: np.ndarray) -> np.ndarray:
+        """Return the row-wise z-scored matrix."""
+        ts = check_matrix(timeseries, name="timeseries", min_cols=2)
+        return zscore(ts, axis=1, ddof=self.ddof)

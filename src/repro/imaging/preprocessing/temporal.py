@@ -1,0 +1,142 @@
+"""Temporal preprocessing steps.
+
+These operate on region-by-time matrices after parcellation: detrending,
+high-pass and band-pass filtering (the paper band-passes resting-state data
+between 0.008 Hz and 0.1 Hz), and global signal regression (paper Section
+3.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.exceptions import PreprocessingError
+from repro.utils.validation import check_matrix
+
+
+class Detrend:
+    """Remove a polynomial trend from each region's time series.
+
+    Parameters
+    ----------
+    order:
+        Polynomial order; 1 removes the linear scanner drift, 2 additionally
+        removes slow quadratic drifts.
+    """
+
+    def __init__(self, order: int = 1):
+        if order < 0:
+            raise PreprocessingError(f"order must be non-negative, got {order}")
+        self.order = int(order)
+
+    def apply(self, timeseries: np.ndarray) -> np.ndarray:
+        """Return the detrended ``(regions, time)`` matrix."""
+        ts = check_matrix(timeseries, name="timeseries", min_cols=2)
+        if self.order == 0:
+            return ts - ts.mean(axis=1, keepdims=True)
+        n_timepoints = ts.shape[1]
+        times = np.linspace(-1.0, 1.0, n_timepoints)
+        design = np.vander(times, N=self.order + 1, increasing=True)
+        coefficients, *_ = np.linalg.lstsq(design, ts.T, rcond=None)
+        fitted = (design @ coefficients).T
+        return ts - fitted
+
+
+class HighPassFilter:
+    """Butterworth high-pass filter.
+
+    The HCP temporal pipeline applies a very gentle high-pass (2000 s cutoff
+    at rest, 200 s for task scans) to de-trend data; this step reproduces that
+    behaviour on the region time series.
+    """
+
+    def __init__(self, cutoff_seconds: float = 2000.0, order: int = 2):
+        if cutoff_seconds <= 0:
+            raise PreprocessingError("cutoff_seconds must be positive")
+        if order < 1:
+            raise PreprocessingError("order must be >= 1")
+        self.cutoff_seconds = float(cutoff_seconds)
+        self.order = int(order)
+        self.tr: Optional[float] = None
+
+    def apply(self, timeseries: np.ndarray, tr: float = 0.72) -> np.ndarray:
+        """Filter each region's series sampled at repetition time ``tr``."""
+        ts = check_matrix(timeseries, name="timeseries", min_cols=8)
+        if tr <= 0:
+            raise PreprocessingError(f"tr must be positive, got {tr}")
+        self.tr = tr
+        nyquist = 0.5 / tr
+        cutoff_hz = 1.0 / self.cutoff_seconds
+        normalized = min(cutoff_hz / nyquist, 0.99)
+        if normalized <= 0:
+            return ts - ts.mean(axis=1, keepdims=True)
+        sos = sp_signal.butter(self.order, normalized, btype="highpass", output="sos")
+        return sp_signal.sosfiltfilt(sos, ts, axis=1)
+
+
+class BandpassFilter:
+    """Butterworth band-pass filter (default 0.008-0.1 Hz, as in the paper).
+
+    Parameters
+    ----------
+    low_hz / high_hz:
+        Pass-band edges in Hz.
+    order:
+        Butterworth order (applied forwards and backwards, so effective order
+        is doubled and the phase is zero).
+    """
+
+    def __init__(self, low_hz: float = 0.008, high_hz: float = 0.1, order: int = 2):
+        if not 0 < low_hz < high_hz:
+            raise PreprocessingError(
+                f"must satisfy 0 < low_hz < high_hz, got {low_hz}, {high_hz}"
+            )
+        if order < 1:
+            raise PreprocessingError("order must be >= 1")
+        self.low_hz = float(low_hz)
+        self.high_hz = float(high_hz)
+        self.order = int(order)
+
+    def apply(self, timeseries: np.ndarray, tr: float = 0.72) -> np.ndarray:
+        """Band-pass filter each region's series sampled at repetition time ``tr``."""
+        ts = check_matrix(timeseries, name="timeseries", min_cols=16)
+        if tr <= 0:
+            raise PreprocessingError(f"tr must be positive, got {tr}")
+        nyquist = 0.5 / tr
+        low = self.low_hz / nyquist
+        high = min(self.high_hz / nyquist, 0.99)
+        if low >= high:
+            raise PreprocessingError(
+                "band-pass corners collapse at this sampling rate; "
+                f"tr={tr} cannot resolve [{self.low_hz}, {self.high_hz}] Hz"
+            )
+        sos = sp_signal.butter(self.order, [low, high], btype="bandpass", output="sos")
+        return sp_signal.sosfiltfilt(sos, ts, axis=1)
+
+
+class GlobalSignalRegression:
+    """Regress the global (mean over regions) signal out of every region.
+
+    Removes signal components expressed uniformly throughout the brain,
+    exactly as the paper applies to resting-state data.
+    """
+
+    def __init__(self, include_intercept: bool = True):
+        self.include_intercept = bool(include_intercept)
+        self.global_signal_: Optional[np.ndarray] = None
+
+    def apply(self, timeseries: np.ndarray) -> np.ndarray:
+        """Return the residual ``(regions, time)`` matrix after GSR."""
+        ts = check_matrix(timeseries, name="timeseries", min_cols=2)
+        global_signal = ts.mean(axis=0)
+        self.global_signal_ = global_signal
+        if self.include_intercept:
+            design = np.column_stack([global_signal, np.ones_like(global_signal)])
+        else:
+            design = global_signal[:, None]
+        coefficients, *_ = np.linalg.lstsq(design, ts.T, rcond=None)
+        fitted = (design @ coefficients).T
+        return ts - fitted

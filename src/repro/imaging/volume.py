@@ -1,0 +1,139 @@
+"""4-D functional image container.
+
+A functional MRI is a 4-D image: three spatial dimensions plus time (paper
+Section 3.1).  :class:`Volume4D` is a thin, validated wrapper around the raw
+array together with the acquisition repetition time (TR) and an affine that
+maps voxel indices to scanner/world coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+@dataclass
+class Volume4D:
+    """A 4-D functional image (x, y, z, t) with acquisition metadata.
+
+    Parameters
+    ----------
+    data:
+        Array of shape ``(nx, ny, nz, nt)``.
+    tr:
+        Repetition time in seconds (0.72 s for HCP resting-state).
+    affine:
+        4x4 voxel-to-world affine; defaults to the identity.
+    subject_id:
+        Optional provenance metadata carried through preprocessing.
+    session / task:
+        Optional provenance metadata.
+    """
+
+    data: np.ndarray
+    tr: float = 0.72
+    affine: Optional[np.ndarray] = None
+    subject_id: Optional[str] = None
+    session: Optional[str] = None
+    task: Optional[str] = None
+
+    def __post_init__(self):
+        self.data = np.asarray(self.data, dtype=np.float64)
+        if self.data.ndim != 4:
+            raise ValidationError(
+                f"Volume4D data must be 4-dimensional, got shape {self.data.shape}"
+            )
+        if min(self.data.shape) < 1:
+            raise ValidationError("Volume4D data must have positive extent on every axis")
+        if self.tr <= 0:
+            raise ValidationError(f"tr must be positive, got {self.tr}")
+        if self.affine is None:
+            self.affine = np.eye(4)
+        else:
+            self.affine = np.asarray(self.affine, dtype=np.float64)
+            if self.affine.shape != (4, 4):
+                raise ValidationError(
+                    f"affine must be a 4x4 matrix, got shape {self.affine.shape}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Shape helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def spatial_shape(self) -> Tuple[int, int, int]:
+        """Spatial extent ``(nx, ny, nz)``."""
+        return self.data.shape[:3]
+
+    @property
+    def n_timepoints(self) -> int:
+        """Number of temporal frames."""
+        return self.data.shape[3]
+
+    @property
+    def n_voxels(self) -> int:
+        """Total number of voxels per frame."""
+        nx, ny, nz = self.spatial_shape
+        return nx * ny * nz
+
+    @property
+    def duration(self) -> float:
+        """Total acquisition duration in seconds."""
+        return self.n_timepoints * self.tr
+
+    # ------------------------------------------------------------------ #
+    # Views and simple transformations
+    # ------------------------------------------------------------------ #
+    def frame(self, index: int) -> np.ndarray:
+        """Return the 3-D volume at time ``index``."""
+        if not 0 <= index < self.n_timepoints:
+            raise ValidationError(
+                f"frame index {index} out of range [0, {self.n_timepoints})"
+            )
+        return self.data[..., index]
+
+    def mean_image(self) -> np.ndarray:
+        """Temporal mean image (used as the registration/bias reference)."""
+        return self.data.mean(axis=3)
+
+    def to_timeseries(self, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Flatten to a ``(n_voxels_in_mask, n_timepoints)`` matrix.
+
+        Parameters
+        ----------
+        mask:
+            Optional boolean 3-D mask; defaults to all voxels.
+        """
+        if mask is None:
+            return self.data.reshape(-1, self.n_timepoints)
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.spatial_shape:
+            raise ValidationError(
+                f"mask shape {mask.shape} does not match spatial shape "
+                f"{self.spatial_shape}"
+            )
+        return self.data[mask, :]
+
+    def with_data(self, data: np.ndarray) -> "Volume4D":
+        """Return a copy carrying the same metadata but new voxel data."""
+        return Volume4D(
+            data=data,
+            tr=self.tr,
+            affine=self.affine.copy(),
+            subject_id=self.subject_id,
+            session=self.session,
+            task=self.task,
+        )
+
+    def copy(self) -> "Volume4D":
+        """Deep copy of the volume."""
+        return self.with_data(self.data.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Volume4D(shape={self.data.shape}, tr={self.tr}, "
+            f"subject={self.subject_id!r}, task={self.task!r})"
+        )

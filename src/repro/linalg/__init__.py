@@ -1,0 +1,48 @@
+"""Matrix-sketching substrate: leverage scores, row sampling, and SVD helpers.
+
+This subpackage implements the randomized matrix algorithms the paper builds
+its attack on (Section 3.1.2): the row-sampling meta-algorithm of Drineas et
+al. (Algorithm 1 in the paper), l2-norm and leverage-score sampling
+distributions, and the deterministic Principal Features Subspace method used
+to locate brain signatures.
+"""
+
+from repro.linalg.svd import economy_svd, randomized_svd, stable_rank
+from repro.linalg.leverage import (
+    leverage_scores,
+    rank_k_leverage_scores,
+    principal_features,
+    PrincipalFeaturesSubspace,
+)
+from repro.linalg.sampling import (
+    RowSampler,
+    leverage_distribution,
+    l2_distribution,
+    uniform_distribution,
+    row_sample,
+)
+from repro.linalg.sketch import (
+    gram_approximation_error,
+    low_rank_approximation,
+    projection_reconstruction_error,
+    sketch_quality_report,
+)
+
+__all__ = [
+    "economy_svd",
+    "randomized_svd",
+    "stable_rank",
+    "leverage_scores",
+    "rank_k_leverage_scores",
+    "principal_features",
+    "PrincipalFeaturesSubspace",
+    "RowSampler",
+    "leverage_distribution",
+    "l2_distribution",
+    "uniform_distribution",
+    "row_sample",
+    "gram_approximation_error",
+    "low_rank_approximation",
+    "projection_reconstruction_error",
+    "sketch_quality_report",
+]

@@ -1,0 +1,190 @@
+"""Leverage scores and the Principal Features Subspace method.
+
+Leverage scores measure how much each row of a matrix contributes to its
+column space (paper Equation 3/5).  The Principal Features Subspace (PFS)
+method sorts rows by leverage score and keeps the top ``t`` deterministically
+(Ravindra et al. 2018; Cohen et al. 2015 give guarantees for deterministic
+selection).  In the attack, rows are connectome features (region-pair
+correlations) and columns are subjects, so the retained rows are exactly the
+"brain signature" locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.linalg.svd import economy_svd, randomized_svd
+from repro.utils.rng import RandomStateLike
+from repro.utils.validation import check_matrix, check_positive_int
+
+
+def leverage_scores(matrix: np.ndarray) -> np.ndarray:
+    """Row leverage scores ``l_i = ||U_{i,:}||^2`` of ``matrix``.
+
+    ``U`` is an orthonormal basis of the column space obtained from the
+    economy SVD.  Scores sum to the rank of the matrix.
+    """
+    a = check_matrix(matrix, name="matrix")
+    u, s, _ = economy_svd(a)
+    positive = s > s.max() * 1e-12 if s.size else np.zeros(0, dtype=bool)
+    u = u[:, positive]
+    return np.sum(u * u, axis=1)
+
+
+def rank_k_leverage_scores(
+    matrix: np.ndarray,
+    rank: int,
+    method: str = "exact",
+    random_state: RandomStateLike = None,
+) -> np.ndarray:
+    """Rank-``k`` leverage scores (restricting ``U`` to the top ``k`` singular vectors).
+
+    Parameters
+    ----------
+    matrix:
+        ``(m, n)`` matrix with ``m`` features and ``n`` subjects.
+    rank:
+        Number of leading singular vectors to use.
+    method:
+        ``"exact"`` for a full economy SVD or ``"randomized"`` for the
+        randomized SVD (useful at paper scale).
+    random_state:
+        Only used when ``method="randomized"``.
+    """
+    a = check_matrix(matrix, name="matrix")
+    rank = check_positive_int(rank, name="rank")
+    max_rank = min(a.shape)
+    if rank > max_rank:
+        raise ValidationError(f"rank must be <= {max_rank}, got {rank}")
+    if method == "exact":
+        u, _, _ = economy_svd(a)
+        u = u[:, :rank]
+    elif method == "randomized":
+        u, _, _ = randomized_svd(a, rank=rank, random_state=random_state)
+    else:
+        raise ValidationError("method must be 'exact' or 'randomized'")
+    return np.sum(u * u, axis=1)
+
+
+def leverage_score_distribution(matrix: np.ndarray, rank: Optional[int] = None) -> np.ndarray:
+    """Leverage scores normalized into a probability distribution over rows."""
+    if rank is None:
+        scores = leverage_scores(matrix)
+    else:
+        scores = rank_k_leverage_scores(matrix, rank=rank)
+    total = scores.sum()
+    if total <= 0:
+        raise ValidationError("matrix has zero leverage mass (all-zero matrix?)")
+    return scores / total
+
+
+def principal_features(
+    matrix: np.ndarray,
+    n_features: int,
+    rank: Optional[int] = None,
+    method: str = "exact",
+    random_state: RandomStateLike = None,
+) -> np.ndarray:
+    """Indices of the ``n_features`` rows with the highest leverage scores.
+
+    This is the deterministic top-``t`` selection the paper calls the
+    Principal Features Subspace method.  Indices are returned sorted by
+    descending leverage score so the most discriminative feature comes first.
+    """
+    a = check_matrix(matrix, name="matrix")
+    n_features = check_positive_int(n_features, name="n_features")
+    if n_features > a.shape[0]:
+        raise ValidationError(
+            f"n_features must be <= number of rows ({a.shape[0]}), got {n_features}"
+        )
+    if rank is None:
+        scores = leverage_scores(a)
+    else:
+        scores = rank_k_leverage_scores(a, rank=rank, method=method, random_state=random_state)
+    order = np.argsort(scores)[::-1]
+    return order[:n_features]
+
+
+@dataclass
+class PrincipalFeaturesSubspace:
+    """Deterministic leverage-score feature selector (paper Section 3.1.2).
+
+    The selector is fitted on the de-anonymized group matrix and then applied
+    to any other group matrix with the same feature space; both the attack
+    and the defense modules reuse it.
+
+    Parameters
+    ----------
+    n_features:
+        Number of features (rows) to retain.
+    rank:
+        Rank used when computing leverage scores; ``None`` uses the full
+        column space (appropriate when ``n_subjects`` is small).
+    method:
+        ``"exact"`` or ``"randomized"`` SVD backend.
+    random_state:
+        Seed for the randomized backend.
+
+    Attributes
+    ----------
+    scores_:
+        Leverage score of every feature (set after :meth:`fit`).
+    selected_indices_:
+        Indices of the retained features, most important first.
+    """
+
+    n_features: int
+    rank: Optional[int] = None
+    method: str = "exact"
+    random_state: RandomStateLike = None
+    scores_: Optional[np.ndarray] = field(default=None, repr=False)
+    selected_indices_: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def fit(self, matrix: np.ndarray) -> "PrincipalFeaturesSubspace":
+        """Compute leverage scores of ``matrix`` and choose the top features."""
+        a = check_matrix(matrix, name="matrix")
+        n_features = check_positive_int(self.n_features, name="n_features")
+        if n_features > a.shape[0]:
+            raise ValidationError(
+                f"n_features ({n_features}) exceeds feature count ({a.shape[0]})"
+            )
+        if self.rank is None:
+            self.scores_ = leverage_scores(a)
+        else:
+            self.scores_ = rank_k_leverage_scores(
+                a, rank=self.rank, method=self.method, random_state=self.random_state
+            )
+        order = np.argsort(self.scores_)[::-1]
+        self.selected_indices_ = order[:n_features]
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Restrict ``matrix`` to the selected feature rows."""
+        self._check_fitted()
+        a = check_matrix(matrix, name="matrix")
+        if a.shape[0] <= int(self.selected_indices_.max()):
+            raise ValidationError(
+                "matrix has fewer rows than the fitted feature space "
+                f"({a.shape[0]} <= {int(self.selected_indices_.max())})"
+            )
+        return a[self.selected_indices_, :]
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Fit on ``matrix`` and return the reduced matrix."""
+        return self.fit(matrix).transform(matrix)
+
+    def _check_fitted(self) -> None:
+        if self.selected_indices_ is None or self.scores_ is None:
+            raise NotFittedError(
+                "PrincipalFeaturesSubspace must be fitted before calling transform"
+            )
+
+    @property
+    def selected_scores_(self) -> np.ndarray:
+        """Leverage scores of the retained features (descending)."""
+        self._check_fitted()
+        return self.scores_[self.selected_indices_]

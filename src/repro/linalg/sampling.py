@@ -1,0 +1,158 @@
+"""Randomized row sampling (Algorithm 1 of the paper).
+
+The meta-algorithm of Drineas, Kannan & Mahoney draws ``s`` rows i.i.d. from a
+distribution ``P`` over rows and rescales each sampled row by
+``1 / sqrt(s * p_i)`` so that ``sketch.T @ sketch`` is an unbiased estimator
+of ``A.T @ A``.  The quality of the sketch depends entirely on ``P``:
+
+* uniform sampling — the weak baseline,
+* l2-norm sampling (paper Equation 1) — additive error guarantee
+  (paper Equation 2),
+* leverage-score sampling (paper Equation 3) — relative error guarantee
+  (paper Equation 4).
+
+The attack itself uses the deterministic top-``t`` variant
+(:class:`repro.linalg.leverage.PrincipalFeaturesSubspace`); the randomized
+samplers are implemented both as ablation baselines and because the paper's
+theoretical framing rests on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.linalg.leverage import leverage_score_distribution
+from repro.utils.rng import RandomStateLike, as_rng
+from repro.utils.validation import check_matrix, check_positive_int
+
+#: Names of the sampling distributions understood by :class:`RowSampler`.
+SAMPLING_DISTRIBUTIONS = ("uniform", "l2", "leverage")
+
+
+def uniform_distribution(matrix: np.ndarray) -> np.ndarray:
+    """Uniform probability over rows (baseline distribution)."""
+    a = check_matrix(matrix, name="matrix")
+    m = a.shape[0]
+    return np.full(m, 1.0 / m)
+
+
+def l2_distribution(matrix: np.ndarray) -> np.ndarray:
+    """Row probabilities proportional to squared row norms (paper Eq. 1)."""
+    a = check_matrix(matrix, name="matrix")
+    norms = np.sum(a * a, axis=1)
+    total = norms.sum()
+    if total <= 0:
+        raise ValidationError("cannot build an l2 distribution for an all-zero matrix")
+    return norms / total
+
+
+def leverage_distribution(matrix: np.ndarray, rank: Optional[int] = None) -> np.ndarray:
+    """Row probabilities proportional to leverage scores (paper Eq. 3)."""
+    return leverage_score_distribution(matrix, rank=rank)
+
+
+def row_sample(
+    matrix: np.ndarray,
+    n_rows: int,
+    probabilities: np.ndarray,
+    random_state: RandomStateLike = None,
+    rescale: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample ``n_rows`` rows i.i.d. according to ``probabilities``.
+
+    Implements lines 3-7 of Algorithm 1.  Rows are drawn with replacement and
+    rescaled by ``1 / sqrt(s * p_i)`` so the sketch Gram matrix is unbiased.
+
+    Returns
+    -------
+    (sketch, indices):
+        ``sketch`` is the ``(n_rows, n_cols)`` rescaled sample and ``indices``
+        records which original row each sketch row came from.
+    """
+    a = check_matrix(matrix, name="matrix")
+    n_rows = check_positive_int(n_rows, name="n_rows")
+    p = np.asarray(probabilities, dtype=np.float64)
+    if p.shape != (a.shape[0],):
+        raise ValidationError(
+            f"probabilities must have shape ({a.shape[0]},), got {p.shape}"
+        )
+    if np.any(p < 0):
+        raise ValidationError("probabilities must be non-negative")
+    total = p.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        if total <= 0:
+            raise ValidationError("probabilities must sum to a positive value")
+        p = p / total
+    rng = as_rng(random_state)
+    indices = rng.choice(a.shape[0], size=n_rows, replace=True, p=p)
+    sketch = a[indices, :].astype(np.float64, copy=True)
+    if rescale:
+        weights = 1.0 / np.sqrt(n_rows * p[indices])
+        sketch *= weights[:, None]
+    return sketch, indices
+
+
+@dataclass
+class RowSampler:
+    """Randomized row sampler implementing the paper's Algorithm 1.
+
+    Parameters
+    ----------
+    n_rows:
+        Number of rows to sample (``s`` in the paper).
+    distribution:
+        One of ``"uniform"``, ``"l2"``, or ``"leverage"``.
+    rank:
+        Rank used for leverage scores (ignored by the other distributions).
+    rescale:
+        Whether to apply the ``1/sqrt(s p_i)`` rescaling.  Disable it when the
+        sampler is used purely for feature selection rather than Gram-matrix
+        approximation.
+    random_state:
+        Seed or generator for the i.i.d. draws.
+    """
+
+    n_rows: int
+    distribution: str = "leverage"
+    rank: Optional[int] = None
+    rescale: bool = True
+    random_state: RandomStateLike = None
+    probabilities_: Optional[np.ndarray] = field(default=None, repr=False)
+    sampled_indices_: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def fit(self, matrix: np.ndarray) -> "RowSampler":
+        """Compute the sampling distribution for ``matrix``."""
+        if self.distribution not in SAMPLING_DISTRIBUTIONS:
+            raise ValidationError(
+                f"distribution must be one of {SAMPLING_DISTRIBUTIONS}, "
+                f"got {self.distribution!r}"
+            )
+        if self.distribution == "uniform":
+            self.probabilities_ = uniform_distribution(matrix)
+        elif self.distribution == "l2":
+            self.probabilities_ = l2_distribution(matrix)
+        else:
+            self.probabilities_ = leverage_distribution(matrix, rank=self.rank)
+        return self
+
+    def sample(self, matrix: np.ndarray) -> np.ndarray:
+        """Draw the sketch matrix from ``matrix`` using the fitted distribution."""
+        if self.probabilities_ is None:
+            raise NotFittedError("RowSampler must be fitted before sampling")
+        sketch, indices = row_sample(
+            matrix,
+            n_rows=self.n_rows,
+            probabilities=self.probabilities_,
+            random_state=self.random_state,
+            rescale=self.rescale,
+        )
+        self.sampled_indices_ = indices
+        return sketch
+
+    def fit_sample(self, matrix: np.ndarray) -> np.ndarray:
+        """Fit the distribution on ``matrix`` and draw a sketch from it."""
+        return self.fit(matrix).sample(matrix)

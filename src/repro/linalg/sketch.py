@@ -1,0 +1,100 @@
+"""Diagnostics for sketch quality.
+
+The paper motivates leverage-score sampling through two error bounds: the
+additive bound for l2 sampling (Equation 2) and the relative bound for
+leverage sampling (Equation 4).  These helpers measure the corresponding
+errors empirically so that tests and ablation benchmarks can verify the
+theory qualitatively (leverage < l2 < uniform for matrices with non-uniform
+row importance).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.linalg.svd import economy_svd
+from repro.utils.validation import check_matrix, check_positive_int
+
+
+def gram_approximation_error(
+    matrix: np.ndarray, sketch: np.ndarray, relative: bool = True
+) -> float:
+    """Frobenius error ``||A^T A - S^T S||_F`` (optionally relative to ``||A^T A||_F``).
+
+    This is the quantity bounded by paper Equation 2 for l2 sampling.
+    """
+    a = check_matrix(matrix, name="matrix")
+    s = check_matrix(sketch, name="sketch")
+    if a.shape[1] != s.shape[1]:
+        raise ValidationError(
+            "matrix and sketch must have the same number of columns, "
+            f"got {a.shape[1]} and {s.shape[1]}"
+        )
+    gram_a = a.T @ a
+    gram_s = s.T @ s
+    error = float(np.linalg.norm(gram_a - gram_s, ord="fro"))
+    if not relative:
+        return error
+    denom = float(np.linalg.norm(gram_a, ord="fro"))
+    return error / denom if denom > 0 else error
+
+
+def low_rank_approximation(matrix: np.ndarray, rank: int) -> np.ndarray:
+    """Best rank-``k`` approximation ``A_k`` from the truncated SVD."""
+    a = check_matrix(matrix, name="matrix")
+    rank = check_positive_int(rank, name="rank")
+    if rank > min(a.shape):
+        raise ValidationError(f"rank must be <= {min(a.shape)}, got {rank}")
+    u, s, vt = economy_svd(a)
+    return (u[:, :rank] * s[:rank]) @ vt[:rank, :]
+
+
+def projection_reconstruction_error(
+    matrix: np.ndarray, row_indices: np.ndarray, rank: Optional[int] = None
+) -> float:
+    """Relative error of projecting ``A`` onto the row span of selected rows.
+
+    Computes ``||A - A pinv(A_S) A_S||_F / ||A - A_k||_F`` where ``A_S`` is
+    the selected-row submatrix — the quantity controlled by the relative
+    error bound (paper Equation 4).  When ``rank`` is ``None`` the
+    denominator is ``||A||_F`` instead, giving an absolute relative error.
+    """
+    a = check_matrix(matrix, name="matrix")
+    idx = np.asarray(row_indices, dtype=int)
+    if idx.ndim != 1 or idx.size == 0:
+        raise ValidationError("row_indices must be a non-empty 1-D index array")
+    if idx.min() < 0 or idx.max() >= a.shape[0]:
+        raise ValidationError("row_indices out of range for the given matrix")
+    a_s = a[idx, :]
+    projector = np.linalg.pinv(a_s) @ a_s
+    residual = a - a @ projector
+    numerator = float(np.linalg.norm(residual, ord="fro"))
+    if rank is None:
+        denom = float(np.linalg.norm(a, ord="fro"))
+    else:
+        best = low_rank_approximation(a, rank)
+        denom = float(np.linalg.norm(a - best, ord="fro"))
+    if denom <= 1e-15:
+        return 0.0 if numerator <= 1e-12 else float("inf")
+    return numerator / denom
+
+
+def sketch_quality_report(
+    matrix: np.ndarray, sketch: np.ndarray, row_indices: Optional[np.ndarray] = None
+) -> Dict[str, float]:
+    """Bundle of sketch-quality metrics used by the ablation benchmarks."""
+    report = {
+        "gram_relative_error": gram_approximation_error(matrix, sketch, relative=True),
+        "gram_absolute_error": gram_approximation_error(matrix, sketch, relative=False),
+        "sketch_rows": float(sketch.shape[0]),
+        "original_rows": float(matrix.shape[0]),
+        "compression_ratio": float(matrix.shape[0]) / float(sketch.shape[0]),
+    }
+    if row_indices is not None:
+        report["projection_relative_error"] = projection_reconstruction_error(
+            matrix, row_indices
+        )
+    return report

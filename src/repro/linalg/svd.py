@@ -1,0 +1,119 @@
+"""Singular value decomposition helpers.
+
+The group matrices in this library are tall and thin (tens of thousands of
+connectome features by tens or hundreds of subjects), so the economy SVD is
+cheap.  A randomized SVD is also provided for the paper-scale configuration
+(64 620 features x 800 scans) where even the economy factorization becomes
+noticeably slower.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import RandomStateLike, as_rng
+from repro.utils.validation import check_matrix, check_positive_int
+
+
+def economy_svd(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Economy-size SVD ``A = U @ diag(s) @ Vt``.
+
+    Returns
+    -------
+    (U, s, Vt):
+        ``U`` has shape ``(m, r)``, ``s`` shape ``(r,)``, ``Vt`` shape
+        ``(r, n)`` where ``r = min(m, n)``.
+    """
+    a = check_matrix(matrix, name="matrix")
+    u, s, vt = np.linalg.svd(a, full_matrices=False)
+    return u, s, vt
+
+
+def randomized_svd(
+    matrix: np.ndarray,
+    rank: int,
+    oversampling: int = 10,
+    power_iterations: int = 2,
+    random_state: RandomStateLike = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Randomized SVD (Halko, Martinsson & Tropp) truncated to ``rank``.
+
+    Parameters
+    ----------
+    matrix:
+        ``(m, n)`` input matrix.
+    rank:
+        Target rank of the approximation.
+    oversampling:
+        Extra random projections beyond ``rank``; improves accuracy.
+    power_iterations:
+        Number of power iterations; each sharpens the spectrum and improves
+        the subspace estimate for matrices with slowly decaying singular
+        values (which connectome group matrices typically are).
+    random_state:
+        Seed or generator for the Gaussian test matrix.
+    """
+    a = check_matrix(matrix, name="matrix")
+    rank = check_positive_int(rank, name="rank")
+    m, n = a.shape
+    if rank > min(m, n):
+        raise ValidationError(
+            f"rank must be <= min(m, n) = {min(m, n)}, got {rank}"
+        )
+    rng = as_rng(random_state)
+    n_components = min(rank + max(oversampling, 0), min(m, n))
+
+    test = rng.standard_normal((n, n_components))
+    sample = a @ test
+    for _ in range(max(power_iterations, 0)):
+        sample = a @ (a.T @ sample)
+    q, _ = np.linalg.qr(sample)
+
+    small = q.T @ a
+    u_small, s, vt = np.linalg.svd(small, full_matrices=False)
+    u = q @ u_small
+    return u[:, :rank], s[:rank], vt[:rank, :]
+
+
+def stable_rank(matrix: np.ndarray) -> float:
+    """Stable (numerical) rank ``||A||_F^2 / ||A||_2^2``.
+
+    The stable rank is a robust proxy for how many directions carry signal;
+    it is used by the sketch-quality diagnostics to decide how many rows a
+    sampler should keep for a given error target.
+    """
+    a = check_matrix(matrix, name="matrix")
+    fro_sq = float(np.sum(a * a))
+    if fro_sq == 0.0:
+        return 0.0
+    spectral = float(np.linalg.norm(a, ord=2))
+    return fro_sq / (spectral * spectral)
+
+
+def truncate_svd(
+    u: np.ndarray, s: np.ndarray, vt: np.ndarray, rank: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Truncate an existing SVD factorization to ``rank`` components."""
+    rank = check_positive_int(rank, name="rank")
+    if rank > s.shape[0]:
+        raise ValidationError(
+            f"rank must be <= {s.shape[0]} (available components), got {rank}"
+        )
+    return u[:, :rank], s[:rank], vt[:rank, :]
+
+
+def effective_rank(s: np.ndarray, energy: float = 0.95) -> int:
+    """Smallest number of singular values capturing ``energy`` of the spectrum."""
+    s = np.asarray(s, dtype=np.float64)
+    if s.size == 0:
+        raise ValidationError("singular value array must not be empty")
+    if not 0.0 < energy <= 1.0:
+        raise ValidationError(f"energy must be in (0, 1], got {energy}")
+    total = float(np.sum(s**2))
+    if total == 0.0:
+        return 1
+    cumulative = np.cumsum(s**2) / total
+    return int(np.searchsorted(cumulative, energy) + 1)

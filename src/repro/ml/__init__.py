@@ -1,0 +1,36 @@
+"""Learning substrate: regression, classification, metrics, model selection.
+
+Implements the learners the paper uses on top of the extracted signatures:
+support-vector regression for task-performance prediction (Table 1), a
+nearest-neighbour classifier for t-SNE task labelling (Figure 6), and kernel
+ridge regression as an internal baseline.  No external ML library is used.
+"""
+
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    mean_absolute_error,
+    mean_squared_error,
+    nrmse_percent,
+    r2_score,
+)
+from repro.ml.model_selection import KFold, repeated_train_test_splits, train_test_split
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.ridge import KernelRidge, RidgeRegression
+from repro.ml.svr import LinearSVR
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "nrmse_percent",
+    "r2_score",
+    "KFold",
+    "train_test_split",
+    "repeated_train_test_splits",
+    "KNeighborsClassifier",
+    "RidgeRegression",
+    "KernelRidge",
+    "LinearSVR",
+]

@@ -1,0 +1,96 @@
+"""k-nearest-neighbour classifier.
+
+Used to assign task labels in the t-SNE embedding (paper Section 3.3.2): the
+labels of the 50 "known" subjects propagate to the anonymous scans through
+their nearest labelled neighbour in the two-dimensional map.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import check_matrix, check_positive_int
+
+
+class KNeighborsClassifier:
+    """Majority-vote k-NN classifier with Euclidean or correlation distance.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours considered for the vote.
+    metric:
+        ``"euclidean"`` or ``"correlation"`` (1 - Pearson correlation).
+    """
+
+    def __init__(self, n_neighbors: int = 1, metric: str = "euclidean"):
+        self.n_neighbors = check_positive_int(n_neighbors, name="n_neighbors")
+        if metric not in ("euclidean", "correlation"):
+            raise ValidationError(
+                f"metric must be 'euclidean' or 'correlation', got {metric!r}"
+            )
+        self.metric = metric
+        self._train_features: Optional[np.ndarray] = None
+        self._train_labels: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, labels: Sequence) -> "KNeighborsClassifier":
+        """Store the labelled reference set."""
+        x = check_matrix(features, name="features")
+        y = np.asarray(labels)
+        if x.shape[0] != y.shape[0]:
+            raise ValidationError("features and labels must have the same sample count")
+        if self.n_neighbors > x.shape[0]:
+            raise ValidationError(
+                f"n_neighbors ({self.n_neighbors}) exceeds the number of "
+                f"training samples ({x.shape[0]})"
+            )
+        self._train_features = x
+        self._train_labels = y
+        return self
+
+    def _distances(self, queries: np.ndarray) -> np.ndarray:
+        """Distance matrix from each query row to each training row."""
+        train = self._train_features
+        if self.metric == "euclidean":
+            q_sq = np.sum(queries * queries, axis=1)[:, None]
+            t_sq = np.sum(train * train, axis=1)[None, :]
+            return np.sqrt(np.maximum(q_sq + t_sq - 2.0 * queries @ train.T, 0.0))
+        # correlation distance
+        q_centred = queries - queries.mean(axis=1, keepdims=True)
+        t_centred = train - train.mean(axis=1, keepdims=True)
+        q_norm = np.linalg.norm(q_centred, axis=1, keepdims=True)
+        t_norm = np.linalg.norm(t_centred, axis=1, keepdims=True)
+        q_norm = np.where(q_norm < 1e-15, 1.0, q_norm)
+        t_norm = np.where(t_norm < 1e-15, 1.0, t_norm)
+        corr = (q_centred / q_norm) @ (t_centred / t_norm).T
+        return 1.0 - corr
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict a label for every query row."""
+        if self._train_features is None:
+            raise NotFittedError("KNeighborsClassifier must be fitted before predicting")
+        queries = check_matrix(features, name="features")
+        if queries.shape[1] != self._train_features.shape[1]:
+            raise ValidationError(
+                f"features has {queries.shape[1]} columns, model expects "
+                f"{self._train_features.shape[1]}"
+            )
+        distances = self._distances(queries)
+        neighbour_indices = np.argsort(distances, axis=1)[:, : self.n_neighbors]
+        predictions = []
+        for row in neighbour_indices:
+            votes = Counter(self._train_labels[row].tolist())
+            predictions.append(votes.most_common(1)[0][0])
+        return np.asarray(predictions)
+
+    def kneighbors(self, features: np.ndarray) -> np.ndarray:
+        """Indices of the ``n_neighbors`` closest training rows per query."""
+        if self._train_features is None:
+            raise NotFittedError("KNeighborsClassifier must be fitted before querying")
+        queries = check_matrix(features, name="features")
+        distances = self._distances(queries)
+        return np.argsort(distances, axis=1)[:, : self.n_neighbors]

@@ -1,0 +1,105 @@
+"""Classification and regression metrics.
+
+Only the metrics the experiments need are implemented, but they follow the
+conventional definitions so results are comparable with standard tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.stats import normalized_rmse
+from repro.utils.validation import check_array, check_same_length
+
+
+def accuracy_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Fraction of exactly matching labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    check_same_length(y_true, y_pred, names=("y_true", "y_pred"))
+    if y_true.size == 0:
+        raise ValidationError("cannot compute accuracy of empty label arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: Sequence, y_pred: Sequence, labels: Optional[Sequence] = None
+) -> Tuple[np.ndarray, list]:
+    """Confusion matrix and the label ordering used for its rows/columns.
+
+    Rows are true labels, columns are predictions.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    check_same_length(y_true, y_pred, names=("y_true", "y_pred"))
+    if labels is None:
+        labels = sorted(set(y_true.tolist()) | set(y_pred.tolist()))
+    labels = list(labels)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for truth, prediction in zip(y_true.tolist(), y_pred.tolist()):
+        if truth not in index or prediction not in index:
+            raise ValidationError(
+                f"label {truth!r} or {prediction!r} not present in the provided labels"
+            )
+        matrix[index[truth], index[prediction]] += 1
+    return matrix, labels
+
+
+def mean_squared_error(y_true: Sequence, y_pred: Sequence) -> float:
+    """Mean squared error."""
+    y_true = check_array(y_true, name="y_true", ndim=1)
+    y_pred = check_array(y_pred, name="y_pred", ndim=1)
+    check_same_length(y_true, y_pred, names=("y_true", "y_pred"))
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def mean_absolute_error(y_true: Sequence, y_pred: Sequence) -> float:
+    """Mean absolute error."""
+    y_true = check_array(y_true, name="y_true", ndim=1)
+    y_pred = check_array(y_pred, name="y_pred", ndim=1)
+    check_same_length(y_true, y_pred, names=("y_true", "y_pred"))
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Coefficient of determination R^2."""
+    y_true = check_array(y_true, name="y_true", ndim=1)
+    y_pred = check_array(y_pred, name="y_pred", ndim=1)
+    check_same_length(y_true, y_pred, names=("y_true", "y_pred"))
+    residual = float(np.sum((y_true - y_pred) ** 2))
+    total = float(np.sum((y_true - y_true.mean()) ** 2))
+    if total < 1e-15:
+        return 0.0 if residual < 1e-15 else -np.inf
+    return 1.0 - residual / total
+
+
+def nrmse_percent(
+    y_true: Sequence, y_pred: Sequence, normalization: str = "range"
+) -> float:
+    """Normalized RMSE expressed as a percentage (the paper's Table 1 metric)."""
+    return 100.0 * normalized_rmse(
+        np.asarray(y_true, dtype=np.float64),
+        np.asarray(y_pred, dtype=np.float64),
+        normalization=normalization,
+    )
+
+
+def top_k_accuracy(scores: np.ndarray, true_indices: Sequence[int], k: int = 1) -> float:
+    """Top-``k`` accuracy from a score matrix.
+
+    ``scores[i, j]`` is the score of candidate ``j`` for query ``i``;
+    ``true_indices[i]`` is the index of the correct candidate.
+    """
+    scores = check_array(scores, name="scores", ndim=2)
+    true_indices = np.asarray(true_indices, dtype=int)
+    if scores.shape[0] != true_indices.shape[0]:
+        raise ValidationError("scores and true_indices must agree on the query count")
+    if not 1 <= k <= scores.shape[1]:
+        raise ValidationError(f"k must be in [1, {scores.shape[1]}], got {k}")
+    top_k = np.argsort(-scores, axis=1)[:, :k]
+    hits = np.any(top_k == true_indices[:, None], axis=1)
+    return float(np.mean(hits))

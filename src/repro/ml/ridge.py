@@ -1,0 +1,139 @@
+"""Ridge and kernel ridge regression.
+
+Used as internal baselines for the task-performance prediction experiment
+(Table 1) and as the fallback regressor inside the defense utility analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import check_array, check_matrix
+
+
+class RidgeRegression:
+    """Ordinary ridge regression ``min ||Xw - y||^2 + alpha ||w||^2``.
+
+    Parameters
+    ----------
+    alpha:
+        L2 regularization strength; must be non-negative.
+    fit_intercept:
+        Whether to centre the data and learn an intercept.
+    """
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True):
+        if alpha < 0:
+            raise ValidationError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = float(alpha)
+        self.fit_intercept = bool(fit_intercept)
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RidgeRegression":
+        """Fit on ``(n_samples, n_features)`` features and ``(n_samples,)`` targets."""
+        x = check_matrix(features, name="features")
+        y = check_array(targets, name="targets", ndim=1)
+        if x.shape[0] != y.shape[0]:
+            raise ValidationError("features and targets must have the same sample count")
+        if self.fit_intercept:
+            x_mean = x.mean(axis=0)
+            y_mean = float(y.mean())
+            x_centred = x - x_mean
+            y_centred = y - y_mean
+        else:
+            x_mean = np.zeros(x.shape[1])
+            y_mean = 0.0
+            x_centred, y_centred = x, y
+        n_features = x.shape[1]
+        gram = x_centred.T @ x_centred + self.alpha * np.eye(n_features)
+        self.coef_ = np.linalg.solve(gram, x_centred.T @ y_centred)
+        self.intercept_ = y_mean - float(x_mean @ self.coef_) if self.fit_intercept else 0.0
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for new samples."""
+        if self.coef_ is None:
+            raise NotFittedError("RidgeRegression must be fitted before predicting")
+        x = check_matrix(features, name="features")
+        if x.shape[1] != self.coef_.shape[0]:
+            raise ValidationError(
+                f"features has {x.shape[1]} columns, model expects {self.coef_.shape[0]}"
+            )
+        return x @ self.coef_ + self.intercept_
+
+
+def rbf_kernel(a: np.ndarray, b: np.ndarray, gamma: float) -> np.ndarray:
+    """Radial-basis-function kernel matrix between rows of ``a`` and ``b``."""
+    a_sq = np.sum(a * a, axis=1)[:, None]
+    b_sq = np.sum(b * b, axis=1)[None, :]
+    sq_dist = np.maximum(a_sq + b_sq - 2.0 * (a @ b.T), 0.0)
+    return np.exp(-gamma * sq_dist)
+
+
+def linear_kernel(a: np.ndarray, b: np.ndarray, gamma: float) -> np.ndarray:
+    """Linear kernel (``gamma`` is ignored; present for interface symmetry)."""
+    return a @ b.T
+
+
+class KernelRidge:
+    """Kernel ridge regression with linear or RBF kernels.
+
+    Parameters
+    ----------
+    alpha:
+        Regularization strength.
+    kernel:
+        ``"linear"`` or ``"rbf"``.
+    gamma:
+        RBF bandwidth; ``None`` uses ``1 / n_features``.
+    """
+
+    _KERNELS: dict = {"linear": linear_kernel, "rbf": rbf_kernel}
+
+    def __init__(self, alpha: float = 1.0, kernel: str = "rbf", gamma: Optional[float] = None):
+        if alpha < 0:
+            raise ValidationError(f"alpha must be non-negative, got {alpha}")
+        if kernel not in self._KERNELS:
+            raise ValidationError(f"kernel must be one of {sorted(self._KERNELS)}, got {kernel!r}")
+        self.alpha = float(alpha)
+        self.kernel = kernel
+        self.gamma = gamma
+        self.dual_coef_: Optional[np.ndarray] = None
+        self._train_features: Optional[np.ndarray] = None
+        self._intercept: float = 0.0
+
+    def _kernel_fn(self) -> Callable[[np.ndarray, np.ndarray, float], np.ndarray]:
+        return self._KERNELS[self.kernel]
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "KernelRidge":
+        """Fit the dual ridge problem on the training data."""
+        x = check_matrix(features, name="features")
+        y = check_array(targets, name="targets", ndim=1)
+        if x.shape[0] != y.shape[0]:
+            raise ValidationError("features and targets must have the same sample count")
+        gamma = self.gamma if self.gamma is not None else 1.0 / x.shape[1]
+        self._intercept = float(y.mean())
+        y_centred = y - self._intercept
+        kernel_matrix = self._kernel_fn()(x, x, gamma)
+        n = x.shape[0]
+        self.dual_coef_ = np.linalg.solve(kernel_matrix + self.alpha * np.eye(n), y_centred)
+        self._train_features = x
+        self._gamma = gamma
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for new samples."""
+        if self.dual_coef_ is None or self._train_features is None:
+            raise NotFittedError("KernelRidge must be fitted before predicting")
+        x = check_matrix(features, name="features")
+        if x.shape[1] != self._train_features.shape[1]:
+            raise ValidationError(
+                f"features has {x.shape[1]} columns, model expects "
+                f"{self._train_features.shape[1]}"
+            )
+        kernel_matrix = self._kernel_fn()(x, self._train_features, self._gamma)
+        return kernel_matrix @ self.dual_coef_ + self._intercept

@@ -1,0 +1,132 @@
+"""Linear support-vector regression with the epsilon-insensitive loss.
+
+The paper uses SVM regression on leverage-selected connectome features to
+predict task performance (Section 3.3.3, Table 1).  This implementation
+solves the primal problem
+
+    min_w  (1/2)||w||^2 + C * sum_i max(0, |y_i - w.x_i - b| - epsilon)
+
+by full-batch subgradient descent with a decaying step size.  That is robust
+and dependency-free; the feature matrices after leverage selection are small
+(tens of features by tens of subjects), so the simple solver converges in a
+few hundred iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import check_array, check_matrix, check_positive_int
+
+
+class LinearSVR:
+    """Epsilon-insensitive linear support-vector regression.
+
+    Parameters
+    ----------
+    C:
+        Inverse regularization strength (larger = less regularization).
+    epsilon:
+        Half-width of the insensitive tube around the regression function.
+    n_iterations:
+        Number of full-batch subgradient steps.
+    learning_rate:
+        Initial step size; decays as ``1 / (1 + t * decay)``.
+    decay:
+        Step-size decay rate.
+    normalize:
+        If true (default), features are standardized internally; the learned
+        coefficients are folded back to the original scale after fitting.
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        epsilon: float = 0.01,
+        n_iterations: int = 2000,
+        learning_rate: float = 0.05,
+        decay: float = 0.005,
+        normalize: bool = True,
+    ):
+        if C <= 0:
+            raise ValidationError(f"C must be positive, got {C}")
+        if epsilon < 0:
+            raise ValidationError(f"epsilon must be non-negative, got {epsilon}")
+        self.C = float(C)
+        self.epsilon = float(epsilon)
+        self.n_iterations = check_positive_int(n_iterations, name="n_iterations")
+        self.learning_rate = float(learning_rate)
+        self.decay = float(decay)
+        self.normalize = bool(normalize)
+
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+        self.loss_history_: list = []
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LinearSVR":
+        """Fit the regressor on ``(n_samples, n_features)`` data."""
+        x = check_matrix(features, name="features")
+        y = check_array(targets, name="targets", ndim=1)
+        if x.shape[0] != y.shape[0]:
+            raise ValidationError("features and targets must have the same sample count")
+
+        if self.normalize:
+            self._x_mean = x.mean(axis=0)
+            x_std = x.std(axis=0)
+            self._x_std = np.where(x_std < 1e-12, 1.0, x_std)
+            x_work = (x - self._x_mean) / self._x_std
+        else:
+            self._x_mean = np.zeros(x.shape[1])
+            self._x_std = np.ones(x.shape[1])
+            x_work = x
+
+        y_mean = float(y.mean())
+        y_work = y - y_mean
+
+        n_samples, n_features = x_work.shape
+        weights = np.zeros(n_features)
+        bias = 0.0
+        self.loss_history_ = []
+
+        for iteration in range(self.n_iterations):
+            residuals = x_work @ weights + bias - y_work
+            outside = np.abs(residuals) > self.epsilon
+            signs = np.sign(residuals) * outside
+
+            grad_w = weights + self.C * (x_work.T @ signs) / n_samples
+            grad_b = self.C * float(signs.mean())
+
+            step = self.learning_rate / (1.0 + iteration * self.decay)
+            weights -= step * grad_w
+            bias -= step * grad_b
+
+            if iteration % 100 == 0 or iteration == self.n_iterations - 1:
+                hinge = np.maximum(np.abs(residuals) - self.epsilon, 0.0)
+                loss = 0.5 * float(weights @ weights) + self.C * float(hinge.mean())
+                self.loss_history_.append(loss)
+
+        # Fold the internal standardization back into the coefficients so that
+        # predict() works directly on raw features.
+        self.coef_ = weights / self._x_std
+        self.intercept_ = bias + y_mean - float(self._x_mean @ self.coef_)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for new samples."""
+        if self.coef_ is None:
+            raise NotFittedError("LinearSVR must be fitted before predicting")
+        x = check_matrix(features, name="features")
+        if x.shape[1] != self.coef_.shape[0]:
+            raise ValidationError(
+                f"features has {x.shape[1]} columns, model expects {self.coef_.shape[0]}"
+            )
+        return x @ self.coef_ + self.intercept_
+
+    def score(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """R^2 of the prediction (convenience wrapper)."""
+        from repro.ml.metrics import r2_score
+
+        return r2_score(np.asarray(targets, dtype=np.float64), self.predict(features))

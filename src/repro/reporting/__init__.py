@@ -1,0 +1,14 @@
+"""Reporting helpers: ASCII tables, heat-map summaries, experiment records."""
+
+from repro.reporting.tables import format_table, format_accuracy_matrix
+from repro.reporting.figures import heatmap_summary, ascii_heatmap
+from repro.reporting.experiment import ExperimentRecord, PaperComparison
+
+__all__ = [
+    "format_table",
+    "format_accuracy_matrix",
+    "heatmap_summary",
+    "ascii_heatmap",
+    "ExperimentRecord",
+    "PaperComparison",
+]

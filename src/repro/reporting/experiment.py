@@ -1,0 +1,125 @@
+"""Experiment records and paper-versus-measured comparisons.
+
+Every experiment in :mod:`repro.experiments` returns an
+:class:`ExperimentRecord` that bundles the measured numbers, the values the
+paper reports, and enough metadata to regenerate the run.  EXPERIMENTS.md is
+produced from these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.io import save_result
+
+
+@dataclass
+class PaperComparison:
+    """One paper-reported value next to the value this reproduction measured."""
+
+    description: str
+    paper_value: str
+    measured_value: str
+    matches_shape: bool
+
+    def as_row(self) -> List[str]:
+        """Row representation for table rendering."""
+        return [
+            self.description,
+            self.paper_value,
+            self.measured_value,
+            "yes" if self.matches_shape else "no",
+        ]
+
+
+@dataclass
+class ExperimentRecord:
+    """Everything needed to report one figure/table reproduction."""
+
+    experiment_id: str
+    title: str
+    configuration: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    comparisons: List[PaperComparison] = field(default_factory=list)
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def add_comparison(
+        self,
+        description: str,
+        paper_value: str,
+        measured_value: str,
+        matches_shape: bool,
+    ) -> None:
+        """Record one paper-vs-measured comparison line."""
+        self.comparisons.append(
+            PaperComparison(
+                description=description,
+                paper_value=paper_value,
+                measured_value=measured_value,
+                matches_shape=matches_shape,
+            )
+        )
+
+    def shape_holds(self) -> bool:
+        """Whether every recorded comparison preserves the paper's shape."""
+        if not self.comparisons:
+            return False
+        return all(c.matches_shape for c in self.comparisons)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable representation (arrays included)."""
+        payload: Dict[str, Any] = {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "configuration": dict(self.configuration),
+            "metrics": dict(self.metrics),
+            "comparisons": [
+                {
+                    "description": c.description,
+                    "paper_value": c.paper_value,
+                    "measured_value": c.measured_value,
+                    "matches_shape": c.matches_shape,
+                }
+                for c in self.comparisons
+            ],
+        }
+        payload.update(self.arrays)
+        return payload
+
+    def save(self, path) -> None:
+        """Persist the record with :func:`repro.utils.io.save_result`."""
+        save_result(self.to_dict(), path)
+
+    def markdown_section(self) -> str:
+        """Markdown block used to assemble EXPERIMENTS.md."""
+        lines = [f"### {self.experiment_id}: {self.title}", ""]
+        if self.configuration:
+            config = ", ".join(f"{k}={v}" for k, v in sorted(self.configuration.items()))
+            lines.append(f"*Configuration:* {config}")
+            lines.append("")
+        if self.comparisons:
+            lines.append("| Quantity | Paper | Measured | Shape holds |")
+            lines.append("|---|---|---|---|")
+            for comparison in self.comparisons:
+                lines.append(
+                    f"| {comparison.description} | {comparison.paper_value} | "
+                    f"{comparison.measured_value} | "
+                    f"{'yes' if comparison.matches_shape else 'no'} |"
+                )
+            lines.append("")
+        if self.metrics:
+            lines.append("Measured metrics: " + ", ".join(
+                f"{k}={_format_metric(v)}" for k, v in sorted(self.metrics.items())
+            ))
+            lines.append("")
+        return "\n".join(lines)
+
+
+def _format_metric(value: Any) -> str:
+    if isinstance(value, (float, np.floating)):
+        return f"{float(value):.3f}"
+    return str(value)

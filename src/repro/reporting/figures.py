@@ -1,0 +1,115 @@
+"""Text-based figure summaries.
+
+The paper's figures are heat maps (similarity matrices) and scatter plots
+(t-SNE clusters).  Without a plotting stack, these helpers reduce such
+figures to the statistics that carry their message (diagonal contrast,
+cluster separation) and to coarse ASCII heat maps for quick console
+inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+_SHADES = " .:-=+*#%@"
+
+
+def heatmap_summary(matrix: np.ndarray) -> Dict[str, float]:
+    """Summary statistics of a similarity heat map (diagonal vs off-diagonal)."""
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2:
+        raise ValidationError("matrix must be 2-D")
+    n = min(m.shape)
+    diagonal = np.array([m[i, i] for i in range(n)])
+    mask = np.ones(m.shape, dtype=bool)
+    for i in range(n):
+        mask[i, i] = False
+    off_diagonal = m[mask]
+    return {
+        "diagonal_mean": float(diagonal.mean()),
+        "off_diagonal_mean": float(off_diagonal.mean()),
+        "contrast": float(diagonal.mean() - off_diagonal.mean()),
+        "min": float(m.min()),
+        "max": float(m.max()),
+    }
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    max_size: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Coarse ASCII rendering of a matrix (down-sampled to ``max_size``)."""
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2:
+        raise ValidationError("matrix must be 2-D")
+    if max_size < 2:
+        raise ValidationError("max_size must be at least 2")
+
+    def _downsample(data: np.ndarray, target: int) -> np.ndarray:
+        if data.shape[0] <= target and data.shape[1] <= target:
+            return data
+        row_bins = np.array_split(np.arange(data.shape[0]), min(target, data.shape[0]))
+        col_bins = np.array_split(np.arange(data.shape[1]), min(target, data.shape[1]))
+        out = np.zeros((len(row_bins), len(col_bins)))
+        for i, rows in enumerate(row_bins):
+            for j, cols in enumerate(col_bins):
+                out[i, j] = data[np.ix_(rows, cols)].mean()
+        return out
+
+    small = _downsample(m, max_size)
+    low, high = float(small.min()), float(small.max())
+    span = high - low if high > low else 1.0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in small:
+        indices = ((row - low) / span * (len(_SHADES) - 1)).astype(int)
+        lines.append("".join(_SHADES[i] for i in indices))
+    lines.append(f"[{low:.2f} .. {high:.2f}]")
+    return "\n".join(lines)
+
+
+def cluster_separation(
+    embedding: np.ndarray, labels: Sequence[str]
+) -> Dict[str, float]:
+    """Quantify how well a 2-D embedding separates its labelled clusters.
+
+    Returns the ratio of mean between-cluster centroid distance to mean
+    within-cluster spread — the statistic that summarizes the visual quality
+    of the paper's Figure 6.
+    """
+    points = np.asarray(embedding, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValidationError("embedding must be 2-D (n_points, n_dims)")
+    labels = list(labels)
+    if len(labels) != points.shape[0]:
+        raise ValidationError("labels length must match the number of embedded points")
+    unique = sorted(set(labels))
+    if len(unique) < 2:
+        raise ValidationError("at least two clusters are required")
+    centroids = {}
+    spreads = []
+    for label in unique:
+        mask = np.asarray([l == label for l in labels])
+        cluster = points[mask]
+        centroid = cluster.mean(axis=0)
+        centroids[label] = centroid
+        spreads.append(float(np.mean(np.linalg.norm(cluster - centroid, axis=1))))
+    centroid_list = [centroids[label] for label in unique]
+    between = []
+    for i in range(len(unique)):
+        for j in range(i + 1, len(unique)):
+            between.append(float(np.linalg.norm(centroid_list[i] - centroid_list[j])))
+    within = float(np.mean(spreads))
+    separation = float(np.mean(between)) / within if within > 1e-12 else float("inf")
+    return {
+        "mean_between_cluster_distance": float(np.mean(between)),
+        "mean_within_cluster_spread": within,
+        "separation_ratio": separation,
+        "n_clusters": float(len(unique)),
+    }

@@ -1,0 +1,74 @@
+"""Plain-text table formatting for experiment output.
+
+The benchmark harness prints the same rows the paper reports; these helpers
+render them as aligned ASCII tables without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    if not headers:
+        raise ValidationError("headers must not be empty")
+    formatted_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row {row!r} has {len(row)} cells but there are {len(headers)} headers"
+            )
+        formatted_rows.append(
+            [
+                float_format.format(cell) if isinstance(cell, (float, np.floating)) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in formatted_rows)) if formatted_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(header_line)
+    lines.append(separator)
+    for row in formatted_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_accuracy_matrix(
+    accuracy: np.ndarray,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: Optional[str] = None,
+    as_percent: bool = True,
+) -> str:
+    """Render a task-by-task accuracy matrix (the Figure 5 object) as text."""
+    accuracy = np.asarray(accuracy, dtype=np.float64)
+    if accuracy.ndim != 2:
+        raise ValidationError("accuracy must be a 2-D matrix")
+    if accuracy.shape != (len(row_labels), len(col_labels)):
+        raise ValidationError(
+            "accuracy shape does not match the provided labels "
+            f"({accuracy.shape} vs {(len(row_labels), len(col_labels))})"
+        )
+    values = accuracy * 100.0 if as_percent else accuracy
+    headers = ["de-anonymized \\ anonymous"] + list(col_labels)
+    rows = []
+    for label, row in zip(row_labels, values):
+        rows.append([label] + [float(v) for v in row])
+    return format_table(headers, rows, title=title, float_format="{:5.1f}")

@@ -1,0 +1,39 @@
+"""Shared utility substrate: validation, RNG handling, statistics, and I/O."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_array,
+    check_matrix,
+    check_positive_int,
+    check_probability,
+    check_same_length,
+    check_square,
+    check_symmetric,
+)
+from repro.utils.stats import (
+    fisher_z,
+    inverse_fisher_z,
+    pearson_correlation,
+    pairwise_pearson,
+    zscore,
+)
+from repro.utils.io import load_result, save_result
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "check_array",
+    "check_matrix",
+    "check_positive_int",
+    "check_probability",
+    "check_same_length",
+    "check_square",
+    "check_symmetric",
+    "fisher_z",
+    "inverse_fisher_z",
+    "pearson_correlation",
+    "pairwise_pearson",
+    "zscore",
+    "load_result",
+    "save_result",
+]

@@ -1,0 +1,106 @@
+"""Result persistence helpers.
+
+Experiments produce dictionaries mixing scalars, arrays, and nested metadata.
+These helpers serialize such results to a pair of files (a JSON document for
+metadata and an ``.npz`` archive for arrays) so that benchmark outputs can be
+inspected after a run without any plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+PathLike = Union[str, Path]
+
+
+def _split_result(result: Dict[str, Any]):
+    """Separate array-valued entries from JSON-serializable entries."""
+    arrays: Dict[str, np.ndarray] = {}
+    scalars: Dict[str, Any] = {}
+    for key, value in result.items():
+        if isinstance(value, np.ndarray):
+            arrays[key] = value
+        elif isinstance(value, (np.floating, np.integer)):
+            scalars[key] = value.item()
+        elif isinstance(value, dict):
+            nested_arrays, nested_scalars = _split_result(value)
+            for sub_key, sub_value in nested_arrays.items():
+                arrays[f"{key}.{sub_key}"] = sub_value
+            scalars[key] = nested_scalars
+        else:
+            scalars[key] = value
+    return arrays, scalars
+
+
+def save_result(result: Dict[str, Any], path: PathLike) -> Path:
+    """Save an experiment result dictionary.
+
+    Parameters
+    ----------
+    result:
+        Mapping from names to scalars, strings, lists, nested dicts, or
+        :class:`numpy.ndarray` values.
+    path:
+        Base path; ``<path>.json`` and (if arrays are present) ``<path>.npz``
+        are written.
+
+    Returns
+    -------
+    pathlib.Path
+        The JSON path that was written.
+    """
+    if not isinstance(result, dict):
+        raise ValidationError("result must be a dict")
+    base = Path(path)
+    base.parent.mkdir(parents=True, exist_ok=True)
+    arrays, scalars = _split_result(result)
+    json_path = base.with_suffix(".json")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(scalars, handle, indent=2, sort_keys=True, default=_json_default)
+    if arrays:
+        np.savez_compressed(base.with_suffix(".npz"), **arrays)
+    return json_path
+
+
+def load_result(path: PathLike) -> Dict[str, Any]:
+    """Load a result previously written by :func:`save_result`."""
+    base = Path(path)
+    json_path = base.with_suffix(".json")
+    if not json_path.exists():
+        raise ValidationError(f"no result found at {json_path}")
+    with open(json_path, "r", encoding="utf-8") as handle:
+        result: Dict[str, Any] = json.load(handle)
+    npz_path = base.with_suffix(".npz")
+    if npz_path.exists():
+        with np.load(npz_path) as archive:
+            for key in archive.files:
+                _insert_nested(result, key, archive[key])
+    return result
+
+
+def _insert_nested(result: Dict[str, Any], dotted_key: str, value: np.ndarray) -> None:
+    """Insert ``value`` into ``result`` following a dotted key path."""
+    parts = dotted_key.split(".")
+    node = result
+    for part in parts[:-1]:
+        node = node.setdefault(part, {})
+        if not isinstance(node, dict):
+            raise ValidationError(f"conflicting key {dotted_key!r} in saved result")
+    node[parts[-1]] = value
+
+
+def _json_default(obj: Any):
+    """Fallback serializer for objects ``json`` does not know about."""
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, Path):
+        return str(obj)
+    return str(obj)

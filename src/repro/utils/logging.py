@@ -1,0 +1,35 @@
+"""Lightweight logging configuration for library and experiment code.
+
+The library never configures the root logger; experiment scripts call
+:func:`configure_logging` explicitly so that importing :mod:`repro` has no
+side effects.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+_LIBRARY_LOGGER_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a child logger of the library's namespace logger."""
+    if name is None:
+        return logging.getLogger(_LIBRARY_LOGGER_NAME)
+    if name.startswith(_LIBRARY_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_LOGGER_NAME}.{name}")
+
+
+def configure_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a console handler with a compact format to the library logger."""
+    logger = logging.getLogger(_LIBRARY_LOGGER_NAME)
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,143 @@
+"""Statistical helpers shared by the connectome and attack modules.
+
+These are small, numerically careful wrappers around NumPy primitives.  They
+exist so that correlation handling (degenerate constant series, Fisher
+transforms, z-scoring conventions) is implemented exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_array, check_matrix
+
+
+def zscore(data: np.ndarray, axis: int = -1, ddof: int = 0, eps: float = 1e-12) -> np.ndarray:
+    """Z-score ``data`` along ``axis``.
+
+    Constant slices (zero standard deviation) are mapped to zeros rather than
+    NaN so that downstream correlation code never sees invalid values; this
+    matches the convention used when a region's averaged BOLD signal is flat.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    mean = data.mean(axis=axis, keepdims=True)
+    std = data.std(axis=axis, ddof=ddof, keepdims=True)
+    safe_std = np.where(std < eps, 1.0, std)
+    out = (data - mean) / safe_std
+    return np.where(std < eps, 0.0, out)
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation between two 1-D vectors.
+
+    Returns 0.0 when either vector is constant, which is the behaviour the
+    matching code relies on (a constant feature vector should never produce a
+    confident match).
+    """
+    x = check_array(x, name="x", ndim=1)
+    y = check_array(y, name="y", ndim=1)
+    if x.shape[0] != y.shape[0]:
+        raise ValidationError(
+            f"x and y must have the same length, got {x.shape[0]} and {y.shape[0]}"
+        )
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = np.linalg.norm(xc) * np.linalg.norm(yc)
+    if denom < 1e-15:
+        return 0.0
+    return float(np.dot(xc, yc) / denom)
+
+
+def pairwise_pearson(
+    columns_a: np.ndarray, columns_b: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Pearson correlation between every pair of columns of two matrices.
+
+    Parameters
+    ----------
+    columns_a:
+        ``(n_features, n_a)`` matrix whose columns are observations.
+    columns_b:
+        ``(n_features, n_b)`` matrix; defaults to ``columns_a``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_a, n_b)`` matrix of correlations.  Columns with zero variance
+        correlate 0 with everything.
+    """
+    a = check_matrix(columns_a, name="columns_a")
+    b = a if columns_b is None else check_matrix(columns_b, name="columns_b")
+    if a.shape[0] != b.shape[0]:
+        raise ValidationError(
+            "column matrices must share the feature dimension, "
+            f"got {a.shape[0]} and {b.shape[0]}"
+        )
+    ac = a - a.mean(axis=0, keepdims=True)
+    bc = b - b.mean(axis=0, keepdims=True)
+    a_norm = np.linalg.norm(ac, axis=0)
+    b_norm = np.linalg.norm(bc, axis=0)
+    a_safe = np.where(a_norm < 1e-15, 1.0, a_norm)
+    b_safe = np.where(b_norm < 1e-15, 1.0, b_norm)
+    corr = (ac / a_safe).T @ (bc / b_safe)
+    corr[a_norm < 1e-15, :] = 0.0
+    corr[:, b_norm < 1e-15] = 0.0
+    return np.clip(corr, -1.0, 1.0)
+
+
+def correlation_matrix(timeseries: np.ndarray) -> np.ndarray:
+    """Region-by-region Pearson correlation of a ``(regions, time)`` matrix.
+
+    Degenerate (constant) rows produce zero correlations off the diagonal and
+    1.0 on the diagonal, keeping the output a valid correlation matrix.
+    """
+    ts = check_matrix(timeseries, name="timeseries", min_cols=2)
+    corr = pairwise_pearson(ts.T)
+    np.fill_diagonal(corr, 1.0)
+    return corr
+
+
+def fisher_z(r: np.ndarray, clip: float = 1.0 - 1e-7) -> np.ndarray:
+    """Fisher r-to-z transform with clipping for numerical stability."""
+    r = np.clip(np.asarray(r, dtype=np.float64), -clip, clip)
+    return np.arctanh(r)
+
+
+def inverse_fisher_z(z: np.ndarray) -> np.ndarray:
+    """Inverse Fisher transform (z-to-r)."""
+    return np.tanh(np.asarray(z, dtype=np.float64))
+
+
+def normalized_rmse(
+    y_true: np.ndarray, y_pred: np.ndarray, normalization: str = "range"
+) -> float:
+    """Root-mean-squared error normalized by the range or mean of ``y_true``.
+
+    The paper reports "normalized root-mean-squared error (in %)" for the
+    task-performance regression (Table 1); this helper implements that metric.
+    """
+    y_true = check_array(y_true, name="y_true", ndim=1)
+    y_pred = check_array(y_pred, name="y_pred", ndim=1)
+    if y_true.shape != y_pred.shape:
+        raise ValidationError("y_true and y_pred must have the same shape")
+    rmse = float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+    if normalization == "range":
+        scale = float(np.ptp(y_true))
+    elif normalization == "mean":
+        scale = float(np.abs(np.mean(y_true)))
+    else:
+        raise ValidationError("normalization must be 'range' or 'mean'")
+    if scale < 1e-15:
+        return 0.0 if rmse < 1e-15 else float("inf")
+    return rmse / scale
+
+
+def summarize(values: np.ndarray) -> Tuple[float, float]:
+    """Return ``(mean, std)`` of a sequence as plain floats."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValidationError("cannot summarize an empty sequence")
+    return float(values.mean()), float(values.std())

@@ -1,0 +1,155 @@
+"""Argument-validation helpers used across the library.
+
+These helpers convert inputs to well-formed :class:`numpy.ndarray` objects
+and raise :class:`repro.exceptions.ValidationError` with actionable messages
+when an input cannot be used.  They are intentionally small and composable so
+that public functions stay readable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, ValidationError
+
+
+def check_array(
+    value,
+    name: str = "array",
+    ndim: Optional[int] = None,
+    dtype=np.float64,
+    allow_empty: bool = False,
+    finite: bool = True,
+) -> np.ndarray:
+    """Convert ``value`` to an ndarray and validate its shape and contents.
+
+    Parameters
+    ----------
+    value:
+        Array-like input.
+    name:
+        Name used in error messages.
+    ndim:
+        Required number of dimensions, or ``None`` to accept any.
+    dtype:
+        Target dtype; ``None`` leaves the dtype untouched.
+    allow_empty:
+        Whether zero-sized arrays are acceptable.
+    finite:
+        If true, reject NaN and infinity.
+    """
+    try:
+        arr = np.asarray(value, dtype=dtype) if dtype is not None else np.asarray(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} could not be converted to an array: {exc}") from exc
+
+    if ndim is not None and arr.ndim != ndim:
+        raise ValidationError(
+            f"{name} must have {ndim} dimension(s), got shape {arr.shape}"
+        )
+    if not allow_empty and arr.size == 0:
+        raise ValidationError(f"{name} must not be empty")
+    if finite and arr.size and np.issubdtype(arr.dtype, np.floating):
+        if not np.all(np.isfinite(arr)):
+            raise ValidationError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_matrix(
+    value,
+    name: str = "matrix",
+    min_rows: int = 1,
+    min_cols: int = 1,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Validate a 2-D array with minimum dimensions."""
+    arr = check_array(value, name=name, ndim=2, dtype=dtype)
+    rows, cols = arr.shape
+    if rows < min_rows:
+        raise ValidationError(f"{name} must have at least {min_rows} row(s), got {rows}")
+    if cols < min_cols:
+        raise ValidationError(f"{name} must have at least {min_cols} column(s), got {cols}")
+    return arr
+
+
+def check_square(value, name: str = "matrix", dtype=np.float64) -> np.ndarray:
+    """Validate a square 2-D array."""
+    arr = check_array(value, name=name, ndim=2, dtype=dtype)
+    if arr.shape[0] != arr.shape[1]:
+        raise ValidationError(f"{name} must be square, got shape {arr.shape}")
+    return arr
+
+
+def check_symmetric(
+    value, name: str = "matrix", atol: float = 1e-8, dtype=np.float64
+) -> np.ndarray:
+    """Validate a symmetric square matrix (within ``atol``)."""
+    arr = check_square(value, name=name, dtype=dtype)
+    if not np.allclose(arr, arr.T, atol=atol):
+        raise ValidationError(f"{name} must be symmetric within atol={atol}")
+    return arr
+
+
+def check_positive_int(value, name: str = "value", minimum: int = 1) -> int:
+    """Validate an integer that must be at least ``minimum``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_probability(value, name: str = "value") -> float:
+    """Validate a float in the closed interval [0, 1]."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a float in [0, 1]") from exc
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_fraction(value, name: str = "value", inclusive_low: bool = False) -> float:
+    """Validate a float in (0, 1] (or [0, 1] when ``inclusive_low``)."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a float") from exc
+    low_ok = value >= 0.0 if inclusive_low else value > 0.0
+    if not (low_ok and value <= 1.0):
+        bound = "[0, 1]" if inclusive_low else "(0, 1]"
+        raise ValidationError(f"{name} must be in {bound}, got {value}")
+    return value
+
+
+def check_same_length(a: Sequence, b: Sequence, names: Tuple[str, str] = ("a", "b")) -> None:
+    """Validate that two sequences have the same length."""
+    if len(a) != len(b):
+        raise DimensionMismatchError(
+            f"{names[0]} and {names[1]} must have the same length, "
+            f"got {len(a)} and {len(b)}"
+        )
+
+
+def check_consistent_features(
+    reference: np.ndarray, target: np.ndarray, names: Tuple[str, str] = ("reference", "target")
+) -> None:
+    """Validate that two group matrices share their feature (row) dimension."""
+    if reference.shape[0] != target.shape[0]:
+        raise DimensionMismatchError(
+            f"{names[0]} and {names[1]} must have the same number of features, "
+            f"got {reference.shape[0]} and {target.shape[0]}"
+        )
+
+
+def check_in_choices(value, choices: Sequence, name: str = "value"):
+    """Validate membership in a finite set of allowed values."""
+    if value not in choices:
+        raise ValidationError(
+            f"{name} must be one of {sorted(map(str, choices))}, got {value!r}"
+        )
+    return value

@@ -1,0 +1,46 @@
+"""Tests for the PCA-subspace identification baseline."""
+
+import numpy as np
+import pytest
+
+from repro.attack.baselines import PCASubspaceBaseline
+from repro.attack.deanonymize import LeverageScoreAttack
+from repro.exceptions import AttackError, NotFittedError
+
+
+class TestPCASubspaceBaseline:
+    def test_identifies_rest_pair(self, rest_pair):
+        baseline = PCASubspaceBaseline(n_components=10)
+        result = baseline.fit_identify(rest_pair["reference"], rest_pair["target"])
+        assert result.accuracy() >= 0.7
+
+    def test_identify_before_fit_raises(self, rest_pair):
+        with pytest.raises(NotFittedError):
+            PCASubspaceBaseline().identify(rest_pair["target"])
+
+    def test_too_many_components_raises(self, rest_pair):
+        with pytest.raises(AttackError):
+            PCASubspaceBaseline(n_components=10**6).fit(rest_pair["reference"])
+
+    def test_feature_space_mismatch_raises(self, rest_pair):
+        baseline = PCASubspaceBaseline(n_components=5).fit(rest_pair["reference"])
+        truncated = rest_pair["target"].select_features(np.arange(100))
+        with pytest.raises(AttackError):
+            baseline.identify(truncated)
+
+    def test_leverage_attack_is_competitive_with_pca(self, rest_pair):
+        pca = PCASubspaceBaseline(n_components=10).fit_identify(
+            rest_pair["reference"], rest_pair["target"]
+        )
+        leverage = LeverageScoreAttack(n_features=100).fit_identify(
+            rest_pair["reference"], rest_pair["target"]
+        )
+        assert leverage.accuracy() >= pca.accuracy() - 0.1
+
+    def test_projection_dimensions(self, rest_pair):
+        baseline = PCASubspaceBaseline(n_components=6).fit(rest_pair["reference"])
+        result = baseline.identify(rest_pair["target"])
+        assert result.similarity.shape == (
+            rest_pair["reference"].n_scans,
+            rest_pair["target"].n_scans,
+        )

@@ -1,0 +1,94 @@
+"""Tests for the leverage-score de-anonymization attack."""
+
+import numpy as np
+import pytest
+
+from repro.attack.deanonymize import FullConnectomeBaseline, LeverageScoreAttack
+from repro.exceptions import AttackError, NotFittedError
+
+
+class TestLeverageScoreAttack:
+    def test_rest_identification_is_high(self, rest_pair):
+        attack = LeverageScoreAttack(n_features=100)
+        result = attack.fit_identify(rest_pair["reference"], rest_pair["target"])
+        assert result.accuracy() >= 0.9
+
+    def test_selected_features_within_bounds(self, rest_pair):
+        attack = LeverageScoreAttack(n_features=50).fit(rest_pair["reference"])
+        assert attack.selected_features_.shape == (50,)
+        assert attack.selected_features_.max() < rest_pair["reference"].n_features
+
+    def test_identify_before_fit_raises(self, rest_pair):
+        with pytest.raises(NotFittedError):
+            LeverageScoreAttack().identify(rest_pair["target"])
+
+    def test_n_features_too_large_raises(self, rest_pair):
+        attack = LeverageScoreAttack(n_features=10**7)
+        with pytest.raises(AttackError):
+            attack.fit(rest_pair["reference"])
+
+    def test_invalid_selection_raises(self, rest_pair):
+        with pytest.raises(AttackError):
+            LeverageScoreAttack(selection="pca").fit(rest_pair["reference"])
+
+    def test_randomized_selection_variants_run(self, rest_pair):
+        for selection in ("leverage", "l2", "uniform"):
+            attack = LeverageScoreAttack(
+                n_features=80, selection=selection, random_state=0
+            )
+            result = attack.fit_identify(rest_pair["reference"], rest_pair["target"])
+            assert 0.0 <= result.accuracy() <= 1.0
+
+    def test_deterministic_selection_beats_uniform_sampling(self, rest_pair):
+        deterministic = LeverageScoreAttack(n_features=60).fit_identify(
+            rest_pair["reference"], rest_pair["target"]
+        )
+        uniform = LeverageScoreAttack(
+            n_features=60, selection="uniform", random_state=0
+        ).fit_identify(rest_pair["reference"], rest_pair["target"])
+        assert deterministic.accuracy() >= uniform.accuracy()
+
+    def test_identify_with_alternate_reference(self, rest_pair, small_hcp):
+        attack = LeverageScoreAttack(n_features=60).fit(rest_pair["reference"])
+        other_reference = small_hcp.group_matrix("REST", encoding="LR", day=2)
+        result = attack.identify(rest_pair["target"], reference=other_reference)
+        assert 0.0 <= result.accuracy() <= 1.0
+
+    def test_feature_space_mismatch_raises(self, rest_pair):
+        attack = LeverageScoreAttack(n_features=40).fit(rest_pair["reference"])
+        truncated = rest_pair["target"].select_features(np.arange(200))
+        with pytest.raises(AttackError):
+            attack.identify(truncated)
+
+    def test_signature_region_pairs(self, rest_pair, small_hcp):
+        attack = LeverageScoreAttack(n_features=20).fit(rest_pair["reference"])
+        pairs = attack.signature_region_pairs(small_hcp.n_regions, top=5)
+        assert len(pairs) == 5
+        for region_a, region_b in pairs:
+            assert 0 <= region_a < region_b < small_hcp.n_regions
+
+    def test_signature_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LeverageScoreAttack().signature_region_pairs(10)
+
+
+class TestFullConnectomeBaseline:
+    def test_identifies_rest_pair(self, rest_pair):
+        baseline = FullConnectomeBaseline()
+        result = baseline.fit_identify(rest_pair["reference"], rest_pair["target"])
+        assert result.accuracy() >= 0.8
+
+    def test_identify_before_fit_raises(self, rest_pair):
+        with pytest.raises(NotFittedError):
+            FullConnectomeBaseline().identify(rest_pair["target"])
+
+    def test_attack_with_few_features_is_competitive_with_baseline(self, rest_pair):
+        # The paper's selling point: ~100 features perform on par with the
+        # full 64k-feature baseline.
+        attack = LeverageScoreAttack(n_features=100).fit_identify(
+            rest_pair["reference"], rest_pair["target"]
+        )
+        baseline = FullConnectomeBaseline().fit_identify(
+            rest_pair["reference"], rest_pair["target"]
+        )
+        assert attack.accuracy() >= baseline.accuracy() - 0.1

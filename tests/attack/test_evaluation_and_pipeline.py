@@ -1,0 +1,115 @@
+"""Tests for attack evaluation harnesses and the end-to-end pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.attack.evaluation import (
+    cross_task_identification_matrix,
+    evaluate_identification,
+    repeated_identification,
+)
+from repro.attack.pipeline import AttackPipeline
+from repro.exceptions import AttackError, ValidationError
+
+
+class TestEvaluateIdentification:
+    def test_returns_match_result(self, rest_pair):
+        result = evaluate_identification(
+            rest_pair["reference"], rest_pair["target"], n_features=80
+        )
+        assert result.similarity.shape == (
+            rest_pair["reference"].n_scans,
+            rest_pair["target"].n_scans,
+        )
+        assert result.accuracy() >= 0.8
+
+
+class TestCrossTaskMatrix:
+    def test_shape_and_ordering(self, small_hcp):
+        tasks = ["REST", "LANGUAGE", "MOTOR"]
+        reference = {t: small_hcp.group_matrix(t, "LR", 1) for t in tasks}
+        target = {t: small_hcp.group_matrix(t, "RL", 2) for t in tasks}
+        outcome = cross_task_identification_matrix(reference, target, n_features=80)
+        assert outcome["accuracy"].shape == (3, 3)
+        assert outcome["reference_tasks"] == tasks
+        assert np.all((outcome["accuracy"] >= 0) & (outcome["accuracy"] <= 1))
+
+    def test_rest_more_identifying_than_motor(self, small_hcp):
+        tasks = ["REST", "MOTOR"]
+        reference = {t: small_hcp.group_matrix(t, "LR", 1) for t in tasks}
+        target = {t: small_hcp.group_matrix(t, "RL", 2) for t in tasks}
+        accuracy = cross_task_identification_matrix(reference, target, n_features=80)["accuracy"]
+        assert accuracy[0, 0] > accuracy[1, 1]
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(AttackError):
+            cross_task_identification_matrix({}, {})
+
+
+class TestRepeatedIdentification:
+    def test_summary_statistics(self, small_adhd):
+        pair = small_adhd.session_pair()
+        summary = repeated_identification(
+            pair["reference"], pair["target"], n_features=80, n_repetitions=3,
+            random_state=0,
+        )
+        assert 0.0 <= summary["accuracy_mean"] <= 1.0
+        assert summary["n_repetitions"] == 3.0
+        assert len(summary["accuracies"]) == 3
+
+    def test_mismatched_subjects_raise(self, small_adhd):
+        pair = small_adhd.session_pair()
+        truncated = pair["target"].select_columns(np.arange(5))
+        with pytest.raises(ValidationError):
+            repeated_identification(pair["reference"], truncated)
+
+    def test_invalid_train_fraction(self, small_adhd):
+        pair = small_adhd.session_pair()
+        with pytest.raises(ValidationError):
+            repeated_identification(
+                pair["reference"], pair["target"], train_fraction=1.5
+            )
+
+
+class TestAttackPipeline:
+    def test_run_from_scans(self, small_hcp):
+        reference = small_hcp.generate_session("REST", encoding="LR", day=1)
+        target = small_hcp.generate_session("REST", encoding="RL", day=2)
+        report = AttackPipeline(n_features=80).run(reference, target)
+        assert report.accuracy >= 0.8
+        assert report.n_reference_scans == small_hcp.n_subjects
+        assert report.n_features_used == 80
+
+    def test_run_on_groups(self, rest_pair):
+        report = AttackPipeline(n_features=60).run_on_groups(
+            rest_pair["reference"], rest_pair["target"]
+        )
+        assert 0.0 <= report.accuracy <= 1.0
+        assert "diagonal_mean" in report.similarity_contrast
+
+    def test_summary_lines(self, rest_pair):
+        report = AttackPipeline(n_features=60).run_on_groups(
+            rest_pair["reference"], rest_pair["target"]
+        )
+        text = str(report)
+        assert "identification accuracy" in text
+        assert "%" in text
+
+    def test_n_features_capped_at_available(self, rest_pair):
+        pipeline = AttackPipeline(n_features=10**7)
+        report = pipeline.run_on_groups(rest_pair["reference"], rest_pair["target"])
+        assert report.n_features_used == rest_pair["reference"].n_features
+
+    def test_signature_requires_prior_run(self):
+        with pytest.raises(AttackError):
+            AttackPipeline().signature_region_pairs(10)
+
+    def test_signature_after_run(self, rest_pair, small_hcp):
+        pipeline = AttackPipeline(n_features=50)
+        pipeline.run_on_groups(rest_pair["reference"], rest_pair["target"])
+        pairs = pipeline.signature_region_pairs(small_hcp.n_regions, top=10)
+        assert len(pairs) == 10
+
+    def test_empty_scan_list_raises(self):
+        with pytest.raises(AttackError):
+            AttackPipeline().run([], [])

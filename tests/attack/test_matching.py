@@ -1,0 +1,91 @@
+"""Tests for cross-dataset subject matching."""
+
+import numpy as np
+import pytest
+
+from repro.attack.matching import match_group_matrices, match_subjects, matching_accuracy
+from repro.exceptions import AttackError, ValidationError
+
+
+def _paired_feature_matrices(rng, n_subjects=10, n_features=60, noise=0.3):
+    """Two noisy observations of the same per-subject feature vectors."""
+    base = rng.standard_normal((n_features, n_subjects))
+    a = base + noise * rng.standard_normal((n_features, n_subjects))
+    b = base + noise * rng.standard_normal((n_features, n_subjects))
+    return a, b
+
+
+class TestMatchSubjects:
+    def test_perfect_matching_on_paired_data(self, rng):
+        a, b = _paired_feature_matrices(rng)
+        ids = [f"s{i}" for i in range(a.shape[1])]
+        result = match_subjects(a, b, reference_subject_ids=ids, target_subject_ids=ids)
+        assert result.accuracy() == 1.0
+
+    def test_permuted_target_resolved(self, rng):
+        a, b = _paired_feature_matrices(rng)
+        permutation = rng.permutation(10)
+        result = match_subjects(
+            a,
+            b[:, permutation],
+            reference_subject_ids=[f"s{i}" for i in range(10)],
+            target_subject_ids=[f"s{i}" for i in permutation],
+        )
+        assert result.accuracy() == 1.0
+        assert result.predicted_subject_ids == [f"s{i}" for i in permutation]
+
+    def test_random_features_fail_to_match(self, rng):
+        a = rng.standard_normal((60, 12))
+        b = rng.standard_normal((60, 12))
+        result = match_subjects(a, b)
+        assert result.accuracy() < 0.5
+
+    def test_similarity_matrix_shape(self, rng):
+        a = rng.standard_normal((30, 4))
+        b = rng.standard_normal((30, 7))
+        result = match_subjects(a, b)
+        assert result.similarity.shape == (4, 7)
+        assert result.predicted_reference_index.shape == (7,)
+
+    def test_margin_positive_for_confident_matches(self, rng):
+        a, b = _paired_feature_matrices(rng, noise=0.1)
+        result = match_subjects(a, b)
+        assert np.all(result.margin() > 0)
+
+    def test_correct_mask(self, rng):
+        a, b = _paired_feature_matrices(rng, noise=0.1)
+        ids = [f"s{i}" for i in range(a.shape[1])]
+        result = match_subjects(a, b, reference_subject_ids=ids, target_subject_ids=ids)
+        assert result.correct_mask().all()
+
+    def test_feature_mismatch_raises(self, rng):
+        with pytest.raises(AttackError):
+            match_subjects(rng.standard_normal((10, 3)), rng.standard_normal((12, 3)))
+
+    def test_single_feature_raises(self, rng):
+        with pytest.raises(AttackError):
+            match_subjects(rng.standard_normal((1, 3)), rng.standard_normal((1, 3)))
+
+    def test_wrong_id_count_raises(self, rng):
+        a, b = _paired_feature_matrices(rng, n_subjects=4)
+        with pytest.raises(ValidationError):
+            match_subjects(a, b, reference_subject_ids=["only-one"])
+
+    def test_matching_accuracy_shortcut(self, rng):
+        a, b = _paired_feature_matrices(rng, noise=0.1)
+        ids = [f"s{i}" for i in range(a.shape[1])]
+        assert matching_accuracy(
+            a, b, reference_subject_ids=ids, target_subject_ids=ids
+        ) == 1.0
+
+
+class TestMatchGroupMatrices:
+    def test_on_rest_pair(self, rest_pair):
+        result = match_group_matrices(rest_pair["reference"], rest_pair["target"])
+        assert result.accuracy() > 0.8
+
+    def test_with_feature_subset(self, rest_pair):
+        result = match_group_matrices(
+            rest_pair["reference"], rest_pair["target"], feature_indices=np.arange(100)
+        )
+        assert 0.0 <= result.accuracy() <= 1.0

@@ -1,0 +1,80 @@
+"""Tests for the SVR task-performance inference attack."""
+
+import numpy as np
+import pytest
+
+from repro.attack.performance_inference import PerformanceInferenceAttack
+from repro.exceptions import AttackError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def language_data():
+    from repro.datasets.hcp import HCPLikeDataset
+
+    dataset = HCPLikeDataset(n_subjects=24, n_regions=60, n_timepoints=150, random_state=2)
+    group = dataset.group_matrix("LANGUAGE", encoding="LR", day=1)
+    performance = dataset.performance_table("LANGUAGE")
+    return group, performance
+
+
+class TestPerformanceInferenceAttack:
+    def test_run_once_returns_errors_and_indices(self, language_data):
+        group, performance = language_data
+        attack = PerformanceInferenceAttack(n_features=200, random_state=0)
+        result = attack.run_once(group, performance, random_state=0)
+        assert result.train_nrmse_percent >= 0
+        assert result.test_nrmse_percent >= 0
+        assert len(result.test_indices) == len(result.predictions)
+
+    def test_prediction_beats_mean_predictor(self, language_data):
+        group, performance = language_data
+        attack = PerformanceInferenceAttack(n_features=250, random_state=0)
+        summary = attack.run(group, performance, n_repetitions=5)
+        # A mean predictor has nRMSE(mean) around std/mean of the metric.
+        mean_predictor_nrmse = 100.0 * performance.std() / performance.mean()
+        assert summary["test_nrmse_mean"] < mean_predictor_nrmse
+
+    def test_train_error_not_larger_than_test_error(self, language_data):
+        group, performance = language_data
+        attack = PerformanceInferenceAttack(n_features=200, random_state=1)
+        summary = attack.run(group, performance, n_repetitions=5)
+        assert summary["train_nrmse_mean"] <= summary["test_nrmse_mean"] + 1.0
+
+    def test_kernel_ridge_variant_runs(self, language_data):
+        group, performance = language_data
+        attack = PerformanceInferenceAttack(
+            n_features=150, regressor="kernel_ridge", random_state=0
+        )
+        result = attack.run_once(group, performance, random_state=0)
+        assert np.isfinite(result.test_nrmse_percent)
+
+    def test_invalid_regressor_raises(self, language_data):
+        group, performance = language_data
+        attack = PerformanceInferenceAttack(regressor="random_forest")
+        with pytest.raises(AttackError):
+            attack.run_once(group, performance, random_state=0)
+
+    def test_performance_length_mismatch_raises(self, language_data):
+        group, performance = language_data
+        attack = PerformanceInferenceAttack()
+        with pytest.raises(ValidationError):
+            attack.run_once(group, performance[:-2], random_state=0)
+
+    def test_invalid_repetitions_raises(self, language_data):
+        group, performance = language_data
+        with pytest.raises(ValidationError):
+            PerformanceInferenceAttack().run(group, performance, n_repetitions=0)
+
+    def test_summary_keys(self, language_data):
+        group, performance = language_data
+        summary = PerformanceInferenceAttack(n_features=100, random_state=3).run(
+            group, performance, n_repetitions=2
+        )
+        for key in (
+            "train_nrmse_mean",
+            "train_nrmse_std",
+            "test_nrmse_mean",
+            "test_nrmse_std",
+            "n_repetitions",
+        ):
+            assert key in summary

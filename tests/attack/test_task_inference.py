@@ -1,0 +1,83 @@
+"""Tests for the t-SNE task-inference attack."""
+
+import numpy as np
+import pytest
+
+from repro.attack.task_inference import TaskInferenceAttack
+from repro.connectome.group import GroupMatrix
+from repro.exceptions import AttackError
+
+
+@pytest.fixture(scope="module")
+def conditions_group():
+    """Group matrix with three very distinct conditions for 10 subjects."""
+    from repro.datasets.hcp import HCPLikeDataset
+
+    dataset = HCPLikeDataset(n_subjects=12, n_regions=60, n_timepoints=140, random_state=11)
+    scans = []
+    for task in ("REST", "MOTOR", "LANGUAGE"):
+        scans.extend(dataset.generate_session(task, encoding="LR", day=1))
+    return dataset.scans_to_group_matrix(scans)
+
+
+class TestTaskInferenceAttack:
+    def test_run_produces_predictions_for_unlabelled_scans(self, conditions_group):
+        attack = TaskInferenceAttack(
+            n_labelled_subjects=5, n_iterations=200, random_state=0
+        )
+        result = attack.run(conditions_group)
+        assert len(result.predicted_tasks) == len(result.true_tasks)
+        assert len(result.predicted_tasks) == len(result.unlabelled_indices)
+
+    def test_task_prediction_beats_chance(self, conditions_group):
+        attack = TaskInferenceAttack(
+            n_labelled_subjects=5, n_iterations=250, random_state=0
+        )
+        result = attack.run(conditions_group)
+        assert result.accuracy() > 0.6  # chance is 1/3
+
+    def test_per_task_accuracy_keys(self, conditions_group):
+        attack = TaskInferenceAttack(
+            n_labelled_subjects=5, n_iterations=150, random_state=0
+        )
+        result = attack.run(conditions_group)
+        assert set(result.per_task_accuracy()) == {"REST", "MOTOR", "LANGUAGE"}
+
+    def test_confusion_matrix_dimensions(self, conditions_group):
+        attack = TaskInferenceAttack(
+            n_labelled_subjects=5, n_iterations=150, random_state=0
+        )
+        result = attack.run(conditions_group)
+        matrix, labels = result.confusion()
+        assert matrix.shape == (len(labels), len(labels))
+        assert matrix.sum() == len(result.true_tasks)
+
+    def test_embedding_has_two_dimensions(self, conditions_group):
+        attack = TaskInferenceAttack(
+            n_labelled_subjects=5, n_iterations=150, random_state=0
+        )
+        embedding = attack.embed(conditions_group)
+        assert embedding.shape == (conditions_group.n_scans, 2)
+
+    def test_labelled_and_unlabelled_partition_scans(self, conditions_group):
+        attack = TaskInferenceAttack(
+            n_labelled_subjects=4, n_iterations=120, random_state=1
+        )
+        result = attack.run(conditions_group)
+        combined = np.sort(
+            np.concatenate([result.labelled_indices, result.unlabelled_indices])
+        )
+        np.testing.assert_array_equal(combined, np.arange(conditions_group.n_scans))
+
+    def test_missing_task_labels_raises(self, rng):
+        group = GroupMatrix(
+            data=rng.standard_normal((20, 6)),
+            subject_ids=[f"s{i}" for i in range(6)],
+            tasks=["", "", "", "", "", ""],
+        )
+        with pytest.raises(AttackError):
+            TaskInferenceAttack(n_labelled_subjects=2).run(group)
+
+    def test_too_many_labelled_subjects_raises(self, conditions_group):
+        with pytest.raises(AttackError):
+            TaskInferenceAttack(n_labelled_subjects=12).run(conditions_group)

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are deliberately small (tens of subjects, tens of regions,
+around a hundred time points) so the whole suite stays fast while still
+exercising every code path of the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.connectome.group import GroupMatrix
+from repro.datasets.adhd200 import ADHD200LikeDataset
+from repro.datasets.hcp import HCPLikeDataset
+from repro.imaging.atlas import random_parcellation
+from repro.imaging.phantom import BrainPhantom
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Session-wide deterministic generator for ad-hoc random inputs."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_hcp() -> HCPLikeDataset:
+    """A small HCP-like cohort shared by many tests (12 subjects, 48 regions)."""
+    return HCPLikeDataset(
+        n_subjects=12, n_regions=48, n_timepoints=120, random_state=3
+    )
+
+
+@pytest.fixture(scope="session")
+def small_adhd() -> ADHD200LikeDataset:
+    """A small ADHD-200-like cohort (9 cases + 9 controls, 40 regions)."""
+    return ADHD200LikeDataset(
+        n_cases=9, n_controls=9, n_regions=40, n_timepoints=100, random_state=5
+    )
+
+
+@pytest.fixture(scope="session")
+def rest_pair(small_hcp) -> dict:
+    """Reference/target group-matrix pair of resting-state scans."""
+    return small_hcp.encoding_pair("REST")
+
+
+@pytest.fixture(scope="session")
+def rest_group(rest_pair) -> GroupMatrix:
+    """The de-anonymized resting-state group matrix."""
+    return rest_pair["reference"]
+
+
+@pytest.fixture(scope="session")
+def small_phantom() -> BrainPhantom:
+    """A small digital head phantom."""
+    return BrainPhantom(shape=(16, 18, 16))
+
+
+@pytest.fixture(scope="session")
+def small_atlas(small_phantom):
+    """A 12-region parcellation of the small phantom."""
+    return random_parcellation(small_phantom, n_regions=12, random_state=1)
+
+
+@pytest.fixture()
+def tall_matrix(rng) -> np.ndarray:
+    """A tall random matrix with a planted low-rank structure."""
+    basis = rng.standard_normal((200, 5))
+    weights = rng.standard_normal((5, 12))
+    return basis @ weights + 0.05 * rng.standard_normal((200, 12))

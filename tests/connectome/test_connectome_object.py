@@ -1,0 +1,62 @@
+"""Tests for the Connectome object."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.connectome.connectome import Connectome
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture()
+def connectome(rng):
+    ts = rng.standard_normal((10, 120))
+    return Connectome.from_timeseries(ts, subject_id="sub-1", task="REST", session="LR")
+
+
+class TestConnectome:
+    def test_from_timeseries_properties(self, connectome):
+        assert connectome.n_regions == 10
+        assert connectome.n_features == 45
+        assert connectome.subject_id == "sub-1"
+        assert connectome.task == "REST"
+
+    def test_vectorize_length(self, connectome):
+        assert connectome.vectorize().shape == (45,)
+
+    def test_rejects_empty_subject_id(self, rng):
+        with pytest.raises(ValidationError):
+            Connectome(matrix=np.eye(4), subject_id="")
+
+    def test_rejects_asymmetric_matrix(self, rng):
+        with pytest.raises(ValidationError):
+            Connectome(matrix=rng.standard_normal((4, 4)), subject_id="s")
+
+    def test_graph_view_complete(self, connectome):
+        graph = connectome.to_graph()
+        assert isinstance(graph, nx.Graph)
+        assert graph.number_of_nodes() == 10
+        assert graph.number_of_edges() == 45
+
+    def test_graph_threshold_drops_weak_edges(self, connectome):
+        full = connectome.to_graph()
+        sparse = connectome.to_graph(threshold=0.5)
+        assert sparse.number_of_edges() <= full.number_of_edges()
+
+    def test_graph_edge_weights_match_matrix(self, connectome):
+        graph = connectome.to_graph()
+        weight = graph[0][1]["weight"]
+        assert weight == pytest.approx(connectome.matrix[0, 1])
+
+    def test_strongest_edges_sorted(self, connectome):
+        edges = connectome.strongest_edges(k=5)
+        strengths = [abs(w) for _, _, w in edges]
+        assert strengths == sorted(strengths, reverse=True)
+
+    def test_strongest_edges_invalid_k(self, connectome):
+        with pytest.raises(ValidationError):
+            connectome.strongest_edges(k=0)
+
+    def test_label_contains_provenance(self, connectome):
+        label = connectome.label()
+        assert "sub-1" in label and "REST" in label and "LR" in label

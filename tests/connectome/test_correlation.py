@@ -1,0 +1,114 @@
+"""Tests for connectome construction and (de)vectorization."""
+
+import numpy as np
+import pytest
+
+from repro.connectome.correlation import (
+    correlation_connectome,
+    devectorize_connectome,
+    n_regions_from_vector_length,
+    partial_correlation_connectome,
+    vector_index_to_region_pair,
+    vectorize_connectome,
+)
+from repro.exceptions import ValidationError
+
+
+class TestCorrelationConnectome:
+    def test_symmetric_unit_diagonal(self, rng):
+        ts = rng.standard_normal((10, 100))
+        connectome = correlation_connectome(ts)
+        np.testing.assert_allclose(connectome, connectome.T, atol=1e-12)
+        np.testing.assert_allclose(np.diag(connectome), 1.0)
+
+    def test_detects_planted_correlation(self, rng):
+        shared = rng.standard_normal(500)
+        ts = rng.standard_normal((5, 500))
+        ts[0] = shared + 0.1 * rng.standard_normal(500)
+        ts[1] = shared + 0.1 * rng.standard_normal(500)
+        connectome = correlation_connectome(ts)
+        assert connectome[0, 1] > 0.9
+
+    def test_fisher_transform_expands_strong_correlations(self, rng):
+        shared = rng.standard_normal(300)
+        ts = np.vstack([shared, shared + 0.05 * rng.standard_normal(300), rng.standard_normal(300)])
+        plain = correlation_connectome(ts, fisher=False)
+        fisher = correlation_connectome(ts, fisher=True)
+        assert fisher[0, 1] > plain[0, 1]
+        np.testing.assert_allclose(np.diag(fisher), 1.0)
+
+    def test_partial_correlation_removes_indirect_link(self, rng):
+        # x -> y and x -> z induce a marginal y-z correlation that partial
+        # correlation should suppress.
+        x = rng.standard_normal(4000)
+        y = x + 0.5 * rng.standard_normal(4000)
+        z = x + 0.5 * rng.standard_normal(4000)
+        ts = np.vstack([x, y, z])
+        marginal = correlation_connectome(ts)
+        partial = partial_correlation_connectome(ts, shrinkage=0.01)
+        assert abs(partial[1, 2]) < abs(marginal[1, 2])
+
+    def test_partial_correlation_validates_shrinkage(self, rng):
+        with pytest.raises(ValidationError):
+            partial_correlation_connectome(rng.standard_normal((4, 50)), shrinkage=1.5)
+
+
+class TestVectorization:
+    def test_vector_length(self, rng):
+        ts = rng.standard_normal((8, 60))
+        connectome = correlation_connectome(ts)
+        vector = vectorize_connectome(connectome)
+        assert vector.shape == (8 * 7 // 2,)
+
+    def test_roundtrip(self, rng):
+        ts = rng.standard_normal((6, 60))
+        connectome = correlation_connectome(ts)
+        rebuilt = devectorize_connectome(vectorize_connectome(connectome))
+        np.testing.assert_allclose(rebuilt, connectome, atol=1e-12)
+
+    def test_paper_feature_count_for_360_regions(self):
+        assert 360 * 359 // 2 == 64620
+        assert n_regions_from_vector_length(64620) == 360
+
+    def test_aal2_feature_count(self):
+        assert n_regions_from_vector_length(6670) == 116
+
+    def test_invalid_vector_length_raises(self):
+        with pytest.raises(ValidationError):
+            n_regions_from_vector_length(7)
+
+    def test_devectorize_with_explicit_regions(self, rng):
+        vector = rng.standard_normal(10)
+        matrix = devectorize_connectome(vector, n_regions=5)
+        assert matrix.shape == (5, 5)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_devectorize_length_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            devectorize_connectome(rng.standard_normal(10), n_regions=6)
+
+    def test_vectorize_rejects_asymmetric(self, rng):
+        with pytest.raises(ValidationError):
+            vectorize_connectome(rng.standard_normal((4, 4)))
+
+
+class TestIndexMapping:
+    def test_first_index_is_first_pair(self):
+        assert vector_index_to_region_pair(0, 5) == (0, 1)
+
+    def test_last_index_is_last_pair(self):
+        n = 5
+        last = n * (n - 1) // 2 - 1
+        assert vector_index_to_region_pair(last, n) == (3, 4)
+
+    def test_consistency_with_vectorization(self, rng):
+        n = 7
+        connectome = correlation_connectome(rng.standard_normal((n, 80)))
+        vector = vectorize_connectome(connectome)
+        for index in (0, 5, 12, len(vector) - 1):
+            row, col = vector_index_to_region_pair(index, n)
+            assert vector[index] == pytest.approx(connectome[row, col])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValidationError):
+            vector_index_to_region_pair(100, 5)

@@ -1,0 +1,129 @@
+"""Tests for graph-theoretic connectome metrics."""
+
+import numpy as np
+import pytest
+
+from repro.connectome.connectome import Connectome
+from repro.connectome.graph_metrics import (
+    global_efficiency,
+    graph_metric_profile,
+    mean_clustering_coefficient,
+    modularity,
+    node_strengths,
+    profile_distance,
+)
+from repro.exceptions import ValidationError
+
+
+def _connectome_from_matrix(matrix):
+    return Connectome(matrix=np.asarray(matrix, dtype=float), subject_id="s")
+
+
+@pytest.fixture()
+def random_connectome(rng):
+    ts = rng.standard_normal((12, 200))
+    return Connectome.from_timeseries(ts, subject_id="s")
+
+
+@pytest.fixture()
+def modular_connectome(rng):
+    """Two strongly intra-connected blocks with weak inter-block links."""
+    n = 12
+    matrix = np.full((n, n), 0.05)
+    matrix[:6, :6] = 0.8
+    matrix[6:, 6:] = 0.8
+    np.fill_diagonal(matrix, 1.0)
+    return _connectome_from_matrix(matrix)
+
+
+class TestNodeStrengths:
+    def test_shape_and_nonnegative(self, random_connectome):
+        strengths = node_strengths(random_connectome)
+        assert strengths.shape == (12,)
+        assert np.all(strengths >= 0)
+
+    def test_known_values(self):
+        matrix = np.array([[1.0, 0.5, -0.3], [0.5, 1.0, 0.0], [-0.3, 0.0, 1.0]])
+        strengths = node_strengths(_connectome_from_matrix(matrix))
+        np.testing.assert_allclose(strengths, [0.8, 0.5, 0.3])
+
+    def test_threshold_removes_weak_edges(self):
+        matrix = np.array([[1.0, 0.5, 0.1], [0.5, 1.0, 0.1], [0.1, 0.1, 1.0]])
+        strengths = node_strengths(_connectome_from_matrix(matrix), threshold=0.3)
+        np.testing.assert_allclose(strengths, [0.5, 0.5, 0.0])
+
+
+class TestClusteringAndEfficiency:
+    def test_fully_connected_strong_graph(self):
+        n = 6
+        matrix = np.full((n, n), 0.9)
+        np.fill_diagonal(matrix, 1.0)
+        connectome = _connectome_from_matrix(matrix)
+        assert mean_clustering_coefficient(connectome, threshold=0.5) > 0.8
+        assert global_efficiency(connectome, threshold=0.5) > 0.5
+
+    def test_empty_graph_gives_zero(self):
+        matrix = np.eye(5)
+        connectome = _connectome_from_matrix(matrix)
+        assert mean_clustering_coefficient(connectome, threshold=0.5) == 0.0
+        assert global_efficiency(connectome, threshold=0.5) == 0.0
+        assert modularity(connectome, threshold=0.5) == 0.0
+
+    def test_efficiency_higher_for_stronger_graph(self):
+        weak = np.full((6, 6), 0.3)
+        strong = np.full((6, 6), 0.9)
+        np.fill_diagonal(weak, 1.0)
+        np.fill_diagonal(strong, 1.0)
+        assert global_efficiency(_connectome_from_matrix(strong), threshold=0.1) > \
+            global_efficiency(_connectome_from_matrix(weak), threshold=0.1)
+
+
+class TestModularity:
+    def test_modular_structure_detected(self, modular_connectome, random_connectome):
+        assert modularity(modular_connectome, threshold=0.1) > \
+            modularity(random_connectome, threshold=0.1) - 0.05
+        assert modularity(modular_connectome, threshold=0.1) > 0.2
+
+
+class TestProfiles:
+    def test_profile_keys(self, random_connectome):
+        profile = graph_metric_profile(random_connectome)
+        assert set(profile) == {
+            "mean_node_strength",
+            "node_strength_std",
+            "mean_clustering",
+            "global_efficiency",
+            "modularity",
+        }
+
+    def test_invalid_threshold(self, random_connectome):
+        with pytest.raises(ValidationError):
+            graph_metric_profile(random_connectome, threshold=1.5)
+
+    def test_profile_distance_zero_for_identical(self, random_connectome):
+        profile = graph_metric_profile(random_connectome)
+        assert profile_distance(profile, profile) == pytest.approx(0.0)
+
+    def test_profile_distance_positive_for_different(self, random_connectome, modular_connectome):
+        a = graph_metric_profile(random_connectome)
+        b = graph_metric_profile(modular_connectome)
+        assert profile_distance(a, b) > 0.05
+
+    def test_profile_distance_requires_shared_keys(self):
+        with pytest.raises(ValidationError):
+            profile_distance({"a": 1.0}, {"b": 2.0})
+
+
+class TestDefenseGraphUtility:
+    def test_graph_utility_reported(self, rest_pair):
+        from repro.defense import SignatureNoiseDefense, evaluate_defense
+
+        defense = SignatureNoiseDefense(n_features=50, noise_scale=2.0, random_state=0)
+        outcome = evaluate_defense(
+            rest_pair["reference"], rest_pair["target"], defense, include_graph_utility=True
+        )
+        assert "graph_utility" in outcome
+        assert outcome["graph_utility"] <= 1.0
+        # Targeted noise on 50 of 1128 features barely moves group-level
+        # graph metrics.
+        assert outcome["graph_utility"] > 0.7

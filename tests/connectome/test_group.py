@@ -1,0 +1,99 @@
+"""Tests for the GroupMatrix container."""
+
+import numpy as np
+import pytest
+
+from repro.connectome.connectome import Connectome
+from repro.connectome.group import GroupMatrix, build_group_matrix
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture()
+def group(rng):
+    data = rng.standard_normal((30, 6))
+    return GroupMatrix(
+        data=data,
+        subject_ids=[f"s{i}" for i in range(6)],
+        tasks=["REST", "REST", "WM", "WM", "REST", "WM"],
+        sessions=["1"] * 6,
+    )
+
+
+class TestGroupMatrix:
+    def test_shape_properties(self, group):
+        assert group.n_features == 30
+        assert group.n_scans == 6
+
+    def test_subject_id_count_validated(self, rng):
+        with pytest.raises(ValidationError):
+            GroupMatrix(data=rng.standard_normal((5, 3)), subject_ids=["a", "b"])
+
+    def test_task_count_validated(self, rng):
+        with pytest.raises(ValidationError):
+            GroupMatrix(
+                data=rng.standard_normal((5, 3)),
+                subject_ids=["a", "b", "c"],
+                tasks=["REST"],
+            )
+
+    def test_select_columns(self, group):
+        subset = group.select_columns([0, 2, 4])
+        assert subset.n_scans == 3
+        assert subset.subject_ids == ["s0", "s2", "s4"]
+        np.testing.assert_allclose(subset.data, group.data[:, [0, 2, 4]])
+
+    def test_select_columns_out_of_range(self, group):
+        with pytest.raises(ValidationError):
+            group.select_columns([99])
+
+    def test_select_features(self, group):
+        subset = group.select_features([1, 3, 5])
+        assert subset.n_features == 3
+        assert subset.subject_ids == group.subject_ids
+
+    def test_select_features_empty(self, group):
+        with pytest.raises(ValidationError):
+            group.select_features([])
+
+    def test_subset_by_task(self, group):
+        rest = group.subset_by_task("REST")
+        assert rest.n_scans == 3
+        assert all(t == "REST" for t in rest.tasks)
+
+    def test_subset_missing_task_raises(self, group):
+        with pytest.raises(ValidationError):
+            group.subset_by_task("MOTOR")
+
+    def test_unique_tasks(self, group):
+        assert group.unique_tasks() == ["REST", "WM"]
+
+    def test_column_for_subject(self, group):
+        assert group.column_for_subject("s3") == 3
+        with pytest.raises(ValidationError):
+            group.column_for_subject("missing")
+
+
+class TestBuildGroupMatrix:
+    def test_stacks_connectomes(self, rng):
+        connectomes = [
+            Connectome.from_timeseries(
+                rng.standard_normal((8, 60)), subject_id=f"s{i}", task="REST"
+            )
+            for i in range(4)
+        ]
+        group = build_group_matrix(connectomes)
+        assert group.n_features == 28
+        assert group.n_scans == 4
+        np.testing.assert_allclose(group.data[:, 2], connectomes[2].vectorize())
+
+    def test_rejects_mixed_region_counts(self, rng):
+        connectomes = [
+            Connectome.from_timeseries(rng.standard_normal((8, 60)), subject_id="a"),
+            Connectome.from_timeseries(rng.standard_normal((9, 60)), subject_id="b"),
+        ]
+        with pytest.raises(ValidationError):
+            build_group_matrix(connectomes)
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValidationError):
+            build_group_matrix([])

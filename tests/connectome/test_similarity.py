@@ -1,0 +1,78 @@
+"""Tests for pairwise similarity analysis (Figures 1/2/7/8 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.connectome.similarity import (
+    dual_identification_accuracy,
+    identification_accuracy_from_similarity,
+    pairwise_similarity,
+    similarity_contrast,
+)
+from repro.exceptions import ValidationError
+
+
+class TestPairwiseSimilarity:
+    def test_shape(self, rest_pair):
+        similarity = pairwise_similarity(rest_pair["reference"], rest_pair["target"])
+        assert similarity.shape == (
+            rest_pair["reference"].n_scans,
+            rest_pair["target"].n_scans,
+        )
+
+    def test_diagonal_dominates_for_rest_scans(self, rest_pair):
+        similarity = pairwise_similarity(rest_pair["reference"], rest_pair["target"])
+        contrast = similarity_contrast(similarity)
+        assert contrast["contrast"] > 0.1
+
+    def test_feature_subset_changes_result(self, rest_pair, rng):
+        full = pairwise_similarity(rest_pair["reference"], rest_pair["target"])
+        subset = pairwise_similarity(
+            rest_pair["reference"],
+            rest_pair["target"],
+            feature_indices=np.arange(50),
+        )
+        assert not np.allclose(full, subset)
+
+    def test_feature_space_mismatch_raises(self, rest_pair):
+        truncated = rest_pair["target"].select_features(np.arange(10))
+        with pytest.raises(ValidationError):
+            pairwise_similarity(rest_pair["reference"], truncated)
+
+
+class TestSimilarityContrast:
+    def test_known_matrix(self):
+        similarity = np.array([[0.9, 0.1], [0.2, 0.8]])
+        contrast = similarity_contrast(similarity)
+        assert contrast["diagonal_mean"] == pytest.approx(0.85)
+        assert contrast["off_diagonal_mean"] == pytest.approx(0.15)
+        assert contrast["contrast"] == pytest.approx(0.70)
+
+
+class TestIdentificationAccuracy:
+    def test_perfect_identity_matrix(self):
+        assert identification_accuracy_from_similarity(np.eye(5)) == 1.0
+
+    def test_permuted_matrix_scores_zero(self):
+        similarity = np.roll(np.eye(5), shift=1, axis=1)
+        assert identification_accuracy_from_similarity(similarity) == 0.0
+
+    def test_axis_direction(self):
+        similarity = np.array([[0.9, 0.8], [0.1, 0.2]])
+        # Row-wise argmax: row 0 -> col 0 (correct), row 1 -> col 1 (correct).
+        assert identification_accuracy_from_similarity(similarity, axis=1) == 1.0
+        # Column-wise argmax: col 0 -> row 0 (correct), col 1 -> row 0 (wrong).
+        assert identification_accuracy_from_similarity(similarity, axis=0) == 0.5
+
+    def test_dual_accuracy(self):
+        similarity = np.array([[0.9, 0.8], [0.1, 0.2]])
+        forward, backward = dual_identification_accuracy(similarity)
+        assert forward == 1.0 and backward == 0.5
+
+    def test_rejects_non_square(self, rng):
+        with pytest.raises(ValidationError):
+            identification_accuracy_from_similarity(rng.standard_normal((3, 4)))
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(ValidationError):
+            identification_accuracy_from_similarity(np.eye(3), axis=2)

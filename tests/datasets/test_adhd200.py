@@ -1,0 +1,82 @@
+"""Tests for the ADHD-200-like cohort generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.adhd200 import ADHD_SUBTYPES, ADHD200LikeDataset
+from repro.exceptions import DatasetError
+
+
+class TestADHD200LikeDataset:
+    def test_cohort_composition(self, small_adhd):
+        assert small_adhd.n_subjects == 18
+        assert len(small_adhd.diagnoses) == 18
+        controls = small_adhd.indices_for_diagnosis("control")
+        assert len(controls) == 9
+
+    def test_cases_split_across_subtypes(self, small_adhd):
+        subtype_counts = [
+            len(small_adhd.indices_for_diagnosis(f"adhd_subtype_{i}")) for i in (1, 2, 3)
+        ]
+        assert sum(subtype_counts) == 9
+        assert all(count > 0 for count in subtype_counts)
+
+    def test_invalid_diagnosis_rejected(self, small_adhd):
+        with pytest.raises(DatasetError):
+            small_adhd.indices_for_diagnosis("adhd_subtype_9")
+
+    def test_sites_assigned_to_all_subjects(self, small_adhd):
+        assert len(small_adhd.subject_sites) == small_adhd.n_subjects
+        assert set(small_adhd.subject_sites) <= set(small_adhd.sites)
+
+    def test_cases_have_group_loading(self, small_adhd):
+        case_index = small_adhd.indices_for_diagnosis("adhd_subtype_1")[0]
+        control_index = small_adhd.indices_for_diagnosis("control")[0]
+        assert small_adhd.population.subject(case_index).group_loading is not None
+        assert small_adhd.population.subject(control_index).group_loading is None
+
+    def test_scan_metadata(self, small_adhd):
+        scan = small_adhd.generate_scan(0, session=1)
+        assert scan.task == "REST"
+        assert scan.session == "SESSION1"
+        assert scan.site in small_adhd.sites
+        assert scan.diagnosis in ADHD_SUBTYPES
+        assert scan.timeseries.shape == (small_adhd.n_regions, small_adhd.n_timepoints)
+
+    def test_invalid_session_rejected(self, small_adhd):
+        with pytest.raises(DatasetError):
+            small_adhd.generate_scan(0, session=3)
+
+    def test_scans_deterministic(self, small_adhd):
+        a = small_adhd.generate_scan(2, session=1)
+        b = small_adhd.generate_scan(2, session=1)
+        np.testing.assert_allclose(a.timeseries, b.timeseries)
+
+    def test_sessions_differ(self, small_adhd):
+        a = small_adhd.generate_scan(2, session=1)
+        b = small_adhd.generate_scan(2, session=2)
+        assert not np.allclose(a.timeseries, b.timeseries)
+
+    def test_session_pair_alignment(self, small_adhd):
+        pair = small_adhd.session_pair()
+        assert pair["reference"].subject_ids == pair["target"].subject_ids
+        assert pair["reference"].n_scans == small_adhd.n_subjects
+
+    def test_subtype_session_pair_restricted(self, small_adhd):
+        pair = small_adhd.subtype_session_pair("adhd_subtype_1")
+        expected = len(small_adhd.indices_for_diagnosis("adhd_subtype_1"))
+        assert pair["reference"].n_scans == expected
+
+    def test_feature_count_matches_aal2_at_paper_scale(self):
+        # 116 regions -> 6670 features, the number quoted in the paper.
+        dataset = ADHD200LikeDataset(
+            n_cases=3, n_controls=3, n_regions=116, n_timepoints=64, random_state=0
+        )
+        pair = dataset.session_pair()
+        assert pair["reference"].n_features == 6670
+
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(DatasetError):
+            ADHD200LikeDataset(n_cases=3, n_controls=3, n_regions=20, n_timepoints=64, tr=-1.0)
+        with pytest.raises(DatasetError):
+            ADHD200LikeDataset(n_cases=3, n_controls=3, sites=[])

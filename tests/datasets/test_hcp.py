@@ -1,0 +1,92 @@
+"""Tests for the HCP-like cohort generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.hcp import ENCODINGS, HCPLikeDataset
+from repro.exceptions import DatasetError
+
+
+class TestHCPLikeDataset:
+    def test_subject_ids_unique(self, small_hcp):
+        ids = small_hcp.subject_ids()
+        assert len(ids) == len(set(ids)) == small_hcp.n_subjects
+
+    def test_task_names(self, small_hcp):
+        names = small_hcp.task_names()
+        assert "REST" in names and "LANGUAGE" in names
+        assert len(names) == 8
+
+    def test_session_label_format(self, small_hcp):
+        assert small_hcp.session_label("REST", "LR", day=1) == "REST1_LR"
+        assert small_hcp.session_label("WM", "RL", day=2) == "WM2_RL"
+
+    def test_invalid_encoding_rejected(self, small_hcp):
+        with pytest.raises(DatasetError):
+            small_hcp.session_label("REST", "XX")
+
+    def test_invalid_day_rejected(self, small_hcp):
+        with pytest.raises(DatasetError):
+            small_hcp.session_label("REST", "LR", day=3)
+
+    def test_generate_scan_shape_and_metadata(self, small_hcp):
+        scan = small_hcp.generate_scan(0, "LANGUAGE", encoding="LR", day=1)
+        assert scan.timeseries.shape == (small_hcp.n_regions, small_hcp.n_timepoints)
+        assert scan.task == "LANGUAGE"
+        assert scan.session == "LANGUAGE1_LR"
+        assert scan.performance is not None
+
+    def test_rest_scan_has_no_performance(self, small_hcp):
+        scan = small_hcp.generate_scan(0, "REST")
+        assert scan.performance is None
+
+    def test_unknown_task_rejected(self, small_hcp):
+        with pytest.raises(DatasetError):
+            small_hcp.generate_scan(0, "JUGGLING")
+
+    def test_scans_are_deterministic(self, small_hcp):
+        a = small_hcp.generate_scan(3, "REST", encoding="LR", day=1)
+        b = small_hcp.generate_scan(3, "REST", encoding="LR", day=1)
+        np.testing.assert_allclose(a.timeseries, b.timeseries)
+
+    def test_encodings_differ(self, small_hcp):
+        a = small_hcp.generate_scan(3, "REST", encoding="LR", day=1)
+        b = small_hcp.generate_scan(3, "REST", encoding="RL", day=1)
+        assert not np.allclose(a.timeseries, b.timeseries)
+
+    def test_generate_session_covers_all_subjects(self, small_hcp):
+        scans = small_hcp.generate_session("REST")
+        assert len(scans) == small_hcp.n_subjects
+        assert len({s.subject_id for s in scans}) == small_hcp.n_subjects
+
+    def test_group_matrix_shape(self, small_hcp):
+        group = small_hcp.group_matrix("REST")
+        expected_features = small_hcp.n_regions * (small_hcp.n_regions - 1) // 2
+        assert group.n_features == expected_features
+        assert group.n_scans == small_hcp.n_subjects
+
+    def test_encoding_pair_subject_alignment(self, rest_pair):
+        assert rest_pair["reference"].subject_ids == rest_pair["target"].subject_ids
+
+    def test_performance_table(self, small_hcp):
+        table = small_hcp.performance_table("LANGUAGE")
+        assert table.shape == (small_hcp.n_subjects,)
+        assert np.all((table >= 0) & (table <= 100))
+
+    def test_performance_table_rejects_rest(self, small_hcp):
+        with pytest.raises(DatasetError):
+            small_hcp.performance_table("REST")
+
+    def test_all_conditions_group_matrix(self, small_hcp):
+        group = small_hcp.all_conditions_group_matrix()
+        assert group.n_scans == small_hcp.n_subjects * len(small_hcp.tasks)
+        assert set(group.tasks) == set(small_hcp.task_names())
+
+    def test_encodings_constant(self):
+        assert ENCODINGS == ("LR", "RL")
+
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(DatasetError):
+            HCPLikeDataset(n_subjects=5, n_regions=20, n_timepoints=64, tr=0.0)
+        with pytest.raises(Exception):
+            HCPLikeDataset(n_subjects=1)

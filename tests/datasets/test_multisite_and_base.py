@@ -1,0 +1,124 @@
+"""Tests for multi-site noise simulation and the shared dataset base classes."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import CohortDataset, ScanRecord
+from repro.datasets.multisite import add_multisite_noise, simulate_multisite_session
+from repro.exceptions import DatasetError
+
+
+class TestScanRecord:
+    def test_properties(self, rng):
+        scan = ScanRecord(
+            subject_id="s1", task="REST", session="S1", timeseries=rng.standard_normal((6, 40))
+        )
+        assert scan.n_regions == 6
+        assert scan.n_timepoints == 40
+
+    def test_to_connectome(self, rng):
+        scan = ScanRecord(
+            subject_id="s1", task="WM", session="S1", timeseries=rng.standard_normal((6, 40))
+        )
+        connectome = scan.to_connectome()
+        assert connectome.n_regions == 6
+        assert connectome.task == "WM"
+
+    def test_group_matrix_from_scans(self, rng):
+        scans = [
+            ScanRecord(
+                subject_id=f"s{i}", task="REST", session="S1",
+                timeseries=rng.standard_normal((5, 30)),
+            )
+            for i in range(3)
+        ]
+        group = CohortDataset.scans_to_group_matrix(scans)
+        assert group.n_scans == 3
+        assert group.n_features == 10
+
+    def test_group_matrix_from_empty_raises(self):
+        with pytest.raises(DatasetError):
+            CohortDataset.scans_to_group_matrix([])
+
+    def test_performance_vector(self, rng):
+        scans = [
+            ScanRecord(
+                subject_id=f"s{i}", task="WM", session="S1",
+                timeseries=rng.standard_normal((4, 30)), performance=50.0 + i,
+            )
+            for i in range(3)
+        ]
+        np.testing.assert_allclose(
+            CohortDataset.performance_vector(scans), [50.0, 51.0, 52.0]
+        )
+
+    def test_performance_vector_missing_metric_raises(self, rng):
+        scans = [
+            ScanRecord(
+                subject_id="s0", task="REST", session="S1",
+                timeseries=rng.standard_normal((4, 30)),
+            )
+        ]
+        with pytest.raises(DatasetError):
+            CohortDataset.performance_vector(scans)
+
+
+class TestMultisiteNoise:
+    def test_zero_noise_is_identity(self, rng):
+        ts = rng.standard_normal((5, 60))
+        np.testing.assert_allclose(add_multisite_noise(ts, 0.0), ts)
+
+    def test_noise_variance_matches_request(self, rng):
+        ts = rng.standard_normal((4, 5000)) * 3.0
+        noisy = add_multisite_noise(ts, 0.25, random_state=0, structure="white")
+        added = noisy - ts
+        ratio = added.var(axis=1) / ts.var(axis=1)
+        np.testing.assert_allclose(ratio, 0.25, atol=0.05)
+
+    def test_noise_mean_matches_signal_mean(self, rng):
+        ts = rng.standard_normal((3, 5000)) + 7.0
+        noisy = add_multisite_noise(ts, 0.2, random_state=1, structure="white")
+        added = noisy - ts
+        np.testing.assert_allclose(added.mean(axis=1), ts.mean(axis=1), atol=0.2)
+
+    def test_structured_noise_variance_matches_request(self, rng):
+        ts = rng.standard_normal((4, 3000))
+        noisy = add_multisite_noise(ts, 0.3, random_state=2, structure="structured")
+        added = noisy - ts
+        ratio = added.var(axis=1) / ts.var(axis=1)
+        np.testing.assert_allclose(ratio, 0.3, atol=0.12)
+
+    def test_structured_noise_is_spatially_correlated(self, rng):
+        ts = rng.standard_normal((6, 2000))
+        noisy = add_multisite_noise(ts, 0.3, random_state=3, structure="structured")
+        added = noisy - ts
+        added = added - added.mean(axis=1, keepdims=True)
+        corr = np.corrcoef(added)
+        off_diagonal = np.abs(corr[~np.eye(6, dtype=bool)])
+        assert off_diagonal.mean() > 0.3
+
+    def test_negative_fraction_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            add_multisite_noise(rng.standard_normal((3, 20)), -0.1)
+
+    def test_unknown_structure_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            add_multisite_noise(rng.standard_normal((3, 20)), 0.1, structure="pink")
+
+
+class TestSimulateMultisiteSession:
+    def test_preserves_metadata(self, small_hcp):
+        scans = small_hcp.generate_session("REST")[:3]
+        noisy = simulate_multisite_session(scans, 0.2, random_state=0)
+        assert [s.subject_id for s in noisy] == [s.subject_id for s in scans]
+        assert all(s.site == "site-B" for s in noisy)
+        assert all(s.session.endswith("_multisite") for s in noisy)
+
+    def test_changes_timeseries(self, small_hcp):
+        scans = small_hcp.generate_session("REST")[:2]
+        noisy = simulate_multisite_session(scans, 0.2, random_state=0)
+        assert not np.allclose(noisy[0].timeseries, scans[0].timeseries)
+
+    def test_empty_session_rejected(self):
+        with pytest.raises(DatasetError):
+            simulate_multisite_session([], 0.1)

@@ -1,0 +1,70 @@
+"""Tests for the HCP task battery definitions."""
+
+import pytest
+
+from repro.datasets.tasks import (
+    HCP_TASK_ORDER,
+    HCP_TASKS,
+    PERFORMANCE_TASKS,
+    TaskDefinition,
+    default_hcp_task_battery,
+    get_task,
+    rest_only_battery,
+)
+from repro.exceptions import DatasetError
+
+
+class TestTaskDefinition:
+    def test_rest_is_rest(self):
+        assert HCP_TASKS["REST"].is_rest
+        assert not HCP_TASKS["LANGUAGE"].is_rest
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(DatasetError):
+            TaskDefinition(name="", subject_expression=1.0, task_amplitude=0.0)
+
+    def test_negative_expression_rejected(self):
+        with pytest.raises(DatasetError):
+            TaskDefinition(name="X", subject_expression=-0.1, task_amplitude=0.0)
+
+    def test_invalid_active_fraction_rejected(self):
+        with pytest.raises(DatasetError):
+            TaskDefinition(
+                name="X", subject_expression=1.0, task_amplitude=1.0, active_fraction=0.0
+            )
+
+
+class TestBattery:
+    def test_eight_conditions(self):
+        battery = default_hcp_task_battery()
+        assert len(battery) == 8
+        assert [t.name for t in battery] == HCP_TASK_ORDER
+
+    def test_rest_is_most_identifying_condition(self):
+        # The calibration encodes the paper's Figure 5 ordering.
+        rest = HCP_TASKS["REST"].subject_expression
+        assert all(rest >= task.subject_expression for task in HCP_TASKS.values())
+
+    def test_motor_and_wm_are_least_identifying(self):
+        weak = {HCP_TASKS["MOTOR"].subject_expression, HCP_TASKS["WM"].subject_expression}
+        others = [
+            t.subject_expression
+            for name, t in HCP_TASKS.items()
+            if name not in ("MOTOR", "WM")
+        ]
+        assert max(weak) < min(others)
+
+    def test_performance_tasks_have_metrics(self):
+        for name in PERFORMANCE_TASKS:
+            assert HCP_TASKS[name].has_performance_metric
+
+    def test_get_task_case_insensitive(self):
+        assert get_task("language") is HCP_TASKS["LANGUAGE"]
+
+    def test_get_task_unknown_raises(self):
+        with pytest.raises(DatasetError):
+            get_task("JUGGLING")
+
+    def test_rest_only_battery(self):
+        battery = rest_only_battery()
+        assert len(battery) == 1 and battery[0].is_rest

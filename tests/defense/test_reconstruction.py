@@ -1,0 +1,58 @@
+"""Tests for the low-rank reconstruction defense."""
+
+import numpy as np
+import pytest
+
+from repro.attack.deanonymize import LeverageScoreAttack
+from repro.defense.reconstruction import LowRankReconstructionDefense
+from repro.exceptions import ValidationError
+from repro.utils.stats import pearson_correlation
+
+
+class TestLowRankReconstructionDefense:
+    def test_output_shape_and_metadata(self, rest_group):
+        defense = LowRankReconstructionDefense(n_components=4)
+        protected = defense.protect(rest_group)
+        assert protected.data.shape == rest_group.data.shape
+        assert protected.subject_ids == rest_group.subject_ids
+
+    def test_reduces_attack_accuracy(self, rest_pair):
+        attack = LeverageScoreAttack(n_features=100).fit(rest_pair["reference"])
+        baseline = attack.identify(rest_pair["target"]).accuracy()
+        defense = LowRankReconstructionDefense(n_components=2)
+        protected = defense.protect(rest_pair["target"])
+        protected_accuracy = attack.identify(protected).accuracy()
+        assert protected_accuracy < baseline
+
+    def test_preserves_group_mean(self, rest_group):
+        defense = LowRankReconstructionDefense(n_components=3)
+        protected = defense.protect(rest_group)
+        correlation = pearson_correlation(
+            rest_group.data.mean(axis=1), protected.data.mean(axis=1)
+        )
+        assert correlation > 0.99
+
+    def test_residual_fraction_one_is_identity(self, rest_group):
+        defense = LowRankReconstructionDefense(n_components=3, residual_fraction=1.0)
+        protected = defense.protect(rest_group)
+        np.testing.assert_allclose(protected.data, rest_group.data, atol=1e-8)
+
+    def test_more_residual_means_more_identifiable(self, rest_pair):
+        attack = LeverageScoreAttack(n_features=100).fit(rest_pair["reference"])
+        accuracies = []
+        for fraction in (0.0, 1.0):
+            defense = LowRankReconstructionDefense(n_components=2, residual_fraction=fraction)
+            protected = defense.protect(rest_pair["target"])
+            accuracies.append(attack.identify(protected).accuracy())
+        assert accuracies[0] <= accuracies[1]
+
+    def test_explained_variance_recorded(self, rest_group):
+        defense = LowRankReconstructionDefense(n_components=3)
+        defense.protect(rest_group)
+        assert defense.explained_variance_ratio_.shape == (3,)
+
+    def test_invalid_parameters_rejected(self, rest_group):
+        with pytest.raises(ValidationError):
+            LowRankReconstructionDefense(n_components=10**6).protect(rest_group)
+        with pytest.raises(ValidationError):
+            LowRankReconstructionDefense(residual_fraction=1.5).protect(rest_group)

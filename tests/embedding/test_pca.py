@@ -1,0 +1,63 @@
+"""Tests for repro.embedding.pca."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.pca import PCA
+from repro.exceptions import NotFittedError, ValidationError
+
+
+class TestPCA:
+    def test_explained_variance_ratio_sums_to_one_with_full_components(self, rng):
+        data = rng.standard_normal((40, 6))
+        pca = PCA().fit(data)
+        assert pca.explained_variance_ratio_.sum() == pytest.approx(1.0)
+
+    def test_components_are_orthonormal(self, rng):
+        data = rng.standard_normal((50, 8))
+        pca = PCA(n_components=4).fit(data)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-10)
+
+    def test_transform_shape(self, rng):
+        data = rng.standard_normal((30, 10))
+        projected = PCA(n_components=3).fit_transform(data)
+        assert projected.shape == (30, 3)
+
+    def test_reconstruction_of_low_rank_data(self, rng):
+        latent = rng.standard_normal((60, 2))
+        mixing = rng.standard_normal((2, 7))
+        data = latent @ mixing
+        pca = PCA(n_components=2).fit(data)
+        reconstructed = pca.inverse_transform(pca.transform(data))
+        np.testing.assert_allclose(reconstructed, data, atol=1e-8)
+
+    def test_variance_ordering(self, rng):
+        data = rng.standard_normal((100, 5)) * np.array([5.0, 3.0, 1.0, 0.5, 0.1])
+        pca = PCA().fit(data)
+        assert np.all(np.diff(pca.explained_variance_) <= 1e-12)
+
+    def test_first_component_aligns_with_dominant_direction(self, rng):
+        direction = np.array([1.0, 0.0, 0.0, 0.0])
+        data = rng.standard_normal((200, 1)) * 10.0 @ direction[None, :]
+        data += 0.1 * rng.standard_normal((200, 4))
+        pca = PCA(n_components=1).fit(data)
+        alignment = abs(float(pca.components_[0] @ direction))
+        assert alignment > 0.99
+
+    def test_transform_before_fit_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            PCA(n_components=2).transform(rng.standard_normal((5, 3)))
+
+    def test_feature_mismatch_raises(self, rng):
+        pca = PCA(n_components=2).fit(rng.standard_normal((20, 6)))
+        with pytest.raises(ValidationError):
+            pca.transform(rng.standard_normal((5, 4)))
+
+    def test_too_many_components_raises(self, rng):
+        with pytest.raises(ValidationError):
+            PCA(n_components=10).fit(rng.standard_normal((5, 4)))
+
+    def test_invalid_component_count_rejected(self):
+        with pytest.raises(ValidationError):
+            PCA(n_components=0)

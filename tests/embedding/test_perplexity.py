@@ -1,0 +1,105 @@
+"""Tests for SNE/t-SNE probability construction."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.perplexity import (
+    conditional_probabilities,
+    joint_probabilities,
+    kl_divergence,
+    low_dimensional_affinities,
+    perplexity_of_distribution,
+    squared_euclidean_distances,
+)
+from repro.exceptions import ValidationError
+
+
+class TestDistances:
+    def test_matches_manual_computation(self, rng):
+        points = rng.standard_normal((10, 3))
+        distances = squared_euclidean_distances(points)
+        manual = np.sum((points[2] - points[7]) ** 2)
+        assert distances[2, 7] == pytest.approx(manual)
+
+    def test_zero_diagonal_and_symmetry(self, rng):
+        points = rng.standard_normal((15, 4))
+        distances = squared_euclidean_distances(points)
+        np.testing.assert_allclose(np.diag(distances), 0.0, atol=1e-10)
+        np.testing.assert_allclose(distances, distances.T, atol=1e-10)
+
+    def test_non_negative(self, rng):
+        distances = squared_euclidean_distances(rng.standard_normal((20, 5)))
+        assert np.all(distances >= 0)
+
+
+class TestPerplexityCalibration:
+    def test_rows_sum_to_one(self, rng):
+        points = rng.standard_normal((30, 5))
+        conditional = conditional_probabilities(points, perplexity=10.0)
+        np.testing.assert_allclose(conditional.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_diagonal_is_zero(self, rng):
+        points = rng.standard_normal((20, 4))
+        conditional = conditional_probabilities(points, perplexity=5.0)
+        np.testing.assert_allclose(np.diag(conditional), 0.0, atol=1e-12)
+
+    def test_achieves_target_perplexity(self, rng):
+        points = rng.standard_normal((40, 6))
+        target = 12.0
+        conditional = conditional_probabilities(points, perplexity=target)
+        achieved = [perplexity_of_distribution(row) for row in conditional]
+        np.testing.assert_allclose(achieved, target, rtol=0.05)
+
+    def test_invalid_perplexity_raises(self, rng):
+        points = rng.standard_normal((10, 3))
+        with pytest.raises(ValidationError):
+            conditional_probabilities(points, perplexity=50.0)
+
+
+class TestJointProbabilities:
+    def test_symmetric_and_normalized(self, rng):
+        points = rng.standard_normal((25, 4))
+        joint = joint_probabilities(points, perplexity=8.0)
+        np.testing.assert_allclose(joint, joint.T, atol=1e-12)
+        assert joint.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_every_point_has_minimum_mass(self, rng):
+        points = rng.standard_normal((20, 3))
+        points[0] += 100.0  # outlier
+        joint = joint_probabilities(points, perplexity=5.0)
+        n = points.shape[0]
+        assert joint[0].sum() >= 1.0 / (2.0 * n) - 1e-9
+
+
+class TestLowDimensionalAffinities:
+    def test_normalized(self, rng):
+        embedding = rng.standard_normal((30, 2))
+        q, numerator = low_dimensional_affinities(embedding)
+        assert q.sum() == pytest.approx(1.0, abs=1e-6)
+        assert numerator.shape == (30, 30)
+
+    def test_student_t_heavier_tail_than_gaussian(self):
+        # Two points far apart get more affinity under the Student-t kernel
+        # than under a Gaussian with the same scale.
+        distance_sq = 25.0
+        student = 1.0 / (1.0 + distance_sq)
+        gaussian = np.exp(-distance_sq)
+        assert student > gaussian
+
+
+class TestKLDivergence:
+    def test_zero_for_identical(self, rng):
+        p = np.abs(rng.standard_normal((10, 10))) + 1e-6
+        p /= p.sum()
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-10)
+
+    def test_positive_for_different(self, rng):
+        p = np.abs(rng.standard_normal((10, 10))) + 1e-6
+        q = np.abs(rng.standard_normal((10, 10))) + 1e-6
+        p /= p.sum()
+        q /= q.sum()
+        assert kl_divergence(p, q) > 0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            kl_divergence(np.ones((3, 3)) / 9, np.ones((4, 4)) / 16)

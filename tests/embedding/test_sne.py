@@ -1,0 +1,44 @@
+"""Tests for the vanilla SNE baseline."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.sne import SNE
+from repro.exceptions import NotFittedError, ValidationError
+
+
+def _two_blobs(rng, n=15, separation=10.0, dims=6):
+    a = rng.standard_normal((n, dims))
+    b = rng.standard_normal((n, dims)) + separation
+    return np.vstack([a, b]), np.array([0] * n + [1] * n)
+
+
+class TestSNE:
+    def test_output_shape(self, rng):
+        data, _ = _two_blobs(rng)
+        embedding = SNE(perplexity=10.0, n_iterations=120, random_state=0).fit_transform(data)
+        assert embedding.shape == (data.shape[0], 2)
+
+    def test_separates_two_blobs(self, rng):
+        data, labels = _two_blobs(rng)
+        embedding = SNE(perplexity=8.0, n_iterations=200, random_state=0).fit_transform(data)
+        centroid_a = embedding[labels == 0].mean(axis=0)
+        centroid_b = embedding[labels == 1].mean(axis=0)
+        within = np.linalg.norm(embedding[labels == 0] - centroid_a, axis=1).mean()
+        assert np.linalg.norm(centroid_a - centroid_b) > within
+
+    def test_deterministic_given_seed(self, rng):
+        data, _ = _two_blobs(rng, n=8)
+        a = SNE(perplexity=5.0, n_iterations=60, random_state=3).fit_transform(data)
+        b = SNE(perplexity=5.0, n_iterations=60, random_state=3).fit_transform(data)
+        np.testing.assert_allclose(a, b)
+
+    def test_transform_before_fit_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            SNE().transform(rng.standard_normal((4, 3)))
+
+    def test_perplexity_validation(self, rng):
+        with pytest.raises(ValidationError):
+            SNE(perplexity=0.2)
+        with pytest.raises(ValidationError):
+            SNE(perplexity=100.0).fit_transform(rng.standard_normal((10, 3)))

@@ -1,0 +1,102 @@
+"""Tests for the from-scratch t-SNE implementation."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.tsne import TSNE
+from repro.exceptions import NotFittedError, ValidationError
+
+
+def _three_blobs(rng, n_per_cluster=20, separation=12.0, dims=10):
+    """Three well-separated Gaussian blobs with labels."""
+    centers = separation * np.array(
+        [[1.0] + [0.0] * (dims - 1), [0.0, 1.0] + [0.0] * (dims - 2), [0.0] * dims]
+    )
+    points, labels = [], []
+    for label, centre in enumerate(centers):
+        points.append(centre + rng.standard_normal((n_per_cluster, dims)))
+        labels.extend([label] * n_per_cluster)
+    return np.vstack(points), np.asarray(labels)
+
+
+class TestTSNE:
+    def test_output_shape(self, rng):
+        data, _ = _three_blobs(rng)
+        embedding = TSNE(n_iterations=150, random_state=0).fit_transform(data)
+        assert embedding.shape == (data.shape[0], 2)
+
+    def test_separates_well_separated_clusters(self, rng):
+        data, labels = _three_blobs(rng)
+        embedding = TSNE(
+            perplexity=15.0, n_iterations=350, random_state=0
+        ).fit_transform(data)
+        centroids = np.array([embedding[labels == k].mean(axis=0) for k in range(3)])
+        within = np.mean(
+            [
+                np.linalg.norm(embedding[labels == k] - centroids[k], axis=1).mean()
+                for k in range(3)
+            ]
+        )
+        between = np.mean(
+            [
+                np.linalg.norm(centroids[i] - centroids[j])
+                for i in range(3)
+                for j in range(i + 1, 3)
+            ]
+        )
+        assert between > 2.0 * within
+
+    def test_deterministic_given_seed(self, rng):
+        data, _ = _three_blobs(rng, n_per_cluster=10)
+        a = TSNE(perplexity=8.0, n_iterations=100, random_state=5).fit_transform(data)
+        b = TSNE(perplexity=8.0, n_iterations=100, random_state=5).fit_transform(data)
+        np.testing.assert_allclose(a, b)
+
+    def test_kl_divergence_decreases_with_more_iterations(self, rng):
+        data, _ = _three_blobs(rng, n_per_cluster=10)
+        short = TSNE(perplexity=8.0, n_iterations=60, random_state=0)
+        long = TSNE(perplexity=8.0, n_iterations=400, random_state=0)
+        short.fit_transform(data)
+        long.fit_transform(data)
+        assert long.kl_divergence_ <= short.kl_divergence_ + 1e-6
+
+    def test_embedding_is_centred(self, rng):
+        data, _ = _three_blobs(rng, n_per_cluster=10)
+        embedding = TSNE(perplexity=8.0, n_iterations=120, random_state=1).fit_transform(data)
+        np.testing.assert_allclose(embedding.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_transform_returns_stored_embedding(self, rng):
+        data, _ = _three_blobs(rng, n_per_cluster=8)
+        tsne = TSNE(perplexity=6.0, n_iterations=80, random_state=2)
+        embedding = tsne.fit_transform(data)
+        np.testing.assert_allclose(tsne.transform(data), embedding)
+
+    def test_transform_before_fit_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            TSNE().transform(rng.standard_normal((5, 3)))
+
+    def test_pca_prereduction_applied_to_wide_data(self, rng):
+        data = rng.standard_normal((40, 300))
+        embedding = TSNE(
+            pca_components=10, n_iterations=80, random_state=0
+        ).fit_transform(data)
+        assert embedding.shape == (40, 2)
+
+    def test_perplexity_too_large_raises(self, rng):
+        data = rng.standard_normal((10, 4))
+        with pytest.raises(ValidationError):
+            TSNE(perplexity=50.0).fit_transform(data)
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValidationError):
+            TSNE(perplexity=0.5)
+        with pytest.raises(ValidationError):
+            TSNE(learning_rate=-1.0)
+        with pytest.raises(ValidationError):
+            TSNE(early_exaggeration=0.5)
+
+    def test_verbose_history_recorded(self, rng):
+        data, _ = _three_blobs(rng, n_per_cluster=8)
+        tsne = TSNE(perplexity=6.0, n_iterations=100, random_state=0, verbose=True)
+        tsne.fit_transform(data)
+        assert len(tsne.history_) >= 1

@@ -1,0 +1,56 @@
+"""Tests for experiment configuration objects."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.config import (
+    ADHDExperimentConfig,
+    HCPExperimentConfig,
+    paper_scale_adhd_config,
+    paper_scale_hcp_config,
+)
+
+
+class TestHCPConfig:
+    def test_defaults_valid(self):
+        config = HCPExperimentConfig()
+        assert config.n_subjects >= 4
+        assert config.as_dict()["n_regions"] == config.n_regions
+
+    def test_paper_scale_matches_paper_numbers(self):
+        config = paper_scale_hcp_config()
+        assert config.n_subjects == 100
+        assert config.n_regions == 360
+        assert config.n_labelled_subjects == 50
+        assert config.performance_repetitions == 1000
+        # 360 regions -> the paper's 64 620 connectome features.
+        assert config.n_regions * (config.n_regions - 1) // 2 == 64620
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HCPExperimentConfig(n_subjects=2)
+        with pytest.raises(ConfigurationError):
+            HCPExperimentConfig(n_regions=4)
+        with pytest.raises(ConfigurationError):
+            HCPExperimentConfig(n_timepoints=10)
+        with pytest.raises(ConfigurationError):
+            HCPExperimentConfig(n_labelled_subjects=40, n_subjects=40)
+        with pytest.raises(ConfigurationError):
+            HCPExperimentConfig(multisite_noise_levels=[-0.1])
+
+
+class TestADHDConfig:
+    def test_defaults_valid(self):
+        config = ADHDExperimentConfig()
+        assert config.n_cases >= 3
+
+    def test_paper_scale_has_aal2_features(self):
+        config = paper_scale_adhd_config()
+        assert config.n_regions == 116
+        assert config.n_regions * (config.n_regions - 1) // 2 == 6670
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ADHDExperimentConfig(n_cases=1)
+        with pytest.raises(ConfigurationError):
+            ADHDExperimentConfig(train_fraction=0.0)

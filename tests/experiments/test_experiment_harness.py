@@ -1,0 +1,135 @@
+"""Tests for the per-figure experiment harness.
+
+These tests run every experiment at a deliberately tiny scale: the goal is to
+verify the harness plumbing (records, arrays, comparisons, markdown), not to
+re-derive the paper's numbers — the benchmarks do that at the default scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ADHDExperimentConfig,
+    HCPExperimentConfig,
+    defense_tradeoff,
+    figure1_rest_similarity,
+    figure2_task_similarity,
+    figure5_cross_task_matrix,
+    figure6_task_prediction,
+    figure7_adhd_subtype1,
+    figure8_adhd_subtype3,
+    figure9_adhd_identification,
+    generate_experiments_markdown,
+    table1_performance_prediction,
+    table2_multisite_noise,
+)
+from repro.reporting.experiment import ExperimentRecord
+
+
+@pytest.fixture(scope="module")
+def tiny_hcp_config():
+    return HCPExperimentConfig(
+        n_subjects=10,
+        n_regions=36,
+        n_timepoints=100,
+        n_features=60,
+        n_labelled_subjects=5,
+        tsne_iterations=120,
+        performance_repetitions=2,
+        multisite_noise_levels=[0.1, 0.3],
+        multisite_repetitions=1,
+        multisite_n_timepoints=80,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_adhd_config():
+    return ADHDExperimentConfig(
+        n_cases=6,
+        n_controls=6,
+        n_regions=30,
+        n_timepoints=80,
+        n_features=60,
+        identification_repetitions=2,
+        seed=5,
+    )
+
+
+class TestSimilarityExperiments:
+    def test_figure1(self, tiny_hcp_config):
+        record = figure1_rest_similarity(tiny_hcp_config)
+        assert isinstance(record, ExperimentRecord)
+        assert record.experiment_id == "figure1"
+        similarity = record.arrays["similarity"]
+        assert similarity.shape == (10, 10)
+        assert record.metrics["contrast"] > 0
+
+    def test_figure2(self, tiny_hcp_config):
+        record = figure2_task_similarity(tiny_hcp_config)
+        assert record.experiment_id == "figure2"
+        assert "task_contrast" in record.metrics
+        assert "rest_contrast" in record.metrics
+
+    def test_figure7_and_8(self, tiny_adhd_config):
+        record7 = figure7_adhd_subtype1(tiny_adhd_config)
+        record8 = figure8_adhd_subtype3(tiny_adhd_config)
+        assert record7.experiment_id == "figure7"
+        assert record8.experiment_id == "figure8"
+        assert record7.arrays["similarity"].shape[0] == len(
+            [d for d in ("adhd_subtype_1",) ]
+        ) * 2 or record7.arrays["similarity"].shape[0] >= 1
+
+
+class TestIdentificationExperiments:
+    def test_figure5(self, tiny_hcp_config):
+        tasks = ["REST", "LANGUAGE", "MOTOR"]
+        record = figure5_cross_task_matrix(tiny_hcp_config, tasks=tasks)
+        accuracy = record.arrays["accuracy"]
+        assert accuracy.shape == (3, 3)
+        assert np.all((accuracy >= 0) & (accuracy <= 1))
+        assert record.configuration["tasks"] == tasks
+
+    def test_figure9(self, tiny_adhd_config):
+        record = figure9_adhd_identification(tiny_adhd_config)
+        assert 0.0 <= record.metrics["full_cohort_accuracy"] <= 1.0
+        assert 0.0 <= record.metrics["train_test_accuracy_mean"] <= 1.0
+
+    def test_table2(self, tiny_hcp_config, tiny_adhd_config):
+        record = table2_multisite_noise(tiny_hcp_config, tiny_adhd_config)
+        assert record.arrays["hcp_accuracy"].shape == (2,)
+        assert record.arrays["adhd_accuracy"].shape == (2,)
+        assert np.all(record.arrays["noise_levels"] == [0.1, 0.3])
+
+
+class TestInferenceExperiments:
+    def test_figure6(self, tiny_hcp_config):
+        record = figure6_task_prediction(tiny_hcp_config)
+        embedding = record.arrays["embedding"]
+        assert embedding.shape == (10 * 8, 2)
+        assert 0.0 <= record.metrics["overall_accuracy"] <= 1.0
+
+    def test_table1(self, tiny_hcp_config):
+        record = table1_performance_prediction(tiny_hcp_config, tasks=["LANGUAGE"])
+        assert "language_test_nrmse" in record.metrics
+        assert record.arrays["test_nrmse"].shape == (1,)
+
+
+class TestDefenseExperiment:
+    def test_defense_tradeoff(self, tiny_hcp_config):
+        record = defense_tradeoff(tiny_hcp_config, noise_scales=[0.0, 6.0])
+        assert record.arrays["attack_accuracy"].shape == (2,)
+        assert record.arrays["attack_accuracy"][1] <= record.arrays["attack_accuracy"][0]
+
+
+class TestMarkdownReport:
+    def test_generate_markdown(self, tiny_hcp_config, tmp_path):
+        records = {
+            "figure1": figure1_rest_similarity(tiny_hcp_config),
+        }
+        output = tmp_path / "EXPERIMENTS.md"
+        text = generate_experiments_markdown(records, output_path=str(output), preamble="Tiny run.")
+        assert output.exists()
+        assert "# EXPERIMENTS" in text
+        assert "figure1" in text
+        assert "Tiny run." in text

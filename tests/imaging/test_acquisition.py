@@ -1,0 +1,123 @@
+"""Tests for the scanner/acquisition simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.imaging.acquisition import (
+    AcquisitionParameters,
+    ScannerSimulator,
+    SiteProfile,
+)
+from repro.imaging.volume import Volume4D
+
+
+@pytest.fixture()
+def simulator(small_phantom, small_atlas):
+    return ScannerSimulator(small_phantom, small_atlas)
+
+
+@pytest.fixture()
+def region_signals(small_atlas, rng):
+    return rng.standard_normal((small_atlas.n_regions, 40))
+
+
+class TestAcquisitionParameters:
+    def test_defaults_valid(self):
+        AcquisitionParameters()
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValidationError):
+            AcquisitionParameters(thermal_noise_std=-1.0)
+
+    def test_rejects_bad_tr(self):
+        with pytest.raises(ValidationError):
+            AcquisitionParameters(tr=0.0)
+
+
+class TestSiteProfile:
+    def test_gain_and_offset_applied(self, rng):
+        ts = rng.standard_normal((4, 50))
+        profile = SiteProfile(site_id="A", gain=2.0, offset=1.0, extra_noise_std=0.0)
+        out = profile.apply(ts)
+        np.testing.assert_allclose(out, 2.0 * ts + 1.0)
+
+    def test_noise_scaled_to_signal(self, rng):
+        ts = rng.standard_normal((3, 2000))
+        profile = SiteProfile(site_id="B", extra_noise_std=0.5)
+        out = profile.apply(ts, random_state=0)
+        added = out - ts
+        ratio = added.std(axis=1) / ts.std(axis=1)
+        np.testing.assert_allclose(ratio, 0.5, atol=0.1)
+
+    def test_invalid_gain(self):
+        with pytest.raises(ValidationError):
+            SiteProfile(site_id="C", gain=0.0)
+
+
+class TestScannerSimulator:
+    def test_output_is_volume_with_expected_shape(self, simulator, region_signals, small_phantom):
+        volume = simulator.acquire(region_signals, random_state=0, subject_id="s1")
+        assert isinstance(volume, Volume4D)
+        assert volume.spatial_shape == small_phantom.shape
+        assert volume.n_timepoints == region_signals.shape[1]
+        assert volume.subject_id == "s1"
+
+    def test_brain_voxels_brighter_than_background(self, simulator, region_signals):
+        volume = simulator.acquire(region_signals, random_state=0)
+        mean_image = volume.mean_image()
+        brain_mean = mean_image[simulator.phantom.brain_mask].mean()
+        background_mean = mean_image[~simulator.phantom.head_mask].mean()
+        assert brain_mean > background_mean + 10.0
+
+    def test_skull_present_and_dimmer_than_brain(self, simulator, region_signals):
+        volume = simulator.acquire(region_signals, random_state=0)
+        mean_image = volume.mean_image()
+        brain_mean = mean_image[simulator.phantom.brain_mask].mean()
+        skull_mean = mean_image[simulator.phantom.skull_mask].mean()
+        assert 0 < skull_mean < brain_mean
+
+    def test_motion_ground_truth_recorded(self, simulator, region_signals):
+        volume = simulator.acquire(region_signals, random_state=1)
+        assert volume.true_motion_.shape == (region_signals.shape[1], 3)
+
+    def test_no_motion_when_disabled(self, small_phantom, small_atlas, region_signals):
+        params = AcquisitionParameters(motion_n_events=0)
+        simulator = ScannerSimulator(small_phantom, small_atlas, params)
+        volume = simulator.acquire(region_signals, random_state=0)
+        assert np.all(volume.true_motion_ == 0)
+
+    def test_deterministic_given_seed(self, simulator, region_signals):
+        a = simulator.acquire(region_signals, random_state=5)
+        b = simulator.acquire(region_signals, random_state=5)
+        np.testing.assert_allclose(a.data, b.data)
+
+    def test_region_count_mismatch_raises(self, simulator, rng):
+        with pytest.raises(ValidationError):
+            simulator.acquire(rng.standard_normal((3, 40)))
+
+    def test_atlas_phantom_shape_mismatch_raises(self, small_atlas):
+        from repro.imaging.phantom import BrainPhantom
+
+        other_phantom = BrainPhantom(shape=(20, 20, 20))
+        with pytest.raises(ValidationError):
+            ScannerSimulator(other_phantom, small_atlas)
+
+    def test_bold_signal_reaches_voxels(self, small_phantom, small_atlas, rng):
+        # With artifacts switched off, a voxel's time series equals its
+        # region's BOLD signal exactly (baseline + amplitude * signal).
+        params = AcquisitionParameters(
+            thermal_noise_std=0.0,
+            drift_amplitude=0.0,
+            bias_field_strength=0.0,
+            motion_n_events=0,
+            skull_noise_std=0.0,
+        )
+        simulator = ScannerSimulator(small_phantom, small_atlas, params)
+        signals = rng.standard_normal((small_atlas.n_regions, 30))
+        volume = simulator.acquire(signals, random_state=0)
+        region_mask = small_atlas.region_mask(1)
+        voxel = np.argwhere(region_mask)[0]
+        series = volume.data[voxel[0], voxel[1], voxel[2], :]
+        expected = params.baseline_intensity + params.bold_amplitude * signals[0]
+        np.testing.assert_allclose(series, expected, atol=1e-10)

@@ -1,0 +1,91 @@
+"""Tests for the haemodynamic response model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.imaging.hemodynamics import (
+    block_design_regressor,
+    canonical_hrf,
+    convolve_hrf,
+    task_timing,
+)
+
+
+class TestCanonicalHrf:
+    def test_peak_near_six_seconds(self):
+        tr = 0.5
+        hrf = canonical_hrf(tr=tr, duration=32.0)
+        peak_time = np.argmax(hrf) * tr
+        assert 4.0 <= peak_time <= 8.0
+
+    def test_normalized_to_unit_peak(self):
+        hrf = canonical_hrf(tr=0.72)
+        assert np.max(np.abs(hrf)) == pytest.approx(1.0)
+
+    def test_has_undershoot(self):
+        hrf = canonical_hrf(tr=0.5, duration=32.0)
+        assert hrf.min() < 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            canonical_hrf(tr=0.0)
+        with pytest.raises(ValidationError):
+            canonical_hrf(tr=1.0, duration=0.5)
+
+
+class TestBlockDesign:
+    def test_binary_values(self):
+        regressor = block_design_regressor(100, tr=1.0)
+        assert set(np.unique(regressor).tolist()) <= {0.0, 1.0}
+
+    def test_alternation_period(self):
+        regressor = block_design_regressor(
+            80, tr=1.0, block_duration=10.0, rest_duration=10.0
+        )
+        np.testing.assert_array_equal(regressor[:10], 1.0)
+        np.testing.assert_array_equal(regressor[10:20], 0.0)
+        np.testing.assert_array_equal(regressor[20:30], 1.0)
+
+    def test_onset_shifts_first_block(self):
+        regressor = block_design_regressor(
+            40, tr=1.0, block_duration=10.0, rest_duration=10.0, onset=5.0
+        )
+        np.testing.assert_array_equal(regressor[:5], 0.0)
+        np.testing.assert_array_equal(regressor[5:15], 1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            block_design_regressor(10, tr=-1.0)
+        with pytest.raises(ValidationError):
+            block_design_regressor(10, tr=1.0, block_duration=0.0)
+
+
+class TestConvolveHrf:
+    def test_output_length_matches_input(self, rng):
+        signal = rng.standard_normal(120)
+        convolved = convolve_hrf(signal, tr=0.72)
+        assert convolved.shape == signal.shape
+
+    def test_2d_convolution_rowwise(self, rng):
+        signals = rng.standard_normal((5, 80))
+        convolved = convolve_hrf(signals, tr=1.0)
+        assert convolved.shape == signals.shape
+        single = convolve_hrf(signals[2], tr=1.0)
+        np.testing.assert_allclose(convolved[2], single)
+
+    def test_convolution_smooths_high_frequencies(self, rng):
+        noise = rng.standard_normal(300)
+        convolved = convolve_hrf(noise, tr=0.72)
+        # successive-difference energy shrinks after low-pass HRF filtering
+        assert np.std(np.diff(convolved)) < np.std(np.diff(noise))
+
+    def test_rejects_3d_input(self, rng):
+        with pytest.raises(ValidationError):
+            convolve_hrf(rng.standard_normal((2, 3, 4)), tr=1.0)
+
+    def test_task_timing_pair(self):
+        boxcar, convolved = task_timing(100, tr=1.0, block_duration=20.0, rest_duration=20.0)
+        assert boxcar.shape == convolved.shape == (100,)
+        # convolved response lags the boxcar
+        assert np.argmax(convolved) >= np.argmax(boxcar)

@@ -1,0 +1,64 @@
+"""Tests for atlas parcellation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AtlasError, ValidationError
+from repro.imaging.parcellation import parcellate, region_voxel_counts
+from repro.imaging.volume import Volume4D
+
+
+@pytest.fixture()
+def labelled_volume(small_atlas, rng):
+    """A volume whose voxel series equal their region index (plus noise-free)."""
+    nx, ny, nz = small_atlas.spatial_shape
+    n_timepoints = 25
+    data = np.zeros((nx, ny, nz, n_timepoints))
+    for region in range(1, small_atlas.n_regions + 1):
+        data[small_atlas.labels == region, :] = float(region)
+    return Volume4D(data=data, tr=1.0)
+
+
+class TestParcellate:
+    def test_region_means_recovered(self, labelled_volume, small_atlas):
+        ts = parcellate(labelled_volume, small_atlas)
+        for region in range(small_atlas.n_regions):
+            np.testing.assert_allclose(ts[region], float(region + 1))
+
+    def test_output_shape(self, labelled_volume, small_atlas):
+        ts = parcellate(labelled_volume, small_atlas)
+        assert ts.shape == (small_atlas.n_regions, labelled_volume.n_timepoints)
+
+    def test_mask_restricts_voxels(self, labelled_volume, small_atlas):
+        # Masking out everything in region 1 yields a zero row for it.
+        mask = ~small_atlas.region_mask(1)
+        ts = parcellate(labelled_volume, small_atlas, mask=mask)
+        np.testing.assert_allclose(ts[0], 0.0)
+        np.testing.assert_allclose(ts[1], 2.0)
+
+    def test_zscore_output(self, small_atlas, rng):
+        nx, ny, nz = small_atlas.spatial_shape
+        data = rng.standard_normal((nx, ny, nz, 30)) + 100.0
+        volume = Volume4D(data=data, tr=1.0)
+        ts = parcellate(volume, small_atlas, zscore_output=True)
+        np.testing.assert_allclose(ts.mean(axis=1), 0.0, atol=1e-8)
+
+    def test_shape_mismatch_raises(self, small_atlas, rng):
+        volume = Volume4D(data=rng.standard_normal((4, 4, 4, 10)), tr=1.0)
+        with pytest.raises(AtlasError):
+            parcellate(volume, small_atlas)
+
+    def test_bad_mask_shape_raises(self, labelled_volume, small_atlas):
+        with pytest.raises(ValidationError):
+            parcellate(labelled_volume, small_atlas, mask=np.ones((2, 2, 2), dtype=bool))
+
+
+class TestRegionVoxelCounts:
+    def test_counts_match_atlas(self, small_atlas):
+        counts = region_voxel_counts(small_atlas)
+        np.testing.assert_array_equal(counts, small_atlas.region_sizes())
+
+    def test_counts_with_mask(self, small_atlas):
+        mask = np.zeros(small_atlas.spatial_shape, dtype=bool)
+        counts = region_voxel_counts(small_atlas, mask=mask)
+        np.testing.assert_array_equal(counts, 0)

@@ -1,0 +1,113 @@
+"""Tests for the brain phantom and synthetic atlases."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AtlasError, ValidationError
+from repro.imaging.atlas import (
+    Atlas,
+    aal2_like_atlas,
+    glasser_like_atlas,
+    random_parcellation,
+)
+from repro.imaging.phantom import BrainPhantom
+
+
+class TestBrainPhantom:
+    def test_masks_are_disjoint(self, small_phantom):
+        assert not np.any(small_phantom.brain_mask & small_phantom.skull_mask)
+
+    def test_head_mask_is_union(self, small_phantom):
+        union = small_phantom.brain_mask | small_phantom.skull_mask
+        np.testing.assert_array_equal(small_phantom.head_mask, union)
+
+    def test_brain_is_nonempty_and_smaller_than_grid(self, small_phantom):
+        n_voxels = int(np.prod(small_phantom.shape))
+        assert 0 < small_phantom.n_brain_voxels < n_voxels
+
+    def test_skull_shell_exists(self, small_phantom):
+        assert small_phantom.n_skull_voxels > 0
+
+    def test_brain_coordinates_match_mask(self, small_phantom):
+        coords = small_phantom.brain_coordinates()
+        assert coords.shape == (small_phantom.n_brain_voxels, 3)
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValidationError):
+            BrainPhantom(shape=(4, 4, 4))
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValidationError):
+            BrainPhantom(brain_fraction=(1.5, 0.5, 0.5))
+
+
+class TestAtlas:
+    def test_region_count(self, small_atlas):
+        assert small_atlas.n_regions == 12
+
+    def test_labels_are_contiguous(self, small_atlas):
+        present = np.unique(small_atlas.labels)
+        present = present[present > 0]
+        np.testing.assert_array_equal(present, np.arange(1, 13))
+
+    def test_every_region_nonempty(self, small_atlas):
+        assert np.all(small_atlas.region_sizes() > 0)
+
+    def test_region_mask(self, small_atlas):
+        mask = small_atlas.region_mask(3)
+        assert mask.sum() == small_atlas.region_sizes()[2]
+
+    def test_region_mask_out_of_range(self, small_atlas):
+        with pytest.raises(AtlasError):
+            small_atlas.region_mask(0)
+        with pytest.raises(AtlasError):
+            small_atlas.region_mask(13)
+
+    def test_brain_mask_covers_all_labels(self, small_atlas, small_phantom):
+        # Every labelled voxel lies inside the phantom's brain compartment.
+        assert np.all(small_phantom.brain_mask[small_atlas.brain_mask()])
+
+    def test_default_region_names(self, small_atlas):
+        assert len(small_atlas.region_names) == 12
+
+    def test_rejects_non_contiguous_labels(self):
+        labels = np.zeros((10, 10, 10), dtype=int)
+        labels[1, 1, 1] = 5
+        with pytest.raises(AtlasError):
+            Atlas(labels=labels)
+
+    def test_rejects_wrong_name_count(self, small_atlas):
+        with pytest.raises(AtlasError):
+            Atlas(labels=small_atlas.labels, region_names=["only-one"])
+
+    def test_rejects_empty_atlas(self):
+        with pytest.raises(AtlasError):
+            Atlas(labels=np.zeros((5, 5, 5), dtype=int))
+
+
+class TestAtlasConstructors:
+    def test_random_parcellation_respects_brain_mask(self, small_phantom):
+        atlas = random_parcellation(small_phantom, n_regions=8, random_state=0)
+        labelled = atlas.labels > 0
+        np.testing.assert_array_equal(labelled, small_phantom.brain_mask)
+
+    def test_random_parcellation_deterministic(self, small_phantom):
+        a = random_parcellation(small_phantom, n_regions=8, random_state=3)
+        b = random_parcellation(small_phantom, n_regions=8, random_state=3)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_too_many_regions_raises(self, small_phantom):
+        with pytest.raises(AtlasError):
+            random_parcellation(small_phantom, n_regions=10**6)
+
+    def test_glasser_like_is_canonical(self):
+        phantom = BrainPhantom(shape=(16, 18, 16))
+        a = glasser_like_atlas(phantom, n_regions=30)
+        b = glasser_like_atlas(phantom, n_regions=30)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        assert a.name == "glasser_like"
+
+    def test_aal2_like_region_count_capped_by_brain_size(self):
+        phantom = BrainPhantom(shape=(12, 12, 12))
+        atlas = aal2_like_atlas(phantom, n_regions=10**5)
+        assert atlas.n_regions <= phantom.n_brain_voxels

@@ -1,0 +1,93 @@
+"""Tests for the end-to-end preprocessing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PreprocessingError
+from repro.imaging.acquisition import AcquisitionParameters, ScannerSimulator
+from repro.imaging.preprocessing import (
+    PreprocessingPipeline,
+    default_adhd_pipeline,
+    default_hcp_pipeline,
+)
+from repro.utils.stats import correlation_matrix
+
+
+@pytest.fixture()
+def acquisition(small_phantom, small_atlas, rng):
+    simulator = ScannerSimulator(small_phantom, small_atlas)
+    signals = rng.standard_normal((small_atlas.n_regions, 120))
+    return simulator.acquire(signals, random_state=0, subject_id="sub-x"), signals
+
+
+class TestPipeline:
+    def test_full_run_output_shape(self, small_atlas, acquisition):
+        volume, _ = acquisition
+        pipeline = default_hcp_pipeline(small_atlas, bandpass=False)
+        timeseries = pipeline.run(volume)
+        assert timeseries.shape == (small_atlas.n_regions, volume.n_timepoints)
+
+    def test_output_is_zscored(self, small_atlas, acquisition):
+        volume, _ = acquisition
+        pipeline = default_hcp_pipeline(small_atlas, bandpass=False)
+        timeseries = pipeline.run(volume)
+        np.testing.assert_allclose(timeseries.mean(axis=1), 0.0, atol=1e-8)
+
+    def test_recovers_planted_correlation_structure(self, small_atlas, small_phantom, rng):
+        # Build region signals with a known strong correlation between regions
+        # 0 and 1, push them through scanner + preprocessing, and check the
+        # correlation survives.
+        shared = rng.standard_normal(150)
+        signals = rng.standard_normal((small_atlas.n_regions, 150))
+        signals[0] = shared + 0.1 * rng.standard_normal(150)
+        signals[1] = shared + 0.1 * rng.standard_normal(150)
+        simulator = ScannerSimulator(small_phantom, small_atlas)
+        volume = simulator.acquire(signals, random_state=1)
+
+        pipeline = default_hcp_pipeline(
+            small_atlas, bandpass=False, global_signal_regression=False
+        )
+        recovered = pipeline.run(volume)
+        corr = correlation_matrix(recovered)
+        assert corr[0, 1] > 0.7
+
+    def test_adhd_pipeline_runs(self, small_atlas, acquisition):
+        volume, _ = acquisition
+        pipeline = default_adhd_pipeline(small_atlas)
+        timeseries = pipeline.run(volume)
+        assert timeseries.shape[0] == small_atlas.n_regions
+
+    def test_spatial_phase_only(self, small_atlas, acquisition):
+        volume, _ = acquisition
+        pipeline = default_hcp_pipeline(small_atlas, bandpass=False)
+        cleaned = pipeline.run_spatial(volume)
+        assert cleaned.spatial_shape == volume.spatial_shape
+
+    def test_temporal_phase_only(self, small_atlas, rng):
+        pipeline = default_hcp_pipeline(small_atlas, bandpass=False)
+        timeseries = rng.standard_normal((small_atlas.n_regions, 100))
+        cleaned = pipeline.run_temporal(timeseries, tr=0.72)
+        assert cleaned.shape == timeseries.shape
+
+    def test_rejects_non_volume_input(self, small_atlas, rng):
+        pipeline = default_hcp_pipeline(small_atlas)
+        with pytest.raises(PreprocessingError):
+            pipeline.run(rng.standard_normal((4, 4, 4, 10)))
+
+    def test_pipeline_without_steps_is_parcellation_only(self, small_atlas, acquisition):
+        volume, _ = acquisition
+        pipeline = PreprocessingPipeline(atlas=small_atlas)
+        timeseries = pipeline.run(volume)
+        assert timeseries.shape == (small_atlas.n_regions, volume.n_timepoints)
+
+    def test_estimated_brain_mask_used(self, small_atlas, acquisition):
+        volume, _ = acquisition
+        pipeline = default_hcp_pipeline(small_atlas, bandpass=False)
+        pipeline.run(volume)
+        assert pipeline._estimated_brain_mask() is not None
+
+    def test_mask_can_be_disabled(self, small_atlas, acquisition):
+        volume, _ = acquisition
+        pipeline = default_hcp_pipeline(small_atlas, bandpass=False)
+        pipeline.use_estimated_brain_mask = False
+        assert pipeline._estimated_brain_mask() is None

@@ -1,0 +1,148 @@
+"""Tests for the spatial preprocessing steps."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PreprocessingError
+from repro.imaging.acquisition import AcquisitionParameters, ScannerSimulator
+from repro.imaging.preprocessing import (
+    BiasFieldCorrection,
+    MotionCorrection,
+    RegistrationToTemplate,
+    SkullStripping,
+)
+from repro.imaging.volume import Volume4D
+
+
+@pytest.fixture()
+def clean_acquisition(small_phantom, small_atlas, rng):
+    """Acquisition with only motion + skull (no noise/drift/bias)."""
+    params = AcquisitionParameters(
+        thermal_noise_std=0.0,
+        drift_amplitude=0.0,
+        bias_field_strength=0.0,
+        motion_max_shift_voxels=1,
+        motion_n_events=2,
+        skull_noise_std=0.0,
+    )
+    simulator = ScannerSimulator(small_phantom, small_atlas, params)
+    signals = rng.standard_normal((small_atlas.n_regions, 30))
+    return simulator.acquire(signals, random_state=3)
+
+
+class TestMotionCorrection:
+    def test_recovers_injected_shifts(self, clean_acquisition):
+        correction = MotionCorrection(max_shift=1)
+        correction.apply(clean_acquisition)
+        estimated = correction.estimated_shifts_
+        truth = clean_acquisition.true_motion_
+        # Estimated shifts must undo the injected ones (sum to zero).
+        agreement = np.mean(np.all(estimated == -truth, axis=1))
+        assert agreement >= 0.9
+
+    def test_reduces_frame_to_mean_variability(self, clean_acquisition):
+        corrected = MotionCorrection(max_shift=1).apply(clean_acquisition)
+
+        def frame_instability(volume):
+            mean_image = volume.mean_image()
+            return float(
+                np.mean((volume.data - mean_image[..., None]) ** 2)
+            )
+
+        assert frame_instability(corrected) <= frame_instability(clean_acquisition) + 1e-12
+
+    def test_zero_max_shift_is_identity(self, clean_acquisition):
+        corrected = MotionCorrection(max_shift=0).apply(clean_acquisition)
+        np.testing.assert_allclose(corrected.data, clean_acquisition.data)
+
+    def test_rejects_non_volume_input(self, rng):
+        with pytest.raises(PreprocessingError):
+            MotionCorrection().apply(rng.standard_normal((4, 4, 4, 5)))
+
+    def test_invalid_reference(self):
+        with pytest.raises(PreprocessingError):
+            MotionCorrection(reference="median")
+
+
+class TestSkullStripping:
+    def test_recovers_brain_mask(self, clean_acquisition, small_phantom):
+        stripping = SkullStripping()
+        stripping.apply(clean_acquisition)
+        estimated = stripping.brain_mask_
+        truth = small_phantom.brain_mask
+        dice = 2.0 * np.sum(estimated & truth) / (estimated.sum() + truth.sum())
+        assert dice > 0.9
+
+    def test_masked_voxels_set_to_fill_value(self, clean_acquisition):
+        stripping = SkullStripping(fill_value=0.0)
+        stripped = stripping.apply(clean_acquisition)
+        outside = ~stripping.brain_mask_
+        assert np.allclose(stripped.data[outside, :], 0.0)
+
+    def test_empty_volume_raises(self):
+        volume = Volume4D(data=np.zeros((8, 8, 8, 5)), tr=1.0)
+        with pytest.raises(PreprocessingError):
+            SkullStripping().apply(volume)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(PreprocessingError):
+            SkullStripping(threshold_fraction=1.5)
+
+
+class TestBiasFieldCorrection:
+    def test_removes_multiplicative_field(self, small_phantom, small_atlas, rng):
+        params_biased = AcquisitionParameters(
+            thermal_noise_std=0.0,
+            drift_amplitude=0.0,
+            bias_field_strength=0.3,
+            motion_n_events=0,
+            skull_noise_std=0.0,
+        )
+        simulator = ScannerSimulator(small_phantom, small_atlas, params_biased)
+        signals = rng.standard_normal((small_atlas.n_regions, 20))
+        biased = simulator.acquire(signals, random_state=0)
+
+        corrected = BiasFieldCorrection(smoothing_sigma=3.0).apply(biased)
+        brain = small_phantom.brain_mask
+        true_field = biased.true_bias_field_[brain]
+        # The corrected image's intensity pattern should track the injected
+        # bias field much less than the uncorrected image does.
+        before = abs(np.corrcoef(biased.mean_image()[brain], true_field)[0, 1])
+        after = abs(np.corrcoef(corrected.mean_image()[brain], true_field)[0, 1])
+        assert after < before
+
+    def test_estimated_field_stored(self, clean_acquisition):
+        correction = BiasFieldCorrection()
+        correction.apply(clean_acquisition)
+        assert correction.estimated_field_.shape == clean_acquisition.spatial_shape
+
+    def test_invalid_sigma(self):
+        with pytest.raises(PreprocessingError):
+            BiasFieldCorrection(smoothing_sigma=0.0)
+
+
+class TestRegistration:
+    def test_identity_when_shapes_match(self, clean_acquisition):
+        registration = RegistrationToTemplate(template_shape=clean_acquisition.spatial_shape)
+        registered = registration.apply(clean_acquisition)
+        np.testing.assert_allclose(registered.data, clean_acquisition.data)
+
+    def test_resampling_to_smaller_grid(self, clean_acquisition):
+        registration = RegistrationToTemplate(template_shape=(8, 9, 8))
+        registered = registration.apply(clean_acquisition)
+        assert registered.spatial_shape == (8, 9, 8)
+        assert registered.n_timepoints == clean_acquisition.n_timepoints
+
+    def test_intensity_normalization(self, clean_acquisition):
+        registration = RegistrationToTemplate(
+            template_shape=clean_acquisition.spatial_shape,
+            normalize_intensity=True,
+            target_mean=50.0,
+        )
+        registered = registration.apply(clean_acquisition)
+        head = registered.mean_image() > 1e-9
+        assert registered.data[head, :].mean() == pytest.approx(50.0, rel=1e-6)
+
+    def test_invalid_template_shape(self):
+        with pytest.raises(PreprocessingError):
+            RegistrationToTemplate(template_shape=(2, 2))

@@ -1,0 +1,116 @@
+"""Tests for the temporal preprocessing steps."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PreprocessingError
+from repro.imaging.preprocessing import (
+    BandpassFilter,
+    Detrend,
+    GlobalSignalRegression,
+    HighPassFilter,
+    ZScoreNormalization,
+)
+
+
+class TestDetrend:
+    def test_removes_linear_trend(self, rng):
+        times = np.arange(200, dtype=float)
+        trend = 0.05 * times
+        signal = rng.standard_normal((4, 200)) + trend
+        detrended = Detrend(order=1).apply(signal)
+        # The residual correlation with the linear trend is negligible.
+        for row in detrended:
+            assert abs(np.corrcoef(row, times)[0, 1]) < 0.05
+
+    def test_order_zero_removes_mean_only(self, rng):
+        signal = rng.standard_normal((3, 50)) + 10.0
+        detrended = Detrend(order=0).apply(signal)
+        np.testing.assert_allclose(detrended.mean(axis=1), 0.0, atol=1e-10)
+
+    def test_order_two_removes_quadratic(self, rng):
+        times = np.linspace(-1, 1, 150)
+        signal = rng.standard_normal((2, 150)) * 0.1 + 5.0 * times**2
+        detrended = Detrend(order=2).apply(signal)
+        assert np.abs(detrended).max() < 1.0
+
+    def test_invalid_order(self):
+        with pytest.raises(PreprocessingError):
+            Detrend(order=-1)
+
+
+class TestFilters:
+    def _sine(self, frequency, tr, n):
+        times = np.arange(n) * tr
+        return np.sin(2.0 * np.pi * frequency * times)
+
+    def test_bandpass_keeps_passband_and_removes_out_of_band(self):
+        tr = 0.72
+        n = 600
+        in_band = self._sine(0.05, tr, n)
+        too_slow = self._sine(0.001, tr, n)
+        too_fast = self._sine(0.4, tr, n)
+        signal = np.vstack([in_band, too_slow, too_fast])
+        filtered = BandpassFilter(low_hz=0.008, high_hz=0.1).apply(signal, tr=tr)
+        assert filtered[0].std() > 0.5 * in_band.std()
+        assert filtered[1].std() < 0.2 * too_slow.std()
+        assert filtered[2].std() < 0.2 * too_fast.std()
+
+    def test_highpass_removes_slow_drift(self):
+        tr = 1.0
+        n = 500
+        drift = self._sine(0.0005, tr, n)
+        fast = self._sine(0.05, tr, n)
+        signal = np.vstack([drift, fast])
+        filtered = HighPassFilter(cutoff_seconds=200.0).apply(signal, tr=tr)
+        assert filtered[0].std() < 0.3 * drift.std()
+        assert filtered[1].std() > 0.7 * fast.std()
+
+    def test_bandpass_invalid_corners(self):
+        with pytest.raises(PreprocessingError):
+            BandpassFilter(low_hz=0.1, high_hz=0.05)
+
+    def test_bandpass_unresolvable_band_raises(self, rng):
+        # At tr = 10 s the Nyquist frequency is 0.05 Hz < the 0.1 Hz corner...
+        signal = rng.standard_normal((2, 100))
+        with pytest.raises(PreprocessingError):
+            BandpassFilter(low_hz=0.06, high_hz=0.1).apply(signal, tr=10.0)
+
+    def test_highpass_invalid_cutoff(self):
+        with pytest.raises(PreprocessingError):
+            HighPassFilter(cutoff_seconds=0.0)
+
+
+class TestGlobalSignalRegression:
+    def test_removes_shared_component(self, rng):
+        shared = rng.standard_normal(300)
+        unique = rng.standard_normal((6, 300))
+        signal = unique + 5.0 * shared
+        cleaned = GlobalSignalRegression().apply(signal)
+        for row in cleaned:
+            assert abs(np.corrcoef(row, shared)[0, 1]) < 0.2
+
+    def test_global_signal_stored(self, rng):
+        gsr = GlobalSignalRegression()
+        signal = rng.standard_normal((4, 100))
+        gsr.apply(signal)
+        assert gsr.global_signal_.shape == (100,)
+
+    def test_preserves_uncorrelated_structure(self, rng):
+        # Two anticorrelated regions stay anticorrelated after GSR.
+        base = rng.standard_normal(400)
+        signal = np.vstack([base, -base, rng.standard_normal(400)])
+        cleaned = GlobalSignalRegression().apply(signal)
+        assert np.corrcoef(cleaned[0], cleaned[1])[0, 1] < -0.8
+
+
+class TestZScore:
+    def test_rows_standardized(self, rng):
+        signal = rng.standard_normal((5, 80)) * 7.0 + 3.0
+        z = ZScoreNormalization().apply(signal)
+        np.testing.assert_allclose(z.mean(axis=1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=1), 1.0, atol=1e-10)
+
+    def test_invalid_ddof(self):
+        with pytest.raises(ValueError):
+            ZScoreNormalization(ddof=-1)

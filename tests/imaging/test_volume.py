@@ -1,0 +1,69 @@
+"""Tests for the Volume4D container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.imaging.volume import Volume4D
+
+
+@pytest.fixture()
+def volume(rng):
+    return Volume4D(data=rng.standard_normal((6, 7, 8, 20)), tr=0.8, subject_id="s1")
+
+
+class TestVolume4D:
+    def test_shape_properties(self, volume):
+        assert volume.spatial_shape == (6, 7, 8)
+        assert volume.n_timepoints == 20
+        assert volume.n_voxels == 6 * 7 * 8
+        assert volume.duration == pytest.approx(16.0)
+
+    def test_rejects_non_4d_data(self, rng):
+        with pytest.raises(ValidationError):
+            Volume4D(data=rng.standard_normal((5, 5, 5)))
+
+    def test_rejects_non_positive_tr(self, rng):
+        with pytest.raises(ValidationError):
+            Volume4D(data=rng.standard_normal((4, 4, 4, 5)), tr=0.0)
+
+    def test_rejects_bad_affine(self, rng):
+        with pytest.raises(ValidationError):
+            Volume4D(data=rng.standard_normal((4, 4, 4, 5)), affine=np.eye(3))
+
+    def test_default_affine_is_identity(self, volume):
+        np.testing.assert_array_equal(volume.affine, np.eye(4))
+
+    def test_frame_access(self, volume):
+        np.testing.assert_array_equal(volume.frame(3), volume.data[..., 3])
+        with pytest.raises(ValidationError):
+            volume.frame(100)
+
+    def test_mean_image(self, volume):
+        np.testing.assert_allclose(volume.mean_image(), volume.data.mean(axis=3))
+
+    def test_to_timeseries_full(self, volume):
+        ts = volume.to_timeseries()
+        assert ts.shape == (volume.n_voxels, volume.n_timepoints)
+
+    def test_to_timeseries_with_mask(self, volume):
+        mask = np.zeros(volume.spatial_shape, dtype=bool)
+        mask[0, 0, 0] = True
+        mask[1, 2, 3] = True
+        ts = volume.to_timeseries(mask)
+        assert ts.shape == (2, volume.n_timepoints)
+
+    def test_to_timeseries_bad_mask_shape(self, volume):
+        with pytest.raises(ValidationError):
+            volume.to_timeseries(np.ones((2, 2, 2), dtype=bool))
+
+    def test_with_data_preserves_metadata(self, volume):
+        new = volume.with_data(volume.data * 2.0)
+        assert new.subject_id == "s1"
+        assert new.tr == volume.tr
+        np.testing.assert_allclose(new.data, volume.data * 2.0)
+
+    def test_copy_is_independent(self, volume):
+        copy = volume.copy()
+        copy.data[0, 0, 0, 0] = 999.0
+        assert volume.data[0, 0, 0, 0] != 999.0

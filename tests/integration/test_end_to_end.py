@@ -1,0 +1,108 @@
+"""Integration tests chaining the full stack.
+
+Two flows are covered:
+
+1. The *imaging* flow of paper Figures 3 + 4: region signals → simulated
+   scanner acquisition → preprocessing pipeline → connectome → group matrix →
+   leverage-score attack.  This is the path a real attacker with raw scans
+   would follow.
+2. The *dataset* flow used by the benchmarks: HCP-like cohort → attack →
+   task/performance inference → defense.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attack import AttackPipeline, LeverageScoreAttack
+from repro.connectome import build_group_matrix
+from repro.connectome.connectome import Connectome
+from repro.datasets.subject import SubjectPopulation
+from repro.datasets.tasks import HCP_TASKS
+from repro.defense import SignatureNoiseDefense
+from repro.imaging.acquisition import ScannerSimulator
+from repro.imaging.atlas import random_parcellation
+from repro.imaging.phantom import BrainPhantom
+from repro.imaging.preprocessing import default_hcp_pipeline
+
+
+@pytest.mark.slow
+class TestImagingFlow:
+    def test_attack_survives_scanner_and_preprocessing(self):
+        """Identify subjects from scans that went through the full imaging path."""
+        n_subjects = 6
+        phantom = BrainPhantom(shape=(16, 18, 16))
+        atlas = random_parcellation(phantom, n_regions=16, random_state=0)
+        population = SubjectPopulation(
+            n_subjects=n_subjects,
+            n_regions=atlas.n_regions,
+            random_state=4,
+        )
+        simulator = ScannerSimulator(phantom, atlas)
+        pipeline = default_hcp_pipeline(atlas, bandpass=False, global_signal_regression=False)
+
+        def acquire_session(session):
+            connectomes = []
+            session_offset = 1000 if session == "S1" else 2000
+            for index in range(n_subjects):
+                signals = population.generate_timeseries(
+                    index, HCP_TASKS["REST"], session=session, n_timepoints=120
+                )
+                volume = simulator.acquire(
+                    signals, random_state=session_offset + index,
+                    subject_id=population.subject(index).subject_id,
+                )
+                recovered = pipeline.run(volume)
+                connectomes.append(
+                    Connectome.from_timeseries(
+                        recovered,
+                        subject_id=population.subject(index).subject_id,
+                        session=session,
+                        task="REST",
+                    )
+                )
+            return build_group_matrix(connectomes)
+
+        reference = acquire_session("S1")
+        target = acquire_session("S2")
+        result = LeverageScoreAttack(n_features=60).fit_identify(reference, target)
+        # Six subjects, chance level ~17 %.  The tiny phantom (16 regions on a
+        # 16-voxel grid) limits how much of the signature survives head
+        # motion, so the bar here is "far above chance" rather than the
+        # near-perfect accuracy seen at the regular experiment scale.
+        assert result.accuracy() >= 0.6
+
+
+class TestDatasetFlow:
+    def test_attack_then_defense_roundtrip(self, small_hcp):
+        reference_scans = small_hcp.generate_session("REST", encoding="LR", day=1)
+        target_scans = small_hcp.generate_session("REST", encoding="RL", day=2)
+
+        pipeline = AttackPipeline(n_features=100)
+        report = pipeline.run(reference_scans, target_scans)
+        assert report.accuracy >= 0.8
+
+        # The defender perturbs exactly the features the attacker found.
+        reference = pipeline.build_group(reference_scans)
+        target = pipeline.build_group(target_scans)
+        defense = SignatureNoiseDefense(n_features=100, noise_scale=12.0, random_state=0)
+        protected = defense.protect(target)
+        protected_report = pipeline.run_on_groups(reference, protected)
+        assert protected_report.accuracy < report.accuracy
+
+    def test_cross_task_identification_consistency(self, small_hcp):
+        # De-anonymizing REST must reveal LANGUAGE scans better than chance
+        # and better than the reverse direction with weak tasks (MOTOR).
+        rest_reference = small_hcp.group_matrix("REST", "LR", 1)
+        language_target = small_hcp.group_matrix("LANGUAGE", "RL", 2)
+        motor_reference = small_hcp.group_matrix("MOTOR", "LR", 1)
+        motor_target = small_hcp.group_matrix("MOTOR", "RL", 2)
+
+        rest_to_language = LeverageScoreAttack(n_features=100).fit_identify(
+            rest_reference, language_target
+        ).accuracy()
+        motor_to_motor = LeverageScoreAttack(n_features=100).fit_identify(
+            motor_reference, motor_target
+        ).accuracy()
+        chance = 1.0 / small_hcp.n_subjects
+        assert rest_to_language > 3 * chance
+        assert rest_to_language > motor_to_motor

@@ -1,0 +1,117 @@
+"""Tests for leverage scores and the Principal Features Subspace method."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.linalg.leverage import (
+    PrincipalFeaturesSubspace,
+    leverage_score_distribution,
+    leverage_scores,
+    principal_features,
+    rank_k_leverage_scores,
+)
+
+
+class TestLeverageScores:
+    def test_scores_sum_to_rank(self, tall_matrix):
+        scores = leverage_scores(tall_matrix)
+        rank = np.linalg.matrix_rank(tall_matrix)
+        assert scores.sum() == pytest.approx(rank, rel=1e-6)
+
+    def test_scores_in_unit_interval(self, tall_matrix):
+        scores = leverage_scores(tall_matrix)
+        assert np.all(scores >= -1e-12)
+        assert np.all(scores <= 1.0 + 1e-12)
+
+    def test_identity_rows_have_unit_leverage(self):
+        matrix = np.vstack([np.eye(3), np.zeros((5, 3))])
+        scores = leverage_scores(matrix)
+        np.testing.assert_allclose(scores[:3], 1.0, atol=1e-10)
+        np.testing.assert_allclose(scores[3:], 0.0, atol=1e-10)
+
+    def test_planted_important_row_gets_top_score(self, rng):
+        base = rng.standard_normal((100, 5))
+        base[17] = 50.0 * rng.standard_normal(5)
+        # Row 17 dominates one direction of the column space entirely.
+        scores = leverage_scores(base)
+        assert np.argmax(scores) == 17
+
+    def test_rank_k_scores(self, tall_matrix):
+        scores = rank_k_leverage_scores(tall_matrix, rank=3)
+        assert scores.shape == (tall_matrix.shape[0],)
+        assert scores.sum() == pytest.approx(3.0, rel=1e-6)
+
+    def test_rank_k_randomized_close_to_exact(self, tall_matrix):
+        exact = rank_k_leverage_scores(tall_matrix, rank=5, method="exact")
+        approx = rank_k_leverage_scores(
+            tall_matrix, rank=5, method="randomized", random_state=0
+        )
+        # The top-ranked rows should largely agree.
+        top_exact = set(np.argsort(exact)[::-1][:20].tolist())
+        top_approx = set(np.argsort(approx)[::-1][:20].tolist())
+        assert len(top_exact & top_approx) >= 15
+
+    def test_rank_too_large_raises(self, tall_matrix):
+        with pytest.raises(ValidationError):
+            rank_k_leverage_scores(tall_matrix, rank=50)
+
+    def test_invalid_method_raises(self, tall_matrix):
+        with pytest.raises(ValidationError):
+            rank_k_leverage_scores(tall_matrix, rank=2, method="bogus")
+
+    def test_distribution_sums_to_one(self, tall_matrix):
+        dist = leverage_score_distribution(tall_matrix)
+        assert dist.sum() == pytest.approx(1.0)
+
+
+class TestPrincipalFeatures:
+    def test_returns_requested_count(self, tall_matrix):
+        indices = principal_features(tall_matrix, n_features=10)
+        assert indices.shape == (10,)
+        assert len(set(indices.tolist())) == 10
+
+    def test_sorted_by_descending_score(self, tall_matrix):
+        scores = leverage_scores(tall_matrix)
+        indices = principal_features(tall_matrix, n_features=10)
+        selected_scores = scores[indices]
+        assert np.all(np.diff(selected_scores) <= 1e-12)
+
+    def test_too_many_features_raises(self, tall_matrix):
+        with pytest.raises(ValidationError):
+            principal_features(tall_matrix, n_features=tall_matrix.shape[0] + 1)
+
+
+class TestPrincipalFeaturesSubspace:
+    def test_fit_transform_shape(self, tall_matrix):
+        selector = PrincipalFeaturesSubspace(n_features=15)
+        reduced = selector.fit_transform(tall_matrix)
+        assert reduced.shape == (15, tall_matrix.shape[1])
+
+    def test_transform_uses_fitted_features(self, tall_matrix, rng):
+        selector = PrincipalFeaturesSubspace(n_features=10).fit(tall_matrix)
+        other = rng.standard_normal(tall_matrix.shape)
+        reduced = selector.transform(other)
+        np.testing.assert_allclose(reduced, other[selector.selected_indices_, :])
+
+    def test_transform_before_fit_raises(self, tall_matrix):
+        with pytest.raises(NotFittedError):
+            PrincipalFeaturesSubspace(n_features=5).transform(tall_matrix)
+
+    def test_selected_scores_property(self, tall_matrix):
+        selector = PrincipalFeaturesSubspace(n_features=5).fit(tall_matrix)
+        assert selector.selected_scores_.shape == (5,)
+        assert np.all(np.diff(selector.selected_scores_) <= 1e-12)
+
+    def test_transform_rejects_smaller_matrix(self, tall_matrix):
+        selector = PrincipalFeaturesSubspace(n_features=5).fit(tall_matrix)
+        with pytest.raises(ValidationError):
+            selector.transform(tall_matrix[:3, :])
+
+    def test_n_features_larger_than_rows_raises(self, tall_matrix):
+        with pytest.raises(ValidationError):
+            PrincipalFeaturesSubspace(n_features=10**6).fit(tall_matrix)
+
+    def test_rank_restricted_selection(self, tall_matrix):
+        selector = PrincipalFeaturesSubspace(n_features=10, rank=3).fit(tall_matrix)
+        assert selector.selected_indices_.shape == (10,)

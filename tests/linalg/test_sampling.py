@@ -1,0 +1,116 @@
+"""Tests for the randomized row-sampling meta-algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.linalg.sampling import (
+    RowSampler,
+    l2_distribution,
+    leverage_distribution,
+    row_sample,
+    uniform_distribution,
+)
+
+
+class TestDistributions:
+    def test_uniform_sums_to_one(self, tall_matrix):
+        p = uniform_distribution(tall_matrix)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.allclose(p, p[0])
+
+    def test_l2_proportional_to_row_norms(self, rng):
+        matrix = rng.standard_normal((50, 4))
+        matrix[3] *= 10.0
+        p = l2_distribution(matrix)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.argmax(p) == 3
+
+    def test_l2_zero_matrix_raises(self):
+        with pytest.raises(ValidationError):
+            l2_distribution(np.zeros((5, 3)))
+
+    def test_leverage_distribution_sums_to_one(self, tall_matrix):
+        p = leverage_distribution(tall_matrix)
+        assert p.sum() == pytest.approx(1.0)
+
+
+class TestRowSample:
+    def test_shapes(self, tall_matrix):
+        p = l2_distribution(tall_matrix)
+        sketch, indices = row_sample(tall_matrix, 30, p, random_state=0)
+        assert sketch.shape == (30, tall_matrix.shape[1])
+        assert indices.shape == (30,)
+
+    def test_rescaling_unbiased_gram(self, rng):
+        # E[sketch^T sketch] = A^T A; check the empirical mean over repetitions
+        # is much closer to the truth than a single draw.
+        matrix = rng.standard_normal((200, 4))
+        p = l2_distribution(matrix)
+        true_gram = matrix.T @ matrix
+        grams = []
+        for seed in range(40):
+            sketch, _ = row_sample(matrix, 80, p, random_state=seed)
+            grams.append(sketch.T @ sketch)
+        mean_gram = np.mean(grams, axis=0)
+        relative_error = np.linalg.norm(mean_gram - true_gram) / np.linalg.norm(true_gram)
+        assert relative_error < 0.12
+
+    def test_no_rescale_keeps_original_rows(self, tall_matrix):
+        p = uniform_distribution(tall_matrix)
+        sketch, indices = row_sample(tall_matrix, 10, p, random_state=1, rescale=False)
+        np.testing.assert_allclose(sketch, tall_matrix[indices, :])
+
+    def test_bad_probability_shape_raises(self, tall_matrix):
+        with pytest.raises(ValidationError):
+            row_sample(tall_matrix, 5, np.ones(3))
+
+    def test_negative_probabilities_raise(self, tall_matrix):
+        p = np.full(tall_matrix.shape[0], 1.0 / tall_matrix.shape[0])
+        p[0] = -0.5
+        with pytest.raises(ValidationError):
+            row_sample(tall_matrix, 5, p)
+
+    def test_unnormalized_probabilities_are_normalized(self, tall_matrix):
+        p = np.ones(tall_matrix.shape[0])
+        sketch, _ = row_sample(tall_matrix, 5, p, random_state=0)
+        assert sketch.shape[0] == 5
+
+
+class TestRowSampler:
+    def test_fit_sample_leverage(self, tall_matrix):
+        sampler = RowSampler(n_rows=25, distribution="leverage", random_state=0)
+        sketch = sampler.fit_sample(tall_matrix)
+        assert sketch.shape == (25, tall_matrix.shape[1])
+        assert sampler.sampled_indices_.shape == (25,)
+
+    def test_sample_before_fit_raises(self, tall_matrix):
+        with pytest.raises(NotFittedError):
+            RowSampler(n_rows=5).sample(tall_matrix)
+
+    def test_invalid_distribution_raises(self, tall_matrix):
+        with pytest.raises(ValidationError):
+            RowSampler(n_rows=5, distribution="bogus").fit(tall_matrix)
+
+    def test_leverage_sampling_beats_uniform_on_structured_matrix(self, rng):
+        # Plant a matrix where a few rows carry all the signal; leverage
+        # sampling should approximate the Gram matrix better than uniform.
+        matrix = 0.01 * rng.standard_normal((500, 6))
+        important = rng.choice(500, size=12, replace=False)
+        matrix[important] = rng.standard_normal((12, 6)) * 5.0
+        true_gram = matrix.T @ matrix
+
+        def gram_error(distribution):
+            errors = []
+            for seed in range(10):
+                sampler = RowSampler(
+                    n_rows=40, distribution=distribution, random_state=seed
+                )
+                sketch = sampler.fit_sample(matrix)
+                errors.append(
+                    np.linalg.norm(sketch.T @ sketch - true_gram)
+                    / np.linalg.norm(true_gram)
+                )
+            return np.mean(errors)
+
+        assert gram_error("leverage") < gram_error("uniform")

@@ -1,0 +1,83 @@
+"""Tests for sketch-quality diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.linalg.leverage import principal_features
+from repro.linalg.sampling import RowSampler
+from repro.linalg.sketch import (
+    gram_approximation_error,
+    low_rank_approximation,
+    projection_reconstruction_error,
+    sketch_quality_report,
+)
+
+
+class TestGramError:
+    def test_zero_for_identical(self, tall_matrix):
+        assert gram_approximation_error(tall_matrix, tall_matrix) == pytest.approx(0.0)
+
+    def test_relative_vs_absolute(self, tall_matrix, rng):
+        sketch = tall_matrix[rng.choice(tall_matrix.shape[0], 50, replace=False), :]
+        relative = gram_approximation_error(tall_matrix, sketch, relative=True)
+        absolute = gram_approximation_error(tall_matrix, sketch, relative=False)
+        assert absolute > relative
+
+    def test_column_mismatch_raises(self, tall_matrix):
+        with pytest.raises(ValidationError):
+            gram_approximation_error(tall_matrix, tall_matrix[:, :3])
+
+
+class TestLowRankApproximation:
+    def test_rank_one_of_rank_one_matrix_is_exact(self, rng):
+        matrix = np.outer(rng.standard_normal(20), rng.standard_normal(5))
+        approx = low_rank_approximation(matrix, rank=1)
+        np.testing.assert_allclose(approx, matrix, atol=1e-10)
+
+    def test_error_decreases_with_rank(self, tall_matrix):
+        errors = [
+            np.linalg.norm(tall_matrix - low_rank_approximation(tall_matrix, rank=k))
+            for k in (1, 3, 5)
+        ]
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_rank_too_large_raises(self, tall_matrix):
+        with pytest.raises(ValidationError):
+            low_rank_approximation(tall_matrix, rank=100)
+
+
+class TestProjectionError:
+    def test_full_row_set_gives_zero_error(self, tall_matrix):
+        error = projection_reconstruction_error(
+            tall_matrix, np.arange(tall_matrix.shape[0])
+        )
+        assert error == pytest.approx(0.0, abs=1e-8)
+
+    def test_leverage_rows_give_small_relative_error(self, tall_matrix):
+        top = principal_features(tall_matrix, n_features=10)
+        error = projection_reconstruction_error(tall_matrix, top)
+        assert error < 0.2
+
+    def test_out_of_range_indices_raise(self, tall_matrix):
+        with pytest.raises(ValidationError):
+            projection_reconstruction_error(tall_matrix, np.array([10**6]))
+
+    def test_empty_indices_raise(self, tall_matrix):
+        with pytest.raises(ValidationError):
+            projection_reconstruction_error(tall_matrix, np.array([], dtype=int))
+
+
+class TestReport:
+    def test_report_keys(self, tall_matrix):
+        sampler = RowSampler(n_rows=30, distribution="l2", random_state=0)
+        sketch = sampler.fit_sample(tall_matrix)
+        report = sketch_quality_report(tall_matrix, sketch, sampler.sampled_indices_)
+        for key in (
+            "gram_relative_error",
+            "gram_absolute_error",
+            "compression_ratio",
+            "projection_relative_error",
+        ):
+            assert key in report
+        assert report["compression_ratio"] == pytest.approx(tall_matrix.shape[0] / 30)

@@ -1,0 +1,84 @@
+"""Tests for repro.linalg.svd."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.linalg.svd import (
+    economy_svd,
+    effective_rank,
+    randomized_svd,
+    stable_rank,
+    truncate_svd,
+)
+
+
+class TestEconomySvd:
+    def test_reconstruction(self, tall_matrix):
+        u, s, vt = economy_svd(tall_matrix)
+        np.testing.assert_allclose((u * s) @ vt, tall_matrix, atol=1e-8)
+
+    def test_orthonormal_columns(self, tall_matrix):
+        u, _, _ = economy_svd(tall_matrix)
+        np.testing.assert_allclose(u.T @ u, np.eye(u.shape[1]), atol=1e-10)
+
+    def test_singular_values_sorted(self, tall_matrix):
+        _, s, _ = economy_svd(tall_matrix)
+        assert np.all(np.diff(s) <= 1e-12)
+
+
+class TestRandomizedSvd:
+    def test_captures_low_rank_structure(self, tall_matrix):
+        u, s, vt = randomized_svd(tall_matrix, rank=5, random_state=0)
+        approx = (u * s) @ vt
+        relative_error = np.linalg.norm(tall_matrix - approx) / np.linalg.norm(tall_matrix)
+        assert relative_error < 0.05
+
+    def test_matches_exact_singular_values(self, tall_matrix):
+        _, s_exact, _ = economy_svd(tall_matrix)
+        _, s_rand, _ = randomized_svd(tall_matrix, rank=5, random_state=0)
+        np.testing.assert_allclose(s_rand, s_exact[:5], rtol=0.05)
+
+    def test_rank_too_large_raises(self, tall_matrix):
+        with pytest.raises(ValidationError):
+            randomized_svd(tall_matrix, rank=100)
+
+    def test_deterministic_with_seed(self, tall_matrix):
+        u1, _, _ = randomized_svd(tall_matrix, rank=3, random_state=7)
+        u2, _, _ = randomized_svd(tall_matrix, rank=3, random_state=7)
+        np.testing.assert_allclose(np.abs(u1), np.abs(u2))
+
+
+class TestRankDiagnostics:
+    def test_stable_rank_of_identity(self):
+        assert stable_rank(np.eye(10)) == pytest.approx(10.0)
+
+    def test_stable_rank_of_rank_one(self, rng):
+        u = rng.standard_normal((30, 1))
+        v = rng.standard_normal((1, 8))
+        assert stable_rank(u @ v) == pytest.approx(1.0, abs=1e-8)
+
+    def test_stable_rank_of_zero_matrix(self):
+        assert stable_rank(np.zeros((5, 5))) == 0.0
+
+    def test_effective_rank_identity(self):
+        s = np.ones(10)
+        assert effective_rank(s, energy=0.95) == 10
+
+    def test_effective_rank_spike(self):
+        s = np.array([10.0, 0.1, 0.1])
+        assert effective_rank(s, energy=0.95) == 1
+
+    def test_effective_rank_rejects_bad_energy(self):
+        with pytest.raises(ValidationError):
+            effective_rank(np.ones(3), energy=1.5)
+
+    def test_truncate_svd(self, tall_matrix):
+        u, s, vt = economy_svd(tall_matrix)
+        u2, s2, vt2 = truncate_svd(u, s, vt, rank=3)
+        assert u2.shape[1] == 3 and s2.shape[0] == 3 and vt2.shape[0] == 3
+
+    def test_truncate_svd_rank_too_large(self, tall_matrix):
+        u, s, vt = economy_svd(tall_matrix)
+        with pytest.raises(ValidationError):
+            truncate_svd(u, s, vt, rank=s.shape[0] + 1)

@@ -1,0 +1,64 @@
+"""Tests for the k-nearest-neighbour classifier."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml.knn import KNeighborsClassifier
+
+
+def _labelled_blobs(rng, n=20, dims=4, separation=8.0):
+    a = rng.standard_normal((n, dims))
+    b = rng.standard_normal((n, dims)) + separation
+    features = np.vstack([a, b])
+    labels = np.array(["left"] * n + ["right"] * n)
+    return features, labels
+
+
+class TestKNN:
+    def test_perfect_on_separated_blobs(self, rng):
+        features, labels = _labelled_blobs(rng)
+        model = KNeighborsClassifier(n_neighbors=1).fit(features, labels)
+        predictions = model.predict(features + 0.01)
+        assert np.all(predictions == labels)
+
+    def test_majority_vote_with_k3(self, rng):
+        features = np.array([[0.0], [0.1], [0.2], [5.0]])
+        labels = np.array(["a", "a", "b", "b"])
+        model = KNeighborsClassifier(n_neighbors=3).fit(features, labels)
+        assert model.predict(np.array([[0.05]]))[0] == "a"
+
+    def test_correlation_metric(self, rng):
+        # Correlation distance is scale-invariant: a scaled copy of a training
+        # pattern must match the original perfectly.
+        features = rng.standard_normal((10, 20))
+        labels = np.arange(10).astype(str)
+        model = KNeighborsClassifier(n_neighbors=1, metric="correlation").fit(features, labels)
+        predictions = model.predict(features * 5.0 + 2.0)
+        np.testing.assert_array_equal(predictions, labels)
+
+    def test_kneighbors_indices(self, rng):
+        features, labels = _labelled_blobs(rng, n=5)
+        model = KNeighborsClassifier(n_neighbors=2).fit(features, labels)
+        neighbours = model.kneighbors(features[:3])
+        assert neighbours.shape == (3, 2)
+        # Each point's nearest neighbour (when querying the training data
+        # itself) is the point itself.
+        np.testing.assert_array_equal(neighbours[:, 0], np.arange(3))
+
+    def test_predict_before_fit_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            KNeighborsClassifier().predict(rng.standard_normal((2, 3)))
+
+    def test_too_many_neighbours_raises(self, rng):
+        with pytest.raises(ValidationError):
+            KNeighborsClassifier(n_neighbors=10).fit(rng.standard_normal((3, 2)), [1, 2, 3])
+
+    def test_feature_mismatch_raises(self, rng):
+        model = KNeighborsClassifier().fit(rng.standard_normal((5, 4)), list("abcde"))
+        with pytest.raises(ValidationError):
+            model.predict(rng.standard_normal((2, 3)))
+
+    def test_invalid_metric_rejected(self):
+        with pytest.raises(ValidationError):
+            KNeighborsClassifier(metric="cosine")

@@ -1,0 +1,95 @@
+"""Tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    mean_absolute_error,
+    mean_squared_error,
+    nrmse_percent,
+    r2_score,
+    top_k_accuracy,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_half(self):
+        assert accuracy_score([0, 1, 2, 3], [0, 1, 9, 9]) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(Exception):
+            accuracy_score([1, 2], [1])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            accuracy_score([], [])
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect_predictions(self):
+        matrix, labels = confusion_matrix(["a", "b", "a"], ["a", "b", "a"])
+        assert labels == ["a", "b"]
+        np.testing.assert_array_equal(matrix, [[2, 0], [0, 1]])
+
+    def test_off_diagonal_counts(self):
+        matrix, labels = confusion_matrix(["a", "a", "b"], ["b", "a", "b"])
+        index = {label: i for i, label in enumerate(labels)}
+        assert matrix[index["a"], index["b"]] == 1
+
+    def test_rows_sum_to_true_counts(self):
+        y_true = ["x"] * 5 + ["y"] * 3
+        y_pred = ["x", "y", "x", "x", "y", "y", "x", "y"]
+        matrix, labels = confusion_matrix(y_true, y_pred)
+        index = {label: i for i, label in enumerate(labels)}
+        assert matrix[index["x"]].sum() == 5
+        assert matrix[index["y"]].sum() == 3
+
+    def test_explicit_labels_restrict_matrix(self):
+        with pytest.raises(ValidationError):
+            confusion_matrix(["a", "c"], ["a", "a"], labels=["a", "b"])
+
+
+class TestRegressionMetrics:
+    def test_mse_and_mae(self):
+        y_true = np.array([1.0, 2.0, 3.0])
+        y_pred = np.array([1.0, 3.0, 5.0])
+        assert mean_squared_error(y_true, y_pred) == pytest.approx(5.0 / 3.0)
+        assert mean_absolute_error(y_true, y_pred) == pytest.approx(1.0)
+
+    def test_r2_perfect_and_mean_predictor(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+        assert r2_score(y, np.full(4, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        assert r2_score(np.ones(5), np.ones(5)) == 0.0
+
+    def test_nrmse_percent_is_percentage(self):
+        y_true = np.array([0.0, 100.0])
+        y_pred = np.array([10.0, 90.0])
+        assert nrmse_percent(y_true, y_pred, normalization="range") == pytest.approx(10.0)
+
+
+class TestTopK:
+    def test_top1_equals_argmax_accuracy(self, rng):
+        scores = rng.standard_normal((20, 5))
+        truth = np.argmax(scores, axis=1)
+        assert top_k_accuracy(scores, truth, k=1) == 1.0
+
+    def test_topk_monotone_in_k(self, rng):
+        scores = rng.standard_normal((50, 10))
+        truth = rng.integers(0, 10, size=50)
+        accuracies = [top_k_accuracy(scores, truth, k=k) for k in (1, 3, 10)]
+        assert accuracies[0] <= accuracies[1] <= accuracies[2]
+        assert accuracies[2] == 1.0
+
+    def test_invalid_k_raises(self, rng):
+        scores = rng.standard_normal((5, 3))
+        with pytest.raises(ValidationError):
+            top_k_accuracy(scores, [0] * 5, k=4)

@@ -1,0 +1,72 @@
+"""Tests for train/test splitting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml.model_selection import KFold, repeated_train_test_splits, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_partition_is_disjoint_and_complete(self):
+        train, test = train_test_split(50, test_fraction=0.2, random_state=0)
+        combined = sorted(np.concatenate([train, test]).tolist())
+        assert combined == list(range(50))
+        assert set(train.tolist()).isdisjoint(set(test.tolist()))
+
+    def test_test_size(self):
+        train, test = train_test_split(100, test_fraction=0.2, random_state=0)
+        assert len(test) == 20
+        assert len(train) == 80
+
+    def test_at_least_one_sample_each(self):
+        train, test = train_test_split(2, test_fraction=0.01, random_state=0)
+        assert len(test) == 1 and len(train) == 1
+
+    def test_reproducible(self):
+        a = train_test_split(30, random_state=4)
+        b = train_test_split(30, random_state=4)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValidationError):
+            train_test_split(10, test_fraction=0.0)
+        with pytest.raises(ValidationError):
+            train_test_split(10, test_fraction=1.0)
+
+
+class TestRepeatedSplits:
+    def test_count(self):
+        splits = repeated_train_test_splits(20, n_repetitions=7, random_state=1)
+        assert len(splits) == 7
+
+    def test_splits_differ(self):
+        splits = repeated_train_test_splits(40, n_repetitions=5, random_state=1)
+        test_sets = {tuple(test.tolist()) for _, test in splits}
+        assert len(test_sets) > 1
+
+
+class TestKFold:
+    def test_folds_partition_samples(self):
+        folds = list(KFold(n_splits=5, random_state=0).split(23))
+        assert len(folds) == 5
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(23))
+
+    def test_train_test_disjoint_in_each_fold(self):
+        for train, test in KFold(n_splits=4, random_state=2).split(20):
+            assert set(train.tolist()).isdisjoint(set(test.tolist()))
+            assert len(train) + len(test) == 20
+
+    def test_no_shuffle_gives_contiguous_folds(self):
+        folds = list(KFold(n_splits=2, shuffle=False).split(10))
+        np.testing.assert_array_equal(folds[0][1], np.arange(5))
+
+    def test_too_many_folds_raises(self):
+        with pytest.raises(ValidationError):
+            list(KFold(n_splits=10).split(5))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValidationError):
+            KFold(n_splits=1)

@@ -1,0 +1,82 @@
+"""Tests for ridge and kernel ridge regression."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml.ridge import KernelRidge, RidgeRegression
+
+
+class TestRidgeRegression:
+    def test_recovers_linear_relationship(self, rng):
+        x = rng.standard_normal((100, 3))
+        true_coefficients = np.array([2.0, -1.0, 0.5])
+        y = x @ true_coefficients + 3.0
+        model = RidgeRegression(alpha=1e-6).fit(x, y)
+        np.testing.assert_allclose(model.coef_, true_coefficients, atol=1e-4)
+        assert model.intercept_ == pytest.approx(3.0, abs=1e-4)
+
+    def test_regularization_shrinks_coefficients(self, rng):
+        x = rng.standard_normal((50, 5))
+        y = x @ np.ones(5)
+        small_alpha = RidgeRegression(alpha=1e-6).fit(x, y)
+        large_alpha = RidgeRegression(alpha=100.0).fit(x, y)
+        assert np.linalg.norm(large_alpha.coef_) < np.linalg.norm(small_alpha.coef_)
+
+    def test_predict_before_fit_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            RidgeRegression().predict(rng.standard_normal((3, 2)))
+
+    def test_feature_mismatch_raises(self, rng):
+        model = RidgeRegression().fit(rng.standard_normal((20, 4)), rng.standard_normal(20))
+        with pytest.raises(ValidationError):
+            model.predict(rng.standard_normal((5, 3)))
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValidationError):
+            RidgeRegression(alpha=-1.0)
+
+    def test_no_intercept_mode(self, rng):
+        x = rng.standard_normal((80, 2))
+        y = x @ np.array([1.0, 2.0])
+        model = RidgeRegression(alpha=1e-8, fit_intercept=False).fit(x, y)
+        assert model.intercept_ == 0.0
+        np.testing.assert_allclose(model.coef_, [1.0, 2.0], atol=1e-5)
+
+
+class TestKernelRidge:
+    def test_linear_kernel_fits_linear_data(self, rng):
+        from repro.ml.metrics import r2_score
+
+        x = rng.standard_normal((60, 3))
+        y = x @ np.array([1.0, -2.0, 0.5])
+        krr = KernelRidge(alpha=1e-4, kernel="linear").fit(x, y)
+        assert r2_score(y, krr.predict(x)) > 0.95
+
+    def test_rbf_fits_nonlinear_function(self, rng):
+        x = np.linspace(-3, 3, 120)[:, None]
+        y = np.sin(x[:, 0])
+        krr = KernelRidge(alpha=1e-3, kernel="rbf", gamma=1.0).fit(x, y)
+        predictions = krr.predict(x)
+        assert np.mean((predictions - y) ** 2) < 1e-3
+
+    def test_interpolates_between_training_points(self, rng):
+        x_train = np.linspace(0, 2 * np.pi, 50)[:, None]
+        y_train = np.cos(x_train[:, 0])
+        x_test = x_train[:-1] + np.diff(x_train[:, 0]).mean() / 2.0
+        krr = KernelRidge(alpha=1e-4, kernel="rbf", gamma=2.0).fit(x_train, y_train)
+        predictions = krr.predict(x_test)
+        np.testing.assert_allclose(predictions, np.cos(x_test[:, 0]), atol=0.05)
+
+    def test_predict_before_fit_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            KernelRidge().predict(rng.standard_normal((3, 2)))
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ValidationError):
+            KernelRidge(kernel="polynomial")
+
+    def test_feature_mismatch_raises(self, rng):
+        model = KernelRidge().fit(rng.standard_normal((20, 4)), rng.standard_normal(20))
+        with pytest.raises(ValidationError):
+            model.predict(rng.standard_normal((5, 3)))

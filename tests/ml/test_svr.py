@@ -1,0 +1,67 @@
+"""Tests for the linear support-vector regressor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml.metrics import r2_score
+from repro.ml.svr import LinearSVR
+
+
+class TestLinearSVR:
+    def test_fits_linear_relationship(self, rng):
+        x = rng.standard_normal((120, 4))
+        coefficients = np.array([1.5, -2.0, 0.0, 0.7])
+        y = x @ coefficients + 5.0
+        model = LinearSVR(C=10.0, epsilon=0.01, n_iterations=3000).fit(x, y)
+        assert r2_score(y, model.predict(x)) > 0.97
+
+    def test_robust_to_feature_scaling(self, rng):
+        x = rng.standard_normal((100, 3))
+        y = x @ np.array([1.0, 1.0, 1.0])
+        scaled = x * np.array([1.0, 100.0, 0.01])
+        model = LinearSVR(C=10.0, n_iterations=3000).fit(scaled, y)
+        assert r2_score(y, model.predict(scaled)) > 0.9
+
+    def test_generalizes_to_held_out_data(self, rng):
+        x = rng.standard_normal((200, 5))
+        y = x @ np.array([2.0, -1.0, 0.5, 0.0, 1.0]) + 0.05 * rng.standard_normal(200)
+        model = LinearSVR(C=5.0, n_iterations=3000).fit(x[:150], y[:150])
+        assert r2_score(y[150:], model.predict(x[150:])) > 0.9
+
+    def test_loss_history_decreases(self, rng):
+        x = rng.standard_normal((80, 3))
+        y = x @ np.array([1.0, 2.0, 3.0])
+        model = LinearSVR(n_iterations=2000).fit(x, y)
+        assert model.loss_history_[-1] <= model.loss_history_[0]
+
+    def test_epsilon_tube_tolerates_small_errors(self, rng):
+        x = rng.standard_normal((100, 2))
+        y = x @ np.array([1.0, 1.0])
+        wide_tube = LinearSVR(epsilon=10.0, n_iterations=500).fit(x, y)
+        # With a huge tube every residual is inside epsilon, so the weights
+        # only feel the regularizer and shrink towards zero.
+        assert np.linalg.norm(wide_tube.coef_) < 0.5
+
+    def test_predict_before_fit_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            LinearSVR().predict(rng.standard_normal((3, 2)))
+
+    def test_feature_mismatch_raises(self, rng):
+        model = LinearSVR(n_iterations=100).fit(
+            rng.standard_normal((20, 4)), rng.standard_normal(20)
+        )
+        with pytest.raises(ValidationError):
+            model.predict(rng.standard_normal((4, 3)))
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValidationError):
+            LinearSVR(C=0.0)
+        with pytest.raises(ValidationError):
+            LinearSVR(epsilon=-0.1)
+
+    def test_score_method(self, rng):
+        x = rng.standard_normal((60, 2))
+        y = x @ np.array([1.0, -1.0])
+        model = LinearSVR(C=10.0, n_iterations=2000).fit(x, y)
+        assert model.score(x, y) > 0.95

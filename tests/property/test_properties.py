@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.connectome.correlation import (
+    devectorize_connectome,
+    n_regions_from_vector_length,
+    vectorize_connectome,
+)
+from repro.linalg.leverage import leverage_scores, principal_features
+from repro.linalg.sampling import l2_distribution, uniform_distribution
+from repro.ml.metrics import accuracy_score, confusion_matrix
+from repro.ml.model_selection import KFold, train_test_split
+from repro.utils.stats import (
+    correlation_matrix,
+    fisher_z,
+    inverse_fisher_z,
+    pairwise_pearson,
+    zscore,
+)
+
+# Bounded float arrays keep the numerics well conditioned.
+_finite_floats = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+def _matrix_strategy(min_rows=2, max_rows=12, min_cols=2, max_cols=8):
+    return st.tuples(
+        st.integers(min_rows, max_rows), st.integers(min_cols, max_cols)
+    ).flatmap(
+        lambda shape: arrays(np.float64, shape, elements=_finite_floats)
+    )
+
+
+class TestStatsProperties:
+    @given(data=_matrix_strategy(min_cols=3))
+    @settings(max_examples=40, deadline=None)
+    def test_zscore_rows_have_zero_mean(self, data):
+        z = zscore(data, axis=1)
+        assert np.all(np.abs(z.mean(axis=1)) < 1e-8)
+        assert np.all(np.isfinite(z))
+
+    @given(data=_matrix_strategy(min_rows=3, min_cols=4))
+    @settings(max_examples=40, deadline=None)
+    def test_correlation_matrix_is_valid(self, data):
+        corr = correlation_matrix(data)
+        assert np.allclose(corr, corr.T, atol=1e-10)
+        assert np.all(corr <= 1.0 + 1e-9)
+        assert np.all(corr >= -1.0 - 1e-9)
+        assert np.allclose(np.diag(corr), 1.0)
+
+    @given(data=_matrix_strategy(min_rows=4, min_cols=2))
+    @settings(max_examples=40, deadline=None)
+    def test_pairwise_pearson_bounded_and_symmetric_for_self(self, data):
+        corr = pairwise_pearson(data)
+        assert corr.shape == (data.shape[1], data.shape[1])
+        assert np.all(np.abs(corr) <= 1.0 + 1e-9)
+        assert np.allclose(corr, corr.T, atol=1e-9)
+
+    @given(
+        r=arrays(
+            np.float64,
+            st.integers(1, 30),
+            elements=st.floats(min_value=-0.999, max_value=0.999),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fisher_roundtrip(self, r):
+        np.testing.assert_allclose(inverse_fisher_z(fisher_z(r)), r, atol=1e-7)
+
+
+class TestConnectomeProperties:
+    @given(n_regions=st.integers(2, 20), seed=st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_vectorize_devectorize_roundtrip(self, n_regions, seed):
+        rng = np.random.default_rng(seed)
+        ts = rng.standard_normal((n_regions, 30))
+        connectome = correlation_matrix(ts)
+        vector = vectorize_connectome(connectome)
+        assert vector.shape == (n_regions * (n_regions - 1) // 2,)
+        rebuilt = devectorize_connectome(vector)
+        np.testing.assert_allclose(rebuilt, connectome, atol=1e-10)
+
+    @given(n_regions=st.integers(2, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_vector_length_inversion(self, n_regions):
+        length = n_regions * (n_regions - 1) // 2
+        assert n_regions_from_vector_length(length) == n_regions
+
+
+class TestLinalgProperties:
+    @given(data=_matrix_strategy(min_rows=4, max_rows=30, min_cols=2, max_cols=6))
+    @settings(max_examples=30, deadline=None)
+    def test_leverage_scores_bounded_and_sum_at_most_column_count(self, data):
+        scores = leverage_scores(data)
+        assert np.all(scores >= -1e-9)
+        assert np.all(scores <= 1.0 + 1e-9)
+        # The scores sum to the (numerical) rank, which never exceeds the
+        # number of columns.
+        assert scores.sum() <= data.shape[1] + 1e-6
+
+    @given(data=_matrix_strategy(min_rows=6, max_rows=30), k=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_principal_features_unique_and_in_range(self, data, k):
+        k = min(k, data.shape[0])
+        indices = principal_features(data, n_features=k)
+        assert len(set(indices.tolist())) == k
+        assert indices.min() >= 0 and indices.max() < data.shape[0]
+
+    @given(data=_matrix_strategy(min_rows=3, max_rows=25))
+    @settings(max_examples=30, deadline=None)
+    def test_sampling_distributions_are_probabilities(self, data):
+        uniform = uniform_distribution(data)
+        assert abs(uniform.sum() - 1.0) < 1e-9
+        if np.any(np.sum(data * data, axis=1) > 0):
+            l2 = l2_distribution(data)
+            assert abs(l2.sum() - 1.0) < 1e-9
+            assert np.all(l2 >= 0)
+
+
+class TestModelSelectionProperties:
+    @given(
+        n_samples=st.integers(2, 200),
+        test_fraction=st.floats(0.05, 0.95),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_train_test_split_partitions(self, n_samples, test_fraction, seed):
+        train, test = train_test_split(n_samples, test_fraction=test_fraction, random_state=seed)
+        combined = np.sort(np.concatenate([train, test]))
+        np.testing.assert_array_equal(combined, np.arange(n_samples))
+        assert len(train) >= 1 and len(test) >= 1
+
+    @given(
+        n_samples=st.integers(4, 100),
+        n_splits=st.integers(2, 4),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_kfold_partitions(self, n_samples, n_splits, seed):
+        folds = list(KFold(n_splits=n_splits, random_state=seed).split(n_samples))
+        all_test = np.sort(np.concatenate([test for _, test in folds]))
+        np.testing.assert_array_equal(all_test, np.arange(n_samples))
+
+
+class TestMetricProperties:
+    @given(
+        labels=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=50),
+        predictions=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_confusion_matrix_total_matches_sample_count(self, labels, predictions):
+        n = min(len(labels), len(predictions))
+        labels, predictions = labels[:n], predictions[:n]
+        matrix, _ = confusion_matrix(labels, predictions)
+        assert matrix.sum() == n
+        accuracy = accuracy_score(labels, predictions)
+        assert np.trace(matrix) / n == accuracy

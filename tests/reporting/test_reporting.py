@@ -1,0 +1,112 @@
+"""Tests for tables, figure summaries, and experiment records."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.reporting.experiment import ExperimentRecord, PaperComparison
+from repro.reporting.figures import ascii_heatmap, cluster_separation, heatmap_summary
+from repro.reporting.tables import format_accuracy_matrix, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = format_table(["task", "accuracy"], [["REST", 0.97], ["WM", 0.25]])
+        assert "task" in text and "REST" in text and "0.97" in text
+
+    def test_title_rendered(self):
+        text = format_table(["a"], [[1.0]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ValidationError):
+            format_table([], [])
+
+    def test_accuracy_matrix_rendering(self):
+        text = format_accuracy_matrix(
+            np.array([[1.0, 0.5], [0.25, 0.75]]),
+            row_labels=["REST", "WM"],
+            col_labels=["REST", "WM"],
+        )
+        assert "100.0" in text and "25.0" in text
+
+    def test_accuracy_matrix_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            format_accuracy_matrix(np.eye(3), ["a"], ["b"])
+
+
+class TestFigures:
+    def test_heatmap_summary_contrast(self):
+        matrix = np.full((4, 4), 0.1)
+        np.fill_diagonal(matrix, 0.9)
+        summary = heatmap_summary(matrix)
+        assert summary["contrast"] == pytest.approx(0.8)
+
+    def test_ascii_heatmap_dimensions(self, rng):
+        text = ascii_heatmap(rng.standard_normal((100, 100)), max_size=20, title="sim")
+        lines = text.splitlines()
+        assert lines[0] == "sim"
+        assert len(lines) == 22  # title + 20 rows + range line
+
+    def test_ascii_heatmap_small_matrix_unchanged(self, rng):
+        text = ascii_heatmap(rng.standard_normal((5, 5)), max_size=20)
+        assert len(text.splitlines()) == 6
+
+    def test_cluster_separation_separated_blobs(self, rng):
+        a = rng.standard_normal((20, 2))
+        b = rng.standard_normal((20, 2)) + 20.0
+        embedding = np.vstack([a, b])
+        labels = ["a"] * 20 + ["b"] * 20
+        stats = cluster_separation(embedding, labels)
+        assert stats["separation_ratio"] > 3.0
+        assert stats["n_clusters"] == 2.0
+
+    def test_cluster_separation_single_cluster_raises(self, rng):
+        with pytest.raises(ValidationError):
+            cluster_separation(rng.standard_normal((10, 2)), ["x"] * 10)
+
+
+class TestExperimentRecord:
+    def _record(self):
+        record = ExperimentRecord(
+            experiment_id="figureX",
+            title="Example",
+            configuration={"n_subjects": 10},
+            metrics={"accuracy": 0.9},
+            arrays={"similarity": np.eye(3)},
+        )
+        record.add_comparison("accuracy", "> 94 %", "90 %", True)
+        record.add_comparison("contrast", "strong diagonal", "0.5", True)
+        return record
+
+    def test_shape_holds(self):
+        record = self._record()
+        assert record.shape_holds()
+        record.add_comparison("extra", "x", "y", False)
+        assert not record.shape_holds()
+
+    def test_shape_holds_false_without_comparisons(self):
+        assert not ExperimentRecord(experiment_id="e", title="t").shape_holds()
+
+    def test_markdown_section_contains_table(self):
+        text = self._record().markdown_section()
+        assert "figureX" in text
+        assert "| Quantity | Paper | Measured | Shape holds |" in text
+        assert "> 94 %" in text
+
+    def test_save_roundtrip(self, tmp_path):
+        record = self._record()
+        record.save(tmp_path / "figx")
+        from repro.utils.io import load_result
+
+        loaded = load_result(tmp_path / "figx")
+        assert loaded["experiment_id"] == "figureX"
+        np.testing.assert_allclose(loaded["similarity"], np.eye(3))
+
+    def test_paper_comparison_row(self):
+        comparison = PaperComparison("desc", "1", "2", False)
+        assert comparison.as_row() == ["desc", "1", "2", "no"]

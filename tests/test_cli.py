@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestListCommand:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_experiment_registry_covers_all_paper_results(self):
+        assert set(EXPERIMENTS) == {
+            "figure1",
+            "figure2",
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure8",
+            "figure9",
+            "table1",
+            "table2",
+            "defense",
+        }
+
+
+class TestDemoCommand:
+    def test_demo_prints_attack_report(self, capsys):
+        exit_code = main(
+            [
+                "demo",
+                "--subjects", "8",
+                "--regions", "40",
+                "--timepoints", "100",
+                "--features", "60",
+                "--seed", "1",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "identification accuracy" in output
+
+
+class TestRunCommand:
+    def test_run_single_experiment_and_save(self, capsys, tmp_path, monkeypatch):
+        # Patch in a tiny configuration so the CLI test stays fast.
+        from repro.experiments import ADHDExperimentConfig, HCPExperimentConfig
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli,
+            "_configs",
+            lambda paper_scale: (
+                HCPExperimentConfig(
+                    n_subjects=8, n_regions=30, n_timepoints=80,
+                    n_features=40, n_labelled_subjects=4,
+                    tsne_iterations=80, performance_repetitions=2,
+                    multisite_repetitions=1, multisite_n_timepoints=80, seed=1,
+                ),
+                ADHDExperimentConfig(
+                    n_cases=4, n_controls=4, n_regions=24, n_timepoints=80,
+                    n_features=40, identification_repetitions=2, seed=1,
+                ),
+            ),
+        )
+        exit_code = main(["run", "figure1", "--save", str(tmp_path / "fig1")])
+        output = capsys.readouterr().out
+        assert "figure1" in output
+        assert (tmp_path / "fig1.json").exists()
+        assert exit_code in (0, 1)  # shape may not hold at this tiny scale
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "figure99"])
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,37 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import exceptions
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "ValidationError",
+        "ConfigurationError",
+        "DimensionMismatchError",
+        "NotFittedError",
+        "AtlasError",
+        "PreprocessingError",
+        "DatasetError",
+        "AttackError",
+    ):
+        error_class = getattr(exceptions, name)
+        assert issubclass(error_class, exceptions.ReproError)
+
+
+def test_validation_error_is_value_error():
+    assert issubclass(exceptions.ValidationError, ValueError)
+
+
+def test_not_fitted_error_is_runtime_error():
+    assert issubclass(exceptions.NotFittedError, RuntimeError)
+
+
+def test_dimension_mismatch_is_validation_error():
+    assert issubclass(exceptions.DimensionMismatchError, exceptions.ValidationError)
+
+
+def test_errors_can_carry_messages():
+    with pytest.raises(exceptions.AttackError, match="boom"):
+        raise exceptions.AttackError("boom")

@@ -1,0 +1,59 @@
+"""Tests for repro.utils.io."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.io import load_result, save_result
+
+
+class TestSaveLoadRoundtrip:
+    def test_scalars_and_strings(self, tmp_path):
+        result = {"accuracy": 0.95, "label": "rest", "count": 7}
+        save_result(result, tmp_path / "res")
+        loaded = load_result(tmp_path / "res")
+        assert loaded["accuracy"] == pytest.approx(0.95)
+        assert loaded["label"] == "rest"
+        assert loaded["count"] == 7
+
+    def test_arrays(self, tmp_path):
+        result = {"similarity": np.arange(12.0).reshape(3, 4)}
+        save_result(result, tmp_path / "res")
+        loaded = load_result(tmp_path / "res")
+        np.testing.assert_allclose(loaded["similarity"], result["similarity"])
+
+    def test_nested_dicts_with_arrays(self, tmp_path):
+        result = {
+            "meta": {"task": "REST", "weights": np.array([1.0, 2.0])},
+            "value": 3,
+        }
+        save_result(result, tmp_path / "nested")
+        loaded = load_result(tmp_path / "nested")
+        assert loaded["meta"]["task"] == "REST"
+        np.testing.assert_allclose(loaded["meta"]["weights"], [1.0, 2.0])
+
+    def test_numpy_scalars_serializable(self, tmp_path):
+        result = {"value": np.float64(1.5), "count": np.int64(3)}
+        path = save_result(result, tmp_path / "np_scalars")
+        assert path.exists()
+        loaded = load_result(tmp_path / "np_scalars")
+        assert loaded["value"] == pytest.approx(1.5)
+        assert loaded["count"] == 3
+
+    def test_creates_parent_directories(self, tmp_path):
+        save_result({"a": 1}, tmp_path / "deep" / "deeper" / "res")
+        assert (tmp_path / "deep" / "deeper" / "res.json").exists()
+
+
+class TestErrors:
+    def test_non_dict_raises(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_result([1, 2, 3], tmp_path / "bad")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_result(tmp_path / "does_not_exist")
+
+    def test_no_npz_when_no_arrays(self, tmp_path):
+        save_result({"a": 1}, tmp_path / "scalars_only")
+        assert not (tmp_path / "scalars_only.npz").exists()

@@ -1,0 +1,19 @@
+"""Tests for repro.utils.logging."""
+
+import logging
+
+from repro.utils.logging import configure_logging, get_logger
+
+
+def test_get_logger_namespacing():
+    assert get_logger().name == "repro"
+    assert get_logger("attack").name == "repro.attack"
+    assert get_logger("repro.datasets").name == "repro.datasets"
+
+
+def test_configure_logging_attaches_single_handler():
+    logger = configure_logging(level=logging.DEBUG)
+    first_count = len(logger.handlers)
+    configure_logging(level=logging.DEBUG)
+    assert len(logger.handlers) == first_count
+    assert logger.level == logging.DEBUG

@@ -1,0 +1,84 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    as_rng,
+    iter_seeded,
+    permutation,
+    sample_without_replacement,
+    seeds_from,
+    spawn_rngs,
+)
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = as_rng(42).integers(0, 1000, size=10)
+        b = as_rng(42).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        gen = as_rng(np.int64(7))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            as_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(0, 5)
+        assert len(children) == 5
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].standard_normal(100)
+        b = children[1].standard_normal(100)
+        assert not np.allclose(a, b)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_reproducible_from_seed(self):
+        a = spawn_rngs(9, 3)[1].integers(0, 100, 5)
+        b = spawn_rngs(9, 3)[1].integers(0, 100, 5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestHelpers:
+    def test_seeds_from_count_and_range(self):
+        seeds = seeds_from(1, 10)
+        assert len(seeds) == 10
+        assert all(0 <= s < 2**31 for s in seeds)
+
+    def test_permutation_is_a_permutation(self):
+        perm = permutation(20, random_state=3)
+        assert sorted(perm.tolist()) == list(range(20))
+
+    def test_sample_without_replacement_unique(self):
+        sample = sample_without_replacement(30, 10, random_state=2)
+        assert len(set(sample.tolist())) == 10
+
+    def test_sample_too_many_raises(self):
+        with pytest.raises(ValueError):
+            sample_without_replacement(5, 6)
+
+    def test_iter_seeded_pairs(self):
+        items = ["a", "b", "c"]
+        pairs = list(iter_seeded(items, random_state=0))
+        assert [p[0] for p in pairs] == items
+        assert all(isinstance(p[1], np.random.Generator) for p in pairs)

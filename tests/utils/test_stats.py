@@ -1,0 +1,153 @@
+"""Tests for repro.utils.stats."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.stats import (
+    correlation_matrix,
+    fisher_z,
+    inverse_fisher_z,
+    normalized_rmse,
+    pairwise_pearson,
+    pearson_correlation,
+    summarize,
+    zscore,
+)
+
+
+class TestZScore:
+    def test_zero_mean_unit_std(self, rng):
+        data = rng.standard_normal((5, 100)) * 3.0 + 2.0
+        z = zscore(data, axis=1)
+        np.testing.assert_allclose(z.mean(axis=1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=1), 1.0, atol=1e-10)
+
+    def test_constant_rows_become_zero(self):
+        data = np.vstack([np.ones(50), np.arange(50, dtype=float)])
+        z = zscore(data, axis=1)
+        np.testing.assert_array_equal(z[0], np.zeros(50))
+        assert z[1].std() > 0
+
+    def test_axis_zero(self, rng):
+        data = rng.standard_normal((30, 4))
+        z = zscore(data, axis=0)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        x = np.arange(10, dtype=float)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        x = np.arange(10, dtype=float)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_gives_zero(self):
+        assert pearson_correlation(np.ones(10), np.arange(10.0)) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            pearson_correlation(np.ones(5), np.ones(6))
+
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal(200)
+        y = 0.3 * x + rng.standard_normal(200)
+        expected = np.corrcoef(x, y)[0, 1]
+        assert pearson_correlation(x, y) == pytest.approx(expected, abs=1e-10)
+
+
+class TestPairwisePearson:
+    def test_shape(self, rng):
+        a = rng.standard_normal((50, 4))
+        b = rng.standard_normal((50, 6))
+        corr = pairwise_pearson(a, b)
+        assert corr.shape == (4, 6)
+
+    def test_self_similarity_diagonal_is_one(self, rng):
+        a = rng.standard_normal((50, 5))
+        corr = pairwise_pearson(a)
+        np.testing.assert_allclose(np.diag(corr), 1.0, atol=1e-10)
+
+    def test_values_bounded(self, rng):
+        a = rng.standard_normal((30, 8))
+        corr = pairwise_pearson(a)
+        assert np.all(corr <= 1.0 + 1e-12)
+        assert np.all(corr >= -1.0 - 1e-12)
+
+    def test_constant_column_gives_zero_row(self, rng):
+        a = rng.standard_normal((30, 3))
+        a[:, 1] = 5.0
+        corr = pairwise_pearson(a)
+        np.testing.assert_array_equal(corr[1, [0, 2]], 0.0)
+
+    def test_feature_mismatch_raises(self, rng):
+        with pytest.raises(ValidationError):
+            pairwise_pearson(rng.standard_normal((10, 2)), rng.standard_normal((12, 2)))
+
+    def test_matches_corrcoef(self, rng):
+        a = rng.standard_normal((40, 5))
+        corr = pairwise_pearson(a)
+        expected = np.corrcoef(a.T)
+        np.testing.assert_allclose(corr, expected, atol=1e-10)
+
+
+class TestCorrelationMatrix:
+    def test_is_symmetric_with_unit_diagonal(self, rng):
+        ts = rng.standard_normal((8, 100))
+        corr = correlation_matrix(ts)
+        np.testing.assert_allclose(corr, corr.T, atol=1e-12)
+        np.testing.assert_allclose(np.diag(corr), 1.0)
+
+    def test_constant_region_handled(self, rng):
+        ts = rng.standard_normal((4, 60))
+        ts[2] = 3.0
+        corr = correlation_matrix(ts)
+        assert corr[2, 2] == 1.0
+        np.testing.assert_array_equal(corr[2, [0, 1, 3]], 0.0)
+
+
+class TestFisher:
+    def test_roundtrip(self, rng):
+        r = rng.uniform(-0.95, 0.95, size=20)
+        np.testing.assert_allclose(inverse_fisher_z(fisher_z(r)), r, atol=1e-10)
+
+    def test_clipping_handles_exact_one(self):
+        assert np.isfinite(fisher_z(np.array([1.0]))).all()
+
+
+class TestNormalizedRmse:
+    def test_zero_for_perfect_prediction(self):
+        y = np.arange(10.0)
+        assert normalized_rmse(y, y) == 0.0
+
+    def test_range_normalization(self):
+        y_true = np.array([0.0, 10.0])
+        y_pred = np.array([1.0, 9.0])
+        assert normalized_rmse(y_true, y_pred, normalization="range") == pytest.approx(0.1)
+
+    def test_mean_normalization(self):
+        y_true = np.array([10.0, 10.0, 10.0])
+        y_pred = np.array([11.0, 9.0, 11.0])
+        expected = np.sqrt(np.mean([1.0, 1.0, 1.0])) / 10.0
+        assert normalized_rmse(y_true, y_pred, normalization="mean") == pytest.approx(expected)
+
+    def test_invalid_normalization(self):
+        with pytest.raises(ValidationError):
+            normalized_rmse(np.ones(3), np.ones(3), normalization="max")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            normalized_rmse(np.ones(3), np.ones(4))
+
+
+class TestSummarize:
+    def test_mean_and_std(self):
+        mean, std = summarize(np.array([1.0, 2.0, 3.0]))
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(np.std([1.0, 2.0, 3.0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            summarize(np.array([]))

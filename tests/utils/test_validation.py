@@ -1,0 +1,138 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, ValidationError
+from repro.utils.validation import (
+    check_array,
+    check_consistent_features,
+    check_fraction,
+    check_in_choices,
+    check_matrix,
+    check_positive_int,
+    check_probability,
+    check_same_length,
+    check_square,
+    check_symmetric,
+)
+
+
+class TestCheckArray:
+    def test_converts_lists(self):
+        arr = check_array([1.0, 2.0, 3.0])
+        assert isinstance(arr, np.ndarray)
+        assert arr.dtype == np.float64
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValidationError, match="dimension"):
+            check_array([[1.0, 2.0]], ndim=1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="empty"):
+            check_array([])
+
+    def test_allows_empty_when_requested(self):
+        arr = check_array([], allow_empty=True)
+        assert arr.size == 0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_array([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_array([1.0, np.inf])
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_array([{"a": 1}])
+
+
+class TestCheckMatrix:
+    def test_accepts_2d(self):
+        m = check_matrix(np.ones((3, 4)))
+        assert m.shape == (3, 4)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            check_matrix(np.ones(4))
+
+    def test_min_rows(self):
+        with pytest.raises(ValidationError, match="row"):
+            check_matrix(np.ones((2, 3)), min_rows=5)
+
+    def test_min_cols(self):
+        with pytest.raises(ValidationError, match="column"):
+            check_matrix(np.ones((3, 2)), min_cols=4)
+
+
+class TestSquareSymmetric:
+    def test_square_ok(self):
+        check_square(np.eye(4))
+
+    def test_square_rejects_rectangular(self):
+        with pytest.raises(ValidationError, match="square"):
+            check_square(np.ones((3, 4)))
+
+    def test_symmetric_ok(self):
+        m = np.array([[1.0, 0.5], [0.5, 1.0]])
+        check_symmetric(m)
+
+    def test_symmetric_rejects_asymmetric(self):
+        m = np.array([[1.0, 0.5], [0.1, 1.0]])
+        with pytest.raises(ValidationError, match="symmetric"):
+            check_symmetric(m)
+
+
+class TestScalars:
+    def test_positive_int_ok(self):
+        assert check_positive_int(3) == 3
+
+    def test_positive_int_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0)
+
+    def test_positive_int_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True)
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5)
+
+    def test_positive_int_minimum(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(3, minimum=5)
+
+    def test_probability_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        with pytest.raises(ValidationError):
+            check_probability(1.5)
+        with pytest.raises(ValidationError):
+            check_probability(-0.1)
+
+    def test_fraction_excludes_zero_by_default(self):
+        with pytest.raises(ValidationError):
+            check_fraction(0.0)
+        assert check_fraction(0.0, inclusive_low=True) == 0.0
+
+    def test_in_choices(self):
+        assert check_in_choices("a", ("a", "b")) == "a"
+        with pytest.raises(ValidationError):
+            check_in_choices("c", ("a", "b"))
+
+
+class TestLengthChecks:
+    def test_same_length_ok(self):
+        check_same_length([1, 2], [3, 4])
+
+    def test_same_length_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            check_same_length([1, 2], [3])
+
+    def test_consistent_features(self):
+        check_consistent_features(np.ones((5, 2)), np.ones((5, 3)))
+        with pytest.raises(DimensionMismatchError):
+            check_consistent_features(np.ones((5, 2)), np.ones((4, 3)))
