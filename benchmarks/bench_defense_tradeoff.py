@@ -1,13 +1,12 @@
 """Benchmark: targeted-noise defense privacy/utility trade-off (Discussion)."""
 
-from conftest import report, run_once
+from conftest import report, run_experiment_spec
 
-from repro.experiments import defense_tradeoff
 from repro.reporting.tables import format_table
 
 
 def test_defense_tradeoff(benchmark, hcp_config, output_dir):
-    record = run_once(benchmark, defense_tradeoff, hcp_config)
+    record, _ = run_experiment_spec(benchmark, "defense", hcp_config=hcp_config)
     report(record, output_dir)
     rows = [
         [float(scale), 100 * float(accuracy), float(utility)]

@@ -1,13 +1,13 @@
 """Benchmark: Figure 1 — pairwise similarity of resting-state connectomes."""
 
-from conftest import report, run_once
+from conftest import report, run_experiment_spec
 
-from repro.experiments import figure1_rest_similarity
 from repro.reporting.figures import ascii_heatmap
 
 
 def test_figure1_rest_similarity(benchmark, hcp_config, output_dir):
-    record = run_once(benchmark, figure1_rest_similarity, hcp_config)
+    record, result = run_experiment_spec(benchmark, "figure1", hcp_config=hcp_config)
     report(record, output_dir)
     print(ascii_heatmap(record.arrays["similarity"], max_size=30, title="REST similarity"))
+    print(f"runtime breakdown: {result.timings}")
     assert record.shape_holds()

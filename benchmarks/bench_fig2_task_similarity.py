@@ -1,12 +1,10 @@
 """Benchmark: Figure 2 — pairwise similarity of language-task connectomes."""
 
-from conftest import report, run_once
-
-from repro.experiments import figure2_task_similarity
+from conftest import report, run_experiment_spec
 
 
 def test_figure2_task_similarity(benchmark, hcp_config, output_dir):
-    record = run_once(benchmark, figure2_task_similarity, hcp_config)
+    record, _ = run_experiment_spec(benchmark, "figure2", hcp_config=hcp_config)
     report(record, output_dir)
     print(
         "rest contrast {:.3f} vs task contrast {:.3f}".format(

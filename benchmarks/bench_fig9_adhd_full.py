@@ -1,12 +1,10 @@
 """Benchmark: Figure 9 — identification of the full ADHD-200 cohort."""
 
-from conftest import report, run_once
-
-from repro.experiments import figure9_adhd_identification
+from conftest import report, run_experiment_spec
 
 
 def test_figure9_adhd_identification(benchmark, adhd_config, output_dir):
-    record = run_once(benchmark, figure9_adhd_identification, adhd_config)
+    record, _ = run_experiment_spec(benchmark, "figure9", adhd_config=adhd_config)
     report(record, output_dir)
     print(
         "train/test accuracy {:.1f} +- {:.1f} %, full cohort {:.1f} %".format(

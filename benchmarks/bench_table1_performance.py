@@ -1,13 +1,12 @@
 """Benchmark: Table 1 — task-performance prediction error (nRMSE, %)."""
 
-from conftest import report, run_once
+from conftest import report, run_experiment_spec
 
-from repro.experiments import table1_performance_prediction
 from repro.reporting.tables import format_table
 
 
 def test_table1_performance_prediction(benchmark, hcp_config, output_dir):
-    record = run_once(benchmark, table1_performance_prediction, hcp_config)
+    record, _ = run_experiment_spec(benchmark, "table1", hcp_config=hcp_config)
     report(record, output_dir)
     tasks = record.configuration["tasks"]
     rows = [

@@ -17,6 +17,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import ADHDExperimentConfig, HCPExperimentConfig
+from repro.runtime import ArtifactCache, ExperimentRunner, ExperimentSpec
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
@@ -43,6 +44,30 @@ def output_dir() -> Path:
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def run_experiment_spec(benchmark, experiment_id, hcp_config=None, adhd_config=None):
+    """Run one paper experiment through the batched runtime under timing.
+
+    Returns the :class:`~repro.reporting.experiment.ExperimentRecord` plus the
+    runner's :class:`~repro.runtime.RunResult` (for its timing breakdown).
+
+    Each benchmark gets a fresh artifact cache so its recorded wall-clock
+    time measures a cold build, independent of which benchmarks ran before.
+    """
+    runner = ExperimentRunner(cache=ArtifactCache())
+    spec = ExperimentSpec(
+        name=experiment_id,
+        kind="experiment",
+        params={
+            "experiment": experiment_id,
+            "hcp_config": hcp_config,
+            "adhd_config": adhd_config,
+        },
+    )
+    result = run_once(benchmark, runner.run_one, spec)
+    assert result.ok, f"{experiment_id} failed: {result.error}"
+    return result.output, result
 
 
 def report(record, output_dir: Path) -> None:

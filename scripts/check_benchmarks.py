@@ -1,0 +1,38 @@
+"""Import-check every benchmark module (CI benchmark-smoke job).
+
+Benchmarks only execute under pytest-benchmark, but import-time breakage
+(renamed experiment functions, moved helpers) should fail fast in CI without
+paying for a full benchmark run.  This script imports every
+``benchmarks/bench_*.py`` module with the benchmarks directory on
+``sys.path`` (mirroring how pytest resolves their ``conftest`` import).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_benchmarks.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    benchmarks_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+    sys.path.insert(0, str(benchmarks_dir))
+    failures = []
+    modules = sorted(path.stem for path in benchmarks_dir.glob("bench_*.py"))
+    for module_name in modules:
+        try:
+            importlib.import_module(module_name)
+            print(f"ok   {module_name}")
+        except Exception as exc:  # surface every broken module, not just the first
+            failures.append((module_name, exc))
+            print(f"FAIL {module_name}: {type(exc).__name__}: {exc}")
+    print(f"{len(modules) - len(failures)}/{len(modules)} benchmark modules import cleanly")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,8 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-import numpy as np
-
 from repro.attack.matching import MatchResult, match_subjects
 from repro.connectome.group import GroupMatrix
 from repro.embedding.pca import PCA

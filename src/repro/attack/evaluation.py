@@ -8,7 +8,7 @@ statistics (the ADHD and multi-site experiments).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -9,8 +9,8 @@ correlation correspond to predicted matches").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
@@ -69,9 +69,15 @@ class MatchResult:
         )
 
     def margin(self) -> np.ndarray:
-        """Confidence margin per target scan: best minus second-best similarity."""
+        """Confidence margin per target scan: best minus second-best similarity.
+
+        With a single reference subject there is no second-best candidate, so
+        the margin degenerates to the best similarity itself: the prediction
+        is unopposed and its confidence is exactly how well the only
+        candidate matches (a zero here would wrongly read as "no confidence").
+        """
         if self.similarity.shape[0] < 2:
-            return np.zeros(self.similarity.shape[1])
+            return self.similarity[0, :].copy()
         sorted_similarities = np.sort(self.similarity, axis=0)
         return sorted_similarities[-1, :] - sorted_similarities[-2, :]
 

@@ -12,14 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.attack.deanonymize import LeverageScoreAttack
 from repro.attack.matching import MatchResult
-from repro.connectome.group import GroupMatrix, build_group_matrix
+from repro.connectome.group import GroupMatrix
 from repro.connectome.similarity import similarity_contrast
 from repro.datasets.base import ScanRecord
 from repro.exceptions import AttackError
+from repro.runtime.batch import build_group_matrix_batched
+from repro.runtime.cache import get_default_cache
 from repro.utils.rng import RandomStateLike
 
 
@@ -79,11 +79,17 @@ class AttackPipeline:
     # Building blocks
     # ------------------------------------------------------------------ #
     def build_group(self, scans: Sequence[ScanRecord]) -> GroupMatrix:
-        """Convert scans into a vectorized-connectome group matrix."""
+        """Convert scans into a vectorized-connectome group matrix.
+
+        Goes through the batched runtime path (one GEMM for the whole
+        session) and the process-wide artifact cache, so repeated builds of
+        the same scans are free.
+        """
         if not scans:
             raise AttackError("cannot build a group matrix from zero scans")
-        connectomes = [scan.to_connectome(fisher=self.fisher) for scan in scans]
-        return build_group_matrix(connectomes)
+        return build_group_matrix_batched(
+            scans, fisher=self.fisher, cache=get_default_cache()
+        )
 
     # ------------------------------------------------------------------ #
     # Main entry points

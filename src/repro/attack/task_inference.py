@@ -9,8 +9,8 @@ neighbour.  The two-dimensional coordinates are the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -1,91 +1,59 @@
 """Command-line interface.
 
 Installed as the ``repro-attack`` console script (also runnable as
-``python -m repro.cli``).  Four subcommands cover the common workflows:
+``python -m repro.cli``).  Five subcommands cover the common workflows:
 
 ``list``
     Show the available experiments (one per paper figure/table).
 ``run <experiment>``
-    Run one experiment, print its paper-vs-measured comparison, and
-    optionally persist the record.
+    Run one experiment through the batched runtime, print its
+    paper-vs-measured comparison, and optionally persist the record.
 ``report``
-    Run every experiment and write EXPERIMENTS.md-style markdown.
+    Run every experiment through the :class:`~repro.runtime.ExperimentRunner`
+    (optionally in parallel) and write EXPERIMENTS.md-style markdown.
 ``demo``
     Run the core de-anonymization attack on a freshly generated cohort and
-    print the identification report.
+    print the identification report with its timing breakdown.
+``runtime-info``
+    Print cache statistics, worker configuration, and the detected BLAS
+    threading setup.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.attack import AttackPipeline
-from repro.datasets import HCPLikeDataset
 from repro.experiments import (
     ADHDExperimentConfig,
     HCPExperimentConfig,
-    defense_tradeoff,
-    figure1_rest_similarity,
-    figure2_task_similarity,
-    figure5_cross_task_matrix,
-    figure6_task_prediction,
-    figure7_adhd_subtype1,
-    figure8_adhd_subtype3,
-    figure9_adhd_identification,
     generate_experiments_markdown,
     paper_scale_adhd_config,
     paper_scale_hcp_config,
-    run_all_experiments,
-    table1_performance_prediction,
-    table2_multisite_noise,
 )
 from repro.reporting.experiment import ExperimentRecord
+from repro.runtime import (
+    PAPER_EXPERIMENTS,
+    ExperimentRunner,
+    ExperimentSpec,
+    format_runtime_info,
+    get_default_cache,
+    paper_experiment_specs,
+    runtime_info,
+    summarize_results,
+    write_results_json,
+)
 
-#: Experiment id -> (description, runner taking (hcp_config, adhd_config)).
-EXPERIMENTS: Dict[str, tuple] = {
-    "figure1": (
-        "Pairwise similarity of resting-state connectomes",
-        lambda hcp, adhd: figure1_rest_similarity(hcp),
-    ),
-    "figure2": (
-        "Pairwise similarity of language-task connectomes",
-        lambda hcp, adhd: figure2_task_similarity(hcp),
-    ),
-    "figure5": (
-        "Cross-task identification-accuracy matrix",
-        lambda hcp, adhd: figure5_cross_task_matrix(hcp),
-    ),
-    "figure6": (
-        "t-SNE task clustering and task prediction",
-        lambda hcp, adhd: figure6_task_prediction(hcp),
-    ),
-    "table1": (
-        "Task-performance prediction error",
-        lambda hcp, adhd: table1_performance_prediction(hcp),
-    ),
-    "figure7": (
-        "ADHD subtype-1 inter-session similarity",
-        lambda hcp, adhd: figure7_adhd_subtype1(adhd),
-    ),
-    "figure8": (
-        "ADHD subtype-3 inter-session similarity",
-        lambda hcp, adhd: figure8_adhd_subtype3(adhd),
-    ),
-    "figure9": (
-        "Identification of the full ADHD-200 cohort",
-        lambda hcp, adhd: figure9_adhd_identification(adhd),
-    ),
-    "table2": (
-        "Identification accuracy under multi-site acquisition",
-        lambda hcp, adhd: table2_multisite_noise(hcp, adhd),
-    ),
-    "defense": (
-        "Targeted-noise defense privacy/utility trade-off",
-        lambda hcp, adhd: defense_tradeoff(hcp),
-    ),
-}
+#: Experiment id -> one-line description (mirrors the runtime registry).
+EXPERIMENTS: Dict[str, str] = dict(PAPER_EXPERIMENTS)
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return number
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -111,6 +79,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report_parser.add_argument("--output", default="EXPERIMENTS.md")
     report_parser.add_argument("--paper-scale", action="store_true")
+    report_parser.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="worker threads used to run experiments in parallel",
+    )
+    report_parser.add_argument(
+        "--timings", metavar="PATH", default=None,
+        help="also write per-experiment RunResult timings to PATH (JSON)",
+    )
 
     demo_parser = subparsers.add_parser("demo", help="run the core attack on a fresh cohort")
     demo_parser.add_argument("--subjects", type=int, default=30)
@@ -119,6 +95,13 @@ def _build_parser() -> argparse.ArgumentParser:
     demo_parser.add_argument("--task", default="REST")
     demo_parser.add_argument("--features", type=int, default=100)
     demo_parser.add_argument("--seed", type=int, default=0)
+
+    info_parser = subparsers.add_parser(
+        "runtime-info",
+        help="print cache statistics, worker configuration, and BLAS threading",
+    )
+    info_parser.add_argument("--workers", type=_positive_int, default=1)
+    info_parser.add_argument("--executor", choices=("thread", "process"), default="thread")
     return parser
 
 
@@ -143,15 +126,29 @@ def _print_record(record: ExperimentRecord) -> None:
 def _command_list() -> int:
     width = max(len(name) for name in EXPERIMENTS)
     for name in sorted(EXPERIMENTS):
-        print(f"{name.ljust(width)}  {EXPERIMENTS[name][0]}")
+        print(f"{name.ljust(width)}  {EXPERIMENTS[name]}")
     return 0
 
 
 def _command_run(args) -> int:
     hcp_config, adhd_config = _configs(args.paper_scale)
-    _, runner = EXPERIMENTS[args.experiment]
-    record = runner(hcp_config, adhd_config)
+    runner = ExperimentRunner()
+    spec = ExperimentSpec(
+        name=args.experiment,
+        kind="experiment",
+        params={
+            "experiment": args.experiment,
+            "hcp_config": hcp_config,
+            "adhd_config": adhd_config,
+        },
+    )
+    result = runner.run_one(spec)
+    if not result.ok:
+        print(f"{args.experiment} failed: {result.error}", file=sys.stderr)
+        return 1
+    record: ExperimentRecord = result.output
     _print_record(record)
+    print(f"wall-clock: {result.total_seconds:.2f} s")
     if args.save:
         record.save(args.save)
         print(f"record saved to {args.save}")
@@ -160,23 +157,52 @@ def _command_run(args) -> int:
 
 def _command_report(args) -> int:
     hcp_config, adhd_config = _configs(args.paper_scale)
-    records = run_all_experiments(hcp_config, adhd_config)
+    runner = ExperimentRunner(max_workers=args.workers)
+    results = runner.run(paper_experiment_specs(hcp_config, adhd_config))
+    failed = [result for result in results if not result.ok]
+    for result in failed:
+        print(f"{result.name} failed: {result.error}", file=sys.stderr)
+    records = {result.name: result.output for result in results if result.ok}
     generate_experiments_markdown(records, output_path=args.output)
+    print(summarize_results(results))
     print(f"wrote {args.output}")
-    return 0
+    if args.timings:
+        write_results_json(results, args.timings)
+        print(f"wrote {args.timings}")
+    return 1 if failed else 0
 
 
 def _command_demo(args) -> int:
-    dataset = HCPLikeDataset(
-        n_subjects=args.subjects,
-        n_regions=args.regions,
-        n_timepoints=args.timepoints,
-        random_state=args.seed,
+    runner = ExperimentRunner()
+    spec = ExperimentSpec(
+        name="demo",
+        kind="attack",
+        seed=args.seed,
+        params={
+            "n_subjects": args.subjects,
+            "n_regions": args.regions,
+            "n_timepoints": args.timepoints,
+            "n_features": args.features,
+            "task": args.task,
+            "dataset_seed": args.seed,
+        },
     )
-    reference = dataset.generate_session(args.task, encoding="LR", day=1)
-    target = dataset.generate_session(args.task, encoding="RL", day=2)
-    report = AttackPipeline(n_features=args.features).run(reference, target)
-    print(report)
+    result = runner.run_one(spec)
+    if not result.ok:
+        print(f"demo failed: {result.error}", file=sys.stderr)
+        return 1
+    print(result.output)
+    timings = ", ".join(
+        f"{name}={seconds:.2f}s" for name, seconds in sorted(result.timings.items())
+    )
+    print()
+    print(f"timings: {timings}")
+    return 0
+
+
+def _command_runtime_info(args) -> int:
+    runner = ExperimentRunner(max_workers=args.workers, executor=args.executor)
+    print(format_runtime_info(runtime_info(cache=get_default_cache(), runner=runner)))
     return 0
 
 
@@ -191,6 +217,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_report(args)
     if args.command == "demo":
         return _command_demo(args)
+    if args.command == "runtime-info":
+        return _command_runtime_info(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

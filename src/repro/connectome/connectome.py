@@ -8,7 +8,7 @@ to correlation in neuronal activity").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import networkx as nx

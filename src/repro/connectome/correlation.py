@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.utils.stats import correlation_matrix, fisher_z
-from repro.utils.validation import check_matrix, check_square, check_symmetric
+from repro.utils.validation import check_matrix, check_symmetric
 
 
 def correlation_connectome(

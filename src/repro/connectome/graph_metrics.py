@@ -17,7 +17,7 @@ graph, the common convention in the connectomics literature.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import networkx as nx
 import numpy as np

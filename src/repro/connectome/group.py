@@ -8,7 +8,7 @@ bookkeeping (subject ids, task labels, sessions) the evaluation needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np

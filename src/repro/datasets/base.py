@@ -9,14 +9,16 @@ HCP-like and ADHD-200-like generators.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.connectome.connectome import Connectome
-from repro.connectome.group import GroupMatrix, build_group_matrix
+from repro.connectome.group import GroupMatrix
 from repro.exceptions import DatasetError
+from repro.runtime.batch import build_group_matrix_batched
+from repro.runtime.cache import get_default_cache
 from repro.utils.validation import check_matrix
 
 
@@ -85,11 +87,14 @@ class CohortDataset:
 
     @staticmethod
     def scans_to_group_matrix(scans: Sequence[ScanRecord], fisher: bool = False) -> GroupMatrix:
-        """Convert a list of scans into a vectorized-connectome group matrix."""
+        """Convert a list of scans into a vectorized-connectome group matrix.
+
+        Uses the batched runtime path (one GEMM per session) and the
+        process-wide artifact cache instead of a per-scan connectome loop.
+        """
         if not scans:
             raise DatasetError("cannot build a group matrix from zero scans")
-        connectomes = [scan.to_connectome(fisher=fisher) for scan in scans]
-        return build_group_matrix(connectomes)
+        return build_group_matrix_batched(scans, fisher=fisher, cache=get_default_cache())
 
     @staticmethod
     def performance_vector(scans: Sequence[ScanRecord]) -> np.ndarray:

@@ -11,7 +11,6 @@ target.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -19,13 +18,7 @@ import numpy as np
 from repro.connectome.group import GroupMatrix
 from repro.datasets.base import CohortDataset, ScanRecord
 from repro.datasets.subject import SubjectPopulation
-from repro.datasets.tasks import (
-    HCP_TASK_ORDER,
-    PERFORMANCE_TASKS,
-    TaskDefinition,
-    default_hcp_task_battery,
-    get_task,
-)
+from repro.datasets.tasks import TaskDefinition, default_hcp_task_battery
 from repro.exceptions import DatasetError
 from repro.utils.rng import RandomStateLike
 from repro.utils.validation import check_positive_int

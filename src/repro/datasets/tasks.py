@@ -24,7 +24,7 @@ relational processing, emotional processing — paper Section 3.2).  Each
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.exceptions import DatasetError
 

@@ -16,7 +16,6 @@ from repro.connectome.group import GroupMatrix
 from repro.exceptions import ValidationError
 from repro.linalg.leverage import PrincipalFeaturesSubspace
 from repro.utils.rng import RandomStateLike, as_rng
-from repro.utils.validation import check_matrix
 
 
 def add_noise_to_features(

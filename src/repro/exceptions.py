@@ -42,3 +42,7 @@ class DatasetError(ReproError):
 
 class AttackError(ReproError):
     """The de-anonymization attack could not be carried out as requested."""
+
+
+class ExperimentError(ReproError):
+    """A batched experiment run failed (see the per-spec error details)."""

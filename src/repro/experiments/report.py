@@ -3,47 +3,36 @@
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
+from repro.exceptions import ExperimentError
 from repro.experiments.config import ADHDExperimentConfig, HCPExperimentConfig
-from repro.experiments.defense import defense_tradeoff
-from repro.experiments.identification import (
-    figure5_cross_task_matrix,
-    figure9_adhd_identification,
-    table2_multisite_noise,
-)
-from repro.experiments.inference import (
-    figure6_task_prediction,
-    table1_performance_prediction,
-)
-from repro.experiments.similarity import (
-    figure1_rest_similarity,
-    figure2_task_similarity,
-    figure7_adhd_subtype1,
-    figure8_adhd_subtype3,
-)
 from repro.reporting.experiment import ExperimentRecord
 
 
 def run_all_experiments(
     hcp_config: Optional[HCPExperimentConfig] = None,
     adhd_config: Optional[ADHDExperimentConfig] = None,
+    max_workers: int = 1,
 ) -> Dict[str, ExperimentRecord]:
-    """Run every figure/table experiment and return the records by id."""
+    """Run every figure/table experiment and return the records by id.
+
+    The batch executes through :class:`repro.runtime.ExperimentRunner`, so
+    passing ``max_workers > 1`` runs independent experiments concurrently
+    while group matrices flow through the shared artifact cache.
+    """
+    # Imported here: repro.runtime's task registry lazily imports this package.
+    from repro.runtime import ExperimentRunner, paper_experiment_specs
+
     hcp_config = hcp_config or HCPExperimentConfig()
     adhd_config = adhd_config or ADHDExperimentConfig()
-    records: Dict[str, ExperimentRecord] = {}
-    records["figure1"] = figure1_rest_similarity(hcp_config)
-    records["figure2"] = figure2_task_similarity(hcp_config)
-    records["figure5"] = figure5_cross_task_matrix(hcp_config)
-    records["figure6"] = figure6_task_prediction(hcp_config)
-    records["table1"] = table1_performance_prediction(hcp_config)
-    records["figure7"] = figure7_adhd_subtype1(adhd_config)
-    records["figure8"] = figure8_adhd_subtype3(adhd_config)
-    records["figure9"] = figure9_adhd_identification(adhd_config)
-    records["table2"] = table2_multisite_noise(hcp_config, adhd_config)
-    records["defense"] = defense_tradeoff(hcp_config)
-    return records
+    runner = ExperimentRunner(max_workers=max_workers)
+    results = runner.run(paper_experiment_specs(hcp_config, adhd_config))
+    failed = [result for result in results if not result.ok]
+    if failed:
+        details = "; ".join(f"{result.name}: {result.error}" for result in failed)
+        raise ExperimentError(f"{len(failed)} experiment(s) failed — {details}")
+    return {result.name: result.output for result in results}
 
 
 def generate_experiments_markdown(

@@ -15,7 +15,7 @@ offset and extra noise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -243,7 +243,6 @@ class ScannerSimulator:
         data = np.zeros((nx, ny, nz, n_timepoints), dtype=np.float64)
 
         # Paint BOLD signal region by region on top of the tissue baseline.
-        brain = self.phantom.brain_mask
         labels = self.atlas.labels
         bold = params.baseline_intensity + params.bold_amplitude * ts
         for region in range(1, self.atlas.n_regions + 1):

@@ -11,12 +11,12 @@ subject, and spatially contiguous, non-overlapping regions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import AtlasError, ValidationError
+from repro.exceptions import AtlasError
 from repro.imaging.phantom import BrainPhantom
 from repro.utils.rng import RandomStateLike, as_rng
 from repro.utils.validation import check_positive_int

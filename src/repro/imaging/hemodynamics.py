@@ -10,13 +10,13 @@ signals carry the low-frequency structure the paper's band-pass filter
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 from scipy.special import gammaln
 
 from repro.exceptions import ValidationError
-from repro.utils.validation import check_array, check_positive_int
+from repro.utils.validation import check_positive_int
 
 
 def _gamma_pdf(times: np.ndarray, shape: float, scale: float) -> np.ndarray:

@@ -8,7 +8,7 @@ simulated acquisition into the clean connectome input the attack consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Sequence, Union
+from typing import List, Optional, Protocol
 
 import numpy as np
 

@@ -9,11 +9,10 @@ produced from these records.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 import numpy as np
 
-from repro.exceptions import ValidationError
 from repro.utils.io import save_result
 
 

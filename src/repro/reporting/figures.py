@@ -95,7 +95,7 @@ def cluster_separation(
     centroids = {}
     spreads = []
     for label in unique:
-        mask = np.asarray([l == label for l in labels])
+        mask = np.asarray([item == label for item in labels])
         cluster = points[mask]
         centroid = cluster.mean(axis=0)
         centroids[label] = centroid

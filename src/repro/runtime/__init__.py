@@ -1,0 +1,81 @@
+"""Batched experiment runtime.
+
+The runtime layer makes heavy multi-experiment workloads cheap to run:
+
+``batch``
+    Single-GEMM construction of group matrices from stacked time series,
+    replacing the per-scan connectome loop.
+``cache``
+    Content-keyed artifact cache (connectomes, group matrices, leverage
+    scores) with hit/miss statistics and an optional on-disk tier.
+``runner``
+    :class:`ExperimentRunner` executes batches of :class:`ExperimentSpec`
+    through a thread/process pool with deterministic per-spec seeding.
+``results``
+    Uniform :class:`RunResult` records with timing breakdowns and JSON
+    serialization.
+``info``
+    Environment introspection behind the ``repro-attack runtime-info``
+    command (cache stats, worker config, BLAS threading).
+"""
+
+from repro.runtime.batch import (
+    batch_correlation_connectomes,
+    batch_group_features,
+    batch_vectorize_connectomes,
+    build_group_matrix_batched,
+    stack_timeseries,
+)
+from repro.runtime.cache import (
+    ArtifactCache,
+    CacheStats,
+    get_default_cache,
+    set_default_cache,
+)
+from repro.runtime.info import detect_blas_threading, format_runtime_info, runtime_info
+from repro.runtime.results import (
+    RunResult,
+    TimingRecorder,
+    load_results_json,
+    summarize_results,
+    write_results_json,
+)
+from repro.runtime.runner import (
+    PAPER_EXPERIMENTS,
+    ExperimentRunner,
+    ExperimentSpec,
+    execute_spec,
+    paper_experiment_specs,
+    register_task_kind,
+)
+
+__all__ = [
+    # batch
+    "batch_correlation_connectomes",
+    "batch_group_features",
+    "batch_vectorize_connectomes",
+    "build_group_matrix_batched",
+    "stack_timeseries",
+    # cache
+    "ArtifactCache",
+    "CacheStats",
+    "get_default_cache",
+    "set_default_cache",
+    # runner
+    "PAPER_EXPERIMENTS",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "execute_spec",
+    "paper_experiment_specs",
+    "register_task_kind",
+    # results
+    "RunResult",
+    "TimingRecorder",
+    "load_results_json",
+    "summarize_results",
+    "write_results_json",
+    # info
+    "detect_blas_threading",
+    "format_runtime_info",
+    "runtime_info",
+]

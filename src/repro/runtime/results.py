@@ -1,0 +1,159 @@
+"""Uniform run records produced by the experiment runner.
+
+Every spec executed by :class:`repro.runtime.runner.ExperimentRunner` yields
+one :class:`RunResult`: the spec identity, the resolved seed, scalar metrics,
+a timing breakdown, and (in-process only) the raw output object of the task.
+Results serialize to JSON so batched runs can be archived and diffed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one executed :class:`~repro.runtime.runner.ExperimentSpec`.
+
+    Attributes
+    ----------
+    name / kind:
+        Identity of the spec that produced this result.
+    seed:
+        The deterministic seed the runner resolved for the task.
+    status:
+        ``"ok"`` or ``"error"``.
+    metrics:
+        Scalar measurements reported by the task.
+    timings:
+        Named wall-clock sections in seconds; always contains ``total_s``.
+    error:
+        Stringified exception when ``status == "error"``.
+    output:
+        The task's raw in-process output (e.g. an ``ExperimentRecord`` or an
+        ``AttackReport``); excluded from serialization.
+    """
+
+    name: str
+    kind: str
+    seed: int
+    status: str = "ok"
+    metrics: Dict[str, float] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
+    output: Any = field(default=None, repr=False, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the task completed without raising."""
+        return self.status == "ok"
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock time of the task."""
+        return float(self.timings.get("total_s", 0.0))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view (the ``output`` object is dropped)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "seed": int(self.seed),
+            "status": self.status,
+            "metrics": {key: _scalar(value) for key, value in self.metrics.items()},
+            "timings": {key: float(value) for key, value in self.timings.items()},
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunResult":
+        """Rebuild a result from its :meth:`to_dict` payload."""
+        return cls(
+            name=payload["name"],
+            kind=payload["kind"],
+            seed=int(payload["seed"]),
+            status=payload.get("status", "ok"),
+            metrics=dict(payload.get("metrics", {})),
+            timings=dict(payload.get("timings", {})),
+            error=payload.get("error"),
+        )
+
+
+class TimingRecorder:
+    """Collects named wall-clock sections for one task."""
+
+    def __init__(self):
+        self.timings: Dict[str, float] = {}
+
+    @contextmanager
+    def section(self, name: str):
+        """Time a ``with`` block; repeated sections accumulate."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.timings[name] = self.timings.get(name, 0.0) + elapsed
+
+
+def write_results_json(results: Iterable[RunResult], path: PathLike) -> Path:
+    """Serialize a batch of run results to one JSON document."""
+    results = list(results)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "n_results": len(results),
+        "n_ok": sum(1 for r in results if r.ok),
+        "results": [result.to_dict() for result in results],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_results_json(path: PathLike) -> List[RunResult]:
+    """Load run results previously written by :func:`write_results_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"no results file at {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return [RunResult.from_dict(item) for item in payload.get("results", [])]
+
+
+def summarize_results(results: Iterable[RunResult]) -> str:
+    """Human-readable per-spec summary table of a batch run."""
+    lines = [f"{'spec':<28s} {'kind':<12s} {'status':<7s} {'total':>9s}  metrics"]
+    for result in results:
+        metrics = ", ".join(
+            f"{key}={_scalar(value):.3f}"
+            if isinstance(_scalar(value), float)
+            else f"{key}={value}"
+            for key, value in sorted(result.metrics.items())
+        )
+        lines.append(
+            f"{result.name:<28.28s} {result.kind:<12.12s} {result.status:<7s} "
+            f"{result.total_seconds:>8.3f}s  {metrics}"
+        )
+    return "\n".join(lines)
+
+
+def _scalar(value: Any) -> Any:
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, (int, bool)):
+        return value
+    if isinstance(value, float):
+        return value
+    return value

@@ -8,7 +8,7 @@ to derive independent child generators for sub-components.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, List, Union
 
 import numpy as np
 

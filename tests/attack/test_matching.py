@@ -52,6 +52,16 @@ class TestMatchSubjects:
         result = match_subjects(a, b)
         assert np.all(result.margin() > 0)
 
+    def test_margin_single_reference_is_best_similarity(self, rng):
+        # With one reference subject there is no second-best candidate: the
+        # margin degenerates to the best (only) similarity itself instead of
+        # a misleading all-zeros vector.
+        a, b = _paired_feature_matrices(rng, n_subjects=5, noise=0.1)
+        result = match_subjects(a[:, :1], b)
+        np.testing.assert_allclose(result.margin(), result.similarity[0, :])
+        assert result.margin().shape == (b.shape[1],)
+        assert result.margin()[0] > 0  # subject 0 matches its own reference
+
     def test_correct_mask(self, rng):
         a, b = _paired_feature_matrices(rng, noise=0.1)
         ids = [f"s{i}" for i in range(a.shape[1])]

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import PreprocessingError
-from repro.imaging.acquisition import AcquisitionParameters, ScannerSimulator
+from repro.imaging.acquisition import ScannerSimulator
 from repro.imaging.preprocessing import (
     PreprocessingPipeline,
     default_adhd_pipeline,

@@ -10,7 +10,6 @@ Two flows are covered:
    task/performance inference → defense.
 """
 
-import numpy as np
 import pytest
 
 from repro.attack import AttackPipeline, LeverageScoreAttack
@@ -26,6 +25,7 @@ from repro.imaging.preprocessing import default_hcp_pipeline
 
 
 @pytest.mark.slow
+@pytest.mark.integration
 class TestImagingFlow:
     def test_attack_survives_scanner_and_preprocessing(self):
         """Identify subjects from scans that went through the full imaging path."""
@@ -72,6 +72,7 @@ class TestImagingFlow:
         assert result.accuracy() >= 0.6
 
 
+@pytest.mark.integration
 class TestDatasetFlow:
     def test_attack_then_defense_roundtrip(self, small_hcp):
         reference_scans = small_hcp.generate_session("REST", encoding="LR", day=1)

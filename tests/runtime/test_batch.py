@@ -1,0 +1,138 @@
+"""Tests for the batched group-matrix construction path."""
+
+import numpy as np
+import pytest
+
+from repro.connectome.correlation import correlation_connectome, vectorize_connectome
+from repro.connectome.group import build_group_matrix
+from repro.datasets.base import ScanRecord
+from repro.exceptions import ValidationError
+from repro.runtime.batch import (
+    batch_correlation_connectomes,
+    batch_group_features,
+    batch_vectorize_connectomes,
+    build_group_matrix_batched,
+    stack_timeseries,
+)
+from repro.runtime.cache import ArtifactCache
+
+
+def make_scans(n_scans, n_regions=20, n_timepoints=60, seed=0, jitter_timepoints=False):
+    rng = np.random.default_rng(seed)
+    scans = []
+    for index in range(n_scans):
+        timepoints = n_timepoints + (index % 3) * 10 if jitter_timepoints else n_timepoints
+        scans.append(
+            ScanRecord(
+                subject_id=f"sub-{index:02d}",
+                task="REST",
+                session=f"S{index % 2}",
+                timeseries=rng.standard_normal((n_regions, timepoints)),
+            )
+        )
+    return scans
+
+
+class TestBatchVsLoopEquivalence:
+    def test_matches_per_scan_loop(self):
+        scans = make_scans(7)
+        loop = build_group_matrix([scan.to_connectome() for scan in scans])
+        batched = build_group_matrix_batched(scans)
+        np.testing.assert_allclose(batched.data, loop.data, atol=1e-12)
+        assert batched.subject_ids == loop.subject_ids
+        assert batched.tasks == loop.tasks
+        assert batched.sessions == loop.sessions
+
+    def test_matches_loop_with_fisher_transform(self):
+        scans = make_scans(5, seed=3)
+        loop = build_group_matrix([scan.to_connectome(fisher=True) for scan in scans])
+        batched = build_group_matrix_batched(scans, fisher=True)
+        np.testing.assert_allclose(batched.data, loop.data, atol=1e-12)
+
+    def test_mixed_run_lengths_scatter_back_in_order(self):
+        scans = make_scans(9, jitter_timepoints=True)
+        loop = build_group_matrix([scan.to_connectome() for scan in scans])
+        batched = build_group_matrix_batched(scans)
+        np.testing.assert_allclose(batched.data, loop.data, atol=1e-12)
+        assert batched.subject_ids == loop.subject_ids
+
+    def test_constant_region_matches_per_scan_semantics(self):
+        scans = make_scans(3)
+        frozen = scans[1].timeseries.copy()
+        frozen[4, :] = 2.5  # constant region: correlates 0 with everything
+        scans[1] = ScanRecord(
+            subject_id=scans[1].subject_id,
+            task=scans[1].task,
+            session=scans[1].session,
+            timeseries=frozen,
+        )
+        loop = build_group_matrix([scan.to_connectome() for scan in scans])
+        batched = build_group_matrix_batched(scans)
+        np.testing.assert_allclose(batched.data, loop.data, atol=1e-12)
+
+    def test_group_matrix_cache_round_trip(self):
+        cache = ArtifactCache()
+        scans = make_scans(4)
+        first = build_group_matrix_batched(scans, cache=cache)
+        second = build_group_matrix_batched(scans, cache=cache)
+        stats = cache.stats("group_matrix")
+        assert stats.misses == 1
+        assert stats.hits == 1
+        np.testing.assert_array_equal(first.data, second.data)
+
+
+class TestBatchPrimitives:
+    def test_batch_correlation_matches_single_scan_helper(self):
+        scans = make_scans(4, seed=7)
+        stack = stack_timeseries(scans)
+        batched = batch_correlation_connectomes(stack)
+        for index, scan in enumerate(scans):
+            np.testing.assert_allclose(
+                batched[index], correlation_connectome(scan.timeseries), atol=1e-12
+            )
+
+    def test_batch_correlation_fisher_keeps_unit_diagonal(self):
+        stack = stack_timeseries(make_scans(3, seed=1))
+        batched = batch_correlation_connectomes(stack, fisher=True)
+        for index in range(batched.shape[0]):
+            np.testing.assert_allclose(np.diag(batched[index]), 1.0)
+
+    def test_batch_vectorize_matches_triangle_ordering(self):
+        stack = stack_timeseries(make_scans(3, seed=2))
+        connectomes = batch_correlation_connectomes(stack)
+        vectors = batch_vectorize_connectomes(connectomes)
+        for index in range(connectomes.shape[0]):
+            np.testing.assert_allclose(
+                vectors[index], vectorize_connectome(connectomes[index]), atol=1e-12
+            )
+
+    def test_batch_group_features_fused_path_agrees(self):
+        stack = stack_timeseries(make_scans(4, seed=5))
+        fused = batch_group_features(stack)
+        two_step = batch_vectorize_connectomes(batch_correlation_connectomes(stack))
+        np.testing.assert_allclose(fused, two_step, atol=1e-12)
+
+
+class TestValidation:
+    def test_zero_scans_rejected(self):
+        with pytest.raises(ValidationError, match="zero scans"):
+            build_group_matrix_batched([])
+
+    def test_region_mismatch_rejected(self):
+        scans = make_scans(2) + make_scans(1, n_regions=12, seed=9)
+        with pytest.raises(ValidationError, match="same number of regions"):
+            build_group_matrix_batched(scans)
+
+    def test_stack_requires_uniform_shapes(self):
+        with pytest.raises(ValidationError, match="share one"):
+            stack_timeseries(make_scans(4, jitter_timepoints=True))
+
+    def test_non_3d_stack_rejected(self):
+        with pytest.raises(ValidationError, match="stack"):
+            batch_group_features(np.zeros((10, 20)))
+
+    def test_nan_stack_rejected(self):
+        stack = np.zeros((2, 4, 8))
+        stack[1, 2, 3] = np.nan
+        with pytest.raises(ValidationError, match="NaN"):
+            batch_group_features(stack)

@@ -1,0 +1,145 @@
+"""Tests for the content-keyed artifact cache."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.runtime.cache import ArtifactCache, get_default_cache, set_default_cache
+
+
+class TestKeys:
+    def test_same_content_same_key(self):
+        cache = ArtifactCache()
+        a = np.arange(12.0).reshape(3, 4)
+        assert cache.key("connectome", a, fisher=False) == cache.key(
+            "connectome", a.copy(), fisher=False
+        )
+
+    def test_mutated_array_changes_key(self):
+        cache = ArtifactCache()
+        a = np.arange(12.0).reshape(3, 4)
+        before = cache.key("connectome", a)
+        a[0, 0] = 99.0
+        assert cache.key("connectome", a) != before
+
+    def test_params_and_kind_feed_the_key(self):
+        cache = ArtifactCache()
+        a = np.ones(5)
+        assert cache.key("leverage", a, rank=2) != cache.key("leverage", a, rank=3)
+        assert cache.key("leverage", a) != cache.key("group_matrix", a)
+
+    def test_shape_distinguishes_same_bytes(self):
+        cache = ArtifactCache()
+        a = np.arange(12.0)
+        assert cache.key("x", a.reshape(3, 4)) != cache.key("x", a.reshape(4, 3))
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = ArtifactCache()
+        key = cache.key("leverage", np.ones(4))
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.full(4, 7.0)
+
+        first = cache.get_or_compute("leverage", key, compute)
+        second = cache.get_or_compute("leverage", key, compute)
+        assert len(calls) == 1
+        np.testing.assert_array_equal(first, second)
+        stats = cache.stats("leverage")
+        assert stats.misses == 1 and stats.hits == 1 and stats.puts == 1
+
+    def test_mutated_input_is_a_miss(self):
+        cache = ArtifactCache()
+        data = np.ones((4, 6))
+        cache.get_or_compute("connectome", cache.key("connectome", data), lambda: data.sum())
+        data[2, 2] = -1.0
+        cache.get_or_compute("connectome", cache.key("connectome", data), lambda: data.sum())
+        assert cache.stats("connectome").misses == 2
+        assert cache.stats("connectome").hits == 0
+
+    def test_compute_returning_none_rejected(self):
+        cache = ArtifactCache()
+        with pytest.raises(ValidationError, match="None"):
+            cache.get_or_compute("x", "deadbeef", lambda: None)
+
+    def test_lru_eviction_counts(self):
+        cache = ArtifactCache(max_memory_items=2)
+        for index in range(4):
+            cache.put("x", f"key-{index}", np.asarray([index]))
+        assert len(cache) == 2
+        assert cache.stats("x").evictions == 2
+        assert cache.get("x", "key-0") is None  # evicted
+        assert cache.get("x", "key-3") is not None
+
+    def test_eviction_charged_to_evicted_kind(self):
+        cache = ArtifactCache(max_memory_items=2)
+        cache.put("a", "k1", np.ones(2))
+        cache.put("a", "k2", np.ones(2))
+        cache.put("b", "k3", np.ones(2))  # evicts an 'a' entry
+        assert cache.stats("a").evictions == 1
+        assert cache.stats("b").evictions == 0
+
+    def test_byte_budget_bounds_memory(self):
+        cache = ArtifactCache(max_memory_items=100, max_memory_bytes=3 * 8 * 10)
+        for index in range(6):
+            cache.put("x", f"key-{index}", np.full(10, float(index)))
+        assert len(cache) == 3  # 3 x 80-byte arrays fit the budget
+        assert cache.stats("x").evictions == 3
+
+    def test_cached_arrays_are_frozen_against_mutation(self):
+        cache = ArtifactCache()
+        cache.put("x", "k", np.zeros(4))
+        hit = cache.get("x", "k")
+        with pytest.raises(ValueError, match="read-only"):
+            hit[0] = 99.0  # silent cache poisoning must be impossible
+
+    def test_clear_drops_memory_and_optionally_stats(self):
+        cache = ArtifactCache()
+        cache.put("x", "k", np.ones(3))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats("x").puts == 1
+        cache.clear(reset_stats=True)
+        assert cache.stats().puts == 0
+
+
+class TestDiskTier:
+    def test_disk_round_trip_after_memory_clear(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path)
+        value = np.arange(10.0)
+        cache.put("group_matrix", "abc123", value)
+        cache.clear()  # memory gone, disk survives
+        restored = cache.get("group_matrix", "abc123")
+        np.testing.assert_array_equal(restored, value)
+        stats = cache.stats("group_matrix")
+        assert stats.disk_hits == 1
+
+    def test_second_process_view_shares_disk(self, tmp_path):
+        first = ArtifactCache(cache_dir=tmp_path)
+        first.put("leverage", "k1", np.full(3, 2.0))
+        second = ArtifactCache(cache_dir=tmp_path)
+        np.testing.assert_array_equal(second.get("leverage", "k1"), np.full(3, 2.0))
+
+    def test_non_array_values_stay_memory_only(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path)
+        cache.put("meta", "k", {"accuracy": 0.9})
+        cache.clear()
+        assert cache.get("meta", "k") is None
+
+
+class TestDefaultCache:
+    def test_default_cache_is_process_wide(self):
+        original = get_default_cache()
+        try:
+            replacement = ArtifactCache(max_memory_items=4)
+            set_default_cache(replacement)
+            assert get_default_cache() is replacement
+        finally:
+            set_default_cache(original)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValidationError, match="max_memory_items"):
+            ArtifactCache(max_memory_items=0)

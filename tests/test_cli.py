@@ -77,6 +77,21 @@ class TestRunCommand:
             main(["run", "figure99"])
 
 
+class TestRuntimeInfoCommand:
+    def test_runtime_info_prints_cache_workers_and_blas(self, capsys):
+        assert main(["runtime-info"]) == 0
+        output = capsys.readouterr().out
+        assert "cache stats" in output
+        assert "workers" in output
+        assert "blas detection" in output
+
+    def test_runtime_info_reflects_worker_flags(self, capsys):
+        assert main(["runtime-info", "--workers", "5", "--executor", "process"]) == 0
+        output = capsys.readouterr().out
+        assert "max_workers=5" in output
+        assert "executor=process" in output
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
