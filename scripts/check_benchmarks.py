@@ -17,12 +17,24 @@ import importlib
 import sys
 from pathlib import Path
 
+#: Benchmarks CI depends on (smoke-run directly in the workflow); a rename or
+#: deletion should fail here, not in a YAML file nobody executes locally.
+REQUIRED_BENCHMARKS = {
+    "bench_runtime_batching",
+    "bench_gallery_matching",
+}
+
 
 def main() -> int:
     benchmarks_dir = Path(__file__).resolve().parent.parent / "benchmarks"
     sys.path.insert(0, str(benchmarks_dir))
     failures = []
     modules = sorted(path.stem for path in benchmarks_dir.glob("bench_*.py"))
+    missing = REQUIRED_BENCHMARKS - set(modules)
+    if missing:
+        for module_name in sorted(missing):
+            print(f"FAIL {module_name}: required benchmark module is missing")
+        return 1
     for module_name in modules:
         try:
             importlib.import_module(module_name)

@@ -36,6 +36,7 @@ from repro.datasets import (
 )
 from repro.defense import SignatureNoiseDefense
 from repro.embedding import PCA, TSNE
+from repro.gallery import ReferenceGallery, match_against_gallery
 from repro.linalg import PrincipalFeaturesSubspace, RowSampler, leverage_scores
 from repro.ml import KNeighborsClassifier, LinearSVR
 
@@ -61,6 +62,9 @@ __all__ = [
     "add_multisite_noise",
     # defense
     "SignatureNoiseDefense",
+    # gallery
+    "ReferenceGallery",
+    "match_against_gallery",
     # algorithms
     "TSNE",
     "PCA",

@@ -27,6 +27,7 @@ from repro.connectome.group import GroupMatrix
 from repro.exceptions import AttackError, NotFittedError
 from repro.linalg.leverage import PrincipalFeaturesSubspace
 from repro.linalg.sampling import RowSampler
+from repro.runtime.cache import ArtifactCache
 from repro.utils.rng import RandomStateLike
 from repro.utils.validation import check_positive_int
 
@@ -47,8 +48,17 @@ class LeverageScoreAttack:
         ``"deterministic"`` for the Principal Features Subspace method (the
         paper's attack), or ``"leverage"`` / ``"l2"`` / ``"uniform"`` for the
         randomized row-sampling ablations.
+    method:
+        SVD backend for the leverage scores: ``"exact"`` or ``"randomized"``
+        (the Halko-Martinsson-Tropp sketch; worthwhile for paper-scale and
+        larger galleries, requires ``rank``).
     random_state:
-        Seed for the randomized selection variants.
+        Seed for the randomized selection variants and the randomized SVD.
+    cache:
+        Optional :class:`~repro.runtime.cache.ArtifactCache`; when given, the
+        deterministic fit routes its SVD factors and leverage scores through
+        the ``svd``/``leverage`` artifact kinds, so refitting the same
+        reference content is a cache hit.
 
     Attributes
     ----------
@@ -61,7 +71,9 @@ class LeverageScoreAttack:
     n_features: int = 100
     rank: Optional[int] = None
     selection: str = "deterministic"
+    method: str = "exact"
     random_state: RandomStateLike = None
+    cache: Optional[ArtifactCache] = field(default=None, repr=False)
     selected_features_: Optional[np.ndarray] = field(default=None, repr=False)
     selector_: Optional[PrincipalFeaturesSubspace] = field(default=None, repr=False)
 
@@ -80,11 +92,19 @@ class LeverageScoreAttack:
                 f"({reference.n_features})"
             )
         if self.selection == "deterministic":
-            self.selector_ = PrincipalFeaturesSubspace(
+            # Route through the gallery's cached factor helpers (a no-op
+            # pass-through when no cache is configured); imported lazily to
+            # keep the attack <-> gallery layers import-cycle free.
+            from repro.gallery.factors import fit_principal_features_cached
+
+            self.selector_ = fit_principal_features_cached(
+                reference.data,
                 n_features=self.n_features,
                 rank=self.rank,
+                method=self.method,
                 random_state=self.random_state,
-            ).fit(reference.data)
+                cache=self.cache,
+            )
             self.selected_features_ = self.selector_.selected_indices_
         else:
             sampler = RowSampler(

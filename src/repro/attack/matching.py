@@ -82,24 +82,19 @@ class MatchResult:
         return sorted_similarities[-1, :] - sorted_similarities[-2, :]
 
 
-def match_subjects(
+def prepare_match_inputs(
     reference: np.ndarray,
     target: np.ndarray,
     reference_subject_ids: Optional[List[str]] = None,
     target_subject_ids: Optional[List[str]] = None,
-) -> MatchResult:
-    """Match target columns to reference columns by Pearson correlation.
+):
+    """Shared validation/defaulting prologue of the matching entry points.
 
-    Parameters
-    ----------
-    reference:
-        ``(n_features, n_reference)`` reduced group matrix of the
-        de-anonymized dataset.
-    target:
-        ``(n_features, n_target)`` reduced group matrix of the anonymous
-        dataset (same feature space).
-    reference_subject_ids / target_subject_ids:
-        Optional identities; default to positional labels.
+    Checks the matrices, the shared feature space, the two-feature minimum,
+    and the id lengths; fills in positional subject labels when none are
+    given.  Used by :func:`match_subjects` and the gallery's sharded
+    :func:`~repro.gallery.matching.match_against_gallery`, so the matching
+    contract lives in exactly one place.
     """
     ref = check_matrix(reference, name="reference")
     tgt = check_matrix(target, name="target")
@@ -119,7 +114,31 @@ def match_subjects(
         raise ValidationError("reference_subject_ids length does not match reference columns")
     if len(target_subject_ids) != tgt.shape[1]:
         raise ValidationError("target_subject_ids length does not match target columns")
+    return ref, tgt, list(reference_subject_ids), list(target_subject_ids)
 
+
+def match_subjects(
+    reference: np.ndarray,
+    target: np.ndarray,
+    reference_subject_ids: Optional[List[str]] = None,
+    target_subject_ids: Optional[List[str]] = None,
+) -> MatchResult:
+    """Match target columns to reference columns by Pearson correlation.
+
+    Parameters
+    ----------
+    reference:
+        ``(n_features, n_reference)`` reduced group matrix of the
+        de-anonymized dataset.
+    target:
+        ``(n_features, n_target)`` reduced group matrix of the anonymous
+        dataset (same feature space).
+    reference_subject_ids / target_subject_ids:
+        Optional identities; default to positional labels.
+    """
+    ref, tgt, reference_subject_ids, target_subject_ids = prepare_match_inputs(
+        reference, target, reference_subject_ids, target_subject_ids
+    )
     similarity = pairwise_pearson(ref, tgt)
     predictions = np.argmax(similarity, axis=0)
     return MatchResult(

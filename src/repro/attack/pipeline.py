@@ -5,12 +5,18 @@ already-parcellated time series) → connectomes → group matrices →
 leverage-score feature selection → correlation matching → report.  It is the
 object a downstream user would reach for first; the examples and the
 quickstart exercise it directly.
+
+Internally the pipeline is a thin veneer over the gallery subsystem: each
+run fits (or cache-hits) a :class:`~repro.gallery.reference.ReferenceGallery`
+on the reference dataset and identifies the target through it, so repeated
+runs over the same reference reuse the SVD, the leverage scores, and the
+reduced signature matrix.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.attack.deanonymize import LeverageScoreAttack
 from repro.attack.matching import MatchResult
@@ -21,6 +27,9 @@ from repro.exceptions import AttackError
 from repro.runtime.batch import build_group_matrix_batched
 from repro.runtime.cache import get_default_cache
 from repro.utils.rng import RandomStateLike
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gallery.reference import ReferenceGallery
 
 
 @dataclass
@@ -65,15 +74,24 @@ class AttackPipeline:
         Rank used for the leverage scores (``None`` = full column space).
     fisher:
         Whether to Fisher-transform connectome entries before vectorizing.
+    method:
+        SVD backend for the fit: ``"exact"`` or ``"randomized"`` (requires
+        ``rank``; the right choice for large-gallery fits).
     random_state:
-        Seed forwarded to the attack (only relevant for randomized selection).
+        Seed forwarded to the attack (randomized selection / randomized SVD).
+    shard_size:
+        Optional gallery shard width for the matching step (``None`` = one
+        block; results are bit-identical either way).
     """
 
     n_features: int = 100
     rank: Optional[int] = None
     fisher: bool = False
+    method: str = "exact"
     random_state: RandomStateLike = None
+    shard_size: Optional[int] = None
     attack_: Optional[LeverageScoreAttack] = field(default=None, repr=False)
+    gallery_: Optional["ReferenceGallery"] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ #
     # Building blocks
@@ -105,12 +123,29 @@ class AttackPipeline:
         return self.run_on_groups(reference, target)
 
     def run_on_groups(self, reference: GroupMatrix, target: GroupMatrix) -> AttackReport:
-        """Run the attack on pre-built group matrices."""
+        """Run the attack on pre-built group matrices.
+
+        Fits a :class:`~repro.gallery.reference.ReferenceGallery` on the
+        reference (through the process-wide artifact cache, so a repeated run
+        over the same reference is a cache hit instead of an SVD) and
+        identifies the target against it.
+        """
+        from repro.gallery.reference import ReferenceGallery
+
         n_features = min(self.n_features, reference.n_features)
-        self.attack_ = LeverageScoreAttack(
-            n_features=n_features, rank=self.rank, random_state=self.random_state
+        gallery = ReferenceGallery(
+            reference,
+            n_features=n_features,
+            rank=self.rank,
+            fisher=self.fisher,
+            method=self.method,
+            random_state=self.random_state,
+            shard_size=self.shard_size,
+            cache=get_default_cache(),
         )
-        result = self.attack_.fit_identify(reference, target)
+        self.gallery_ = gallery
+        self.attack_ = gallery.as_attack()
+        result = gallery.identify_group(target)
         contrast = similarity_contrast(result.similarity)
         return AttackReport(
             accuracy=result.accuracy(),

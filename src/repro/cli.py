@@ -1,7 +1,7 @@
 """Command-line interface.
 
 Installed as the ``repro-attack`` console script (also runnable as
-``python -m repro.cli``).  Five subcommands cover the common workflows:
+``python -m repro.cli``).  Six subcommands cover the common workflows:
 
 ``list``
     Show the available experiments (one per paper figure/table).
@@ -14,6 +14,11 @@ Installed as the ``repro-attack`` console script (also runnable as
 ``demo``
     Run the core de-anonymization attack on a freshly generated cohort and
     print the identification report with its timing breakdown.
+``gallery build|enroll|identify|info``
+    Operate a persistent identification gallery: fit it once from a
+    reference session and save it to disk, append subjects incrementally,
+    serve repeated identify queries against it (warm-cache, optionally
+    sharded), and inspect its state.
 ``runtime-info``
     Print cache statistics, worker configuration, and the detected BLAS
     threading setup.
@@ -95,6 +100,51 @@ def _build_parser() -> argparse.ArgumentParser:
     demo_parser.add_argument("--task", default="REST")
     demo_parser.add_argument("--features", type=int, default=100)
     demo_parser.add_argument("--seed", type=int, default=0)
+
+    gallery_parser = subparsers.add_parser(
+        "gallery", help="build, grow, and query a persistent identification gallery"
+    )
+    gallery_sub = gallery_parser.add_subparsers(dest="gallery_command", required=True)
+
+    build_parser = gallery_sub.add_parser(
+        "build", help="fit a gallery from a reference session and save it"
+    )
+    build_parser.add_argument("--dir", required=True, help="gallery directory")
+    build_parser.add_argument("--subjects", type=_positive_int, default=16)
+    build_parser.add_argument("--regions", type=_positive_int, default=64)
+    build_parser.add_argument("--timepoints", type=_positive_int, default=120)
+    build_parser.add_argument("--task", default="REST")
+    build_parser.add_argument("--features", type=_positive_int, default=100)
+    build_parser.add_argument("--rank", type=_positive_int, default=None)
+    build_parser.add_argument(
+        "--method", choices=("exact", "randomized"), default="exact",
+        help="SVD backend for the leverage-score fit",
+    )
+    build_parser.add_argument("--shard-size", type=_positive_int, default=None)
+    build_parser.add_argument("--seed", type=int, default=0)
+
+    enroll_parser = gallery_sub.add_parser(
+        "enroll", help="append newly scanned subjects to a saved gallery"
+    )
+    enroll_parser.add_argument("--dir", required=True)
+    enroll_parser.add_argument(
+        "--extra-subjects", type=_positive_int, default=4,
+        help="how many additional cohort subjects to enroll",
+    )
+
+    identify_parser = gallery_sub.add_parser(
+        "identify", help="identify an anonymous probe session against a saved gallery"
+    )
+    identify_parser.add_argument("--dir", required=True)
+    identify_parser.add_argument(
+        "--repeat", type=_positive_int, default=1,
+        help="identify the same probes N times (shows warm-cache reuse)",
+    )
+
+    info_parser_gallery = gallery_sub.add_parser(
+        "info", help="print the state and cache statistics of a saved gallery"
+    )
+    info_parser_gallery.add_argument("--dir", required=True)
 
     info_parser = subparsers.add_parser(
         "runtime-info",
@@ -206,6 +256,145 @@ def _command_runtime_info(args) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# Gallery subcommands
+# --------------------------------------------------------------------------- #
+def _gallery_dataset(recipe: Dict):
+    """Recreate the synthetic cohort a gallery was built from."""
+    from repro.datasets.hcp import HCPLikeDataset
+
+    return HCPLikeDataset(
+        n_subjects=int(recipe["n_subjects"]),
+        n_regions=int(recipe["n_regions"]),
+        n_timepoints=int(recipe["n_timepoints"]),
+        random_state=int(recipe["seed"]),
+    )
+
+
+def _command_gallery_build(args) -> int:
+    from repro.gallery.reference import ReferenceGallery
+
+    recipe = {
+        "n_subjects": args.subjects,
+        "n_regions": args.regions,
+        "n_timepoints": args.timepoints,
+        "task": args.task,
+        "seed": args.seed,
+    }
+    dataset = _gallery_dataset(recipe)
+    scans = dataset.generate_session(args.task, encoding="LR", day=1)
+    n_features = min(args.features, dataset.n_regions * (dataset.n_regions - 1) // 2)
+    gallery = ReferenceGallery.from_scans(
+        scans,
+        n_features=n_features,
+        rank=args.rank,
+        method=args.method,
+        random_state=args.seed,
+        shard_size=args.shard_size,
+        metadata={"dataset": recipe},
+    )
+    gallery.save(args.dir)
+    print(
+        f"built gallery: {gallery.n_subjects} subjects, "
+        f"{gallery.n_features}/{gallery.reference.n_features} features "
+        f"({gallery.method} SVD), saved to {args.dir}"
+    )
+    print(f"fingerprint: {gallery.fingerprint[:16]}…")
+    return 0
+
+
+def _command_gallery_enroll(args) -> int:
+    from repro.gallery.reference import ReferenceGallery
+
+    gallery = ReferenceGallery.load(args.dir)
+    recipe = dict(gallery.metadata.get("dataset") or {})
+    if not recipe:
+        print("gallery carries no dataset recipe; cannot synthesize new subjects",
+              file=sys.stderr)
+        return 1
+    recipe["n_subjects"] = int(recipe["n_subjects"]) + args.extra_subjects
+    dataset = _gallery_dataset(recipe)
+    scans = dataset.generate_session(recipe["task"], encoding="LR", day=1)
+    added = gallery.enroll(scans)
+    gallery.metadata["dataset"] = recipe
+    gallery.save(args.dir)
+    print(
+        f"enrolled {added} new subject(s); gallery now holds "
+        f"{gallery.n_subjects} subjects (refits: {gallery.refit_count_})"
+    )
+    return 0
+
+
+def _command_gallery_identify(args) -> int:
+    from repro.gallery.reference import ReferenceGallery
+
+    gallery = ReferenceGallery.load(args.dir)
+    recipe = gallery.metadata.get("dataset")
+    if not recipe:
+        print("gallery carries no dataset recipe; cannot synthesize probes",
+              file=sys.stderr)
+        return 1
+    dataset = _gallery_dataset(recipe)
+    probes = dataset.generate_session(recipe["task"], encoding="RL", day=2)
+    result = None
+    for _ in range(args.repeat):
+        result = gallery.identify(probes)
+    accuracy = result.accuracy()
+    margins = result.margin()
+    print(
+        f"identified {len(result.target_subject_ids)} probes against "
+        f"{gallery.n_subjects} enrolled subjects"
+    )
+    print(f"identification accuracy : {100.0 * accuracy:.1f} %")
+    print(f"mean confidence margin  : {float(margins.mean()):.3f}")
+    stats = gallery.cache.stats("group_matrix")
+    print(
+        f"group-matrix cache      : {stats.hits} hits / {stats.misses} misses "
+        f"over {args.repeat} identify call(s)"
+    )
+    return 0
+
+
+def _command_gallery_info(args) -> int:
+    from repro.gallery.reference import ReferenceGallery
+
+    gallery = ReferenceGallery.load(args.dir)
+    info = gallery.info()
+    print(f"subjects enrolled   : {info['n_subjects']}")
+    print(
+        "signature features  : "
+        f"{info['n_features_selected']} of {info['n_features_total']}"
+    )
+    print(f"svd backend         : {info['method']} (rank={info['rank']})")
+    print(f"shard size          : {info['shard_size'] or '(single block)'}")
+    print(f"fingerprint         : {info['fingerprint']}")
+    for kind in ("gallery", "leverage", "svd", "group_matrix"):
+        stats = info["cache"][kind]
+        print(
+            f"  - {kind:<13s}: hits={stats['hits']} misses={stats['misses']} "
+            f"hit_rate={stats['hit_rate']:.2f}"
+        )
+    return 0
+
+
+def _command_gallery(args) -> int:
+    from repro.exceptions import ReproError
+
+    commands = {
+        "build": _command_gallery_build,
+        "enroll": _command_gallery_enroll,
+        "identify": _command_gallery_identify,
+        "info": _command_gallery_info,
+    }
+    try:
+        return commands[args.gallery_command](args)
+    except ReproError as exc:
+        # Missing/tampered gallery directories and the like: a clean message
+        # and exit 1, matching the other commands' failure style.
+        print(f"gallery {args.gallery_command} failed: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-attack`` console script."""
     args = _build_parser().parse_args(argv)
@@ -217,6 +406,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_report(args)
     if args.command == "demo":
         return _command_demo(args)
+    if args.command == "gallery":
+        return _command_gallery(args)
     if args.command == "runtime-info":
         return _command_runtime_info(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

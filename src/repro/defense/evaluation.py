@@ -11,17 +11,17 @@ aggregate statistics).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.attack.deanonymize import LeverageScoreAttack
 from repro.connectome.connectome import Connectome
 from repro.connectome.correlation import devectorize_connectome
 from repro.connectome.graph_metrics import graph_metric_profile, profile_distance
 from repro.connectome.group import GroupMatrix
 from repro.defense.noise_injection import SignatureNoiseDefense
 from repro.exceptions import ValidationError
+from repro.gallery.reference import ReferenceGallery
 from repro.utils.rng import RandomStateLike
 from repro.utils.stats import pearson_correlation
 
@@ -62,6 +62,7 @@ def evaluate_defense(
     defense: SignatureNoiseDefense,
     attack_features: int = 100,
     include_graph_utility: bool = True,
+    gallery: Optional[ReferenceGallery] = None,
 ) -> Dict[str, float]:
     """Attack accuracy and utility before/after protecting the target dataset.
 
@@ -71,13 +72,19 @@ def evaluate_defense(
     (``utility``) and, optionally, the preservation of graph-metric profiles
     (``graph_utility``), the quantity the paper's discussion highlights as
     the constraint any practical defense must satisfy.
-    """
-    attack = LeverageScoreAttack(n_features=min(attack_features, reference.n_features))
-    attack.fit(reference)
 
-    baseline_accuracy = attack.identify(target).accuracy()
+    Pass a pre-fitted ``gallery`` (as :func:`defense_tradeoff_curve` does) to
+    reuse the fitted selector across evaluations instead of re-fitting the
+    attack on the same reference every call.
+    """
+    if gallery is None:
+        gallery = ReferenceGallery(
+            reference, n_features=min(attack_features, reference.n_features)
+        )
+
+    baseline_accuracy = gallery.identify_group(target).accuracy()
     protected_target = defense.protect(target)
-    protected_accuracy = attack.identify(protected_target).accuracy()
+    protected_accuracy = gallery.identify_group(protected_target).accuracy()
 
     outcome = {
         "baseline_accuracy": baseline_accuracy,
@@ -103,9 +110,17 @@ def defense_tradeoff_curve(
     attack_features: int = 100,
     random_state: RandomStateLike = None,
 ) -> Dict[str, List[float]]:
-    """Sweep the defense noise scale and record the privacy/utility trade-off."""
+    """Sweep the defense noise scale and record the privacy/utility trade-off.
+
+    The attacker's gallery is fitted once on the reference and reused across
+    the whole sweep — only the defense (and the protected identify) runs per
+    noise scale.
+    """
     if not noise_scales:
         raise ValidationError("noise_scales must not be empty")
+    gallery = ReferenceGallery(
+        reference, n_features=min(attack_features, reference.n_features)
+    )
     accuracies: List[float] = []
     utilities: List[float] = []
     for scale in noise_scales:
@@ -116,7 +131,7 @@ def defense_tradeoff_curve(
             random_state=random_state,
         )
         outcome = evaluate_defense(
-            reference, target, defense, attack_features=attack_features
+            reference, target, defense, attack_features=attack_features, gallery=gallery
         )
         accuracies.append(outcome["protected_accuracy"])
         utilities.append(outcome["utility"])

@@ -15,6 +15,7 @@ from repro.datasets.adhd200 import ADHD200LikeDataset
 from repro.datasets.hcp import HCPLikeDataset
 from repro.datasets.multisite import simulate_multisite_session
 from repro.experiments.config import ADHDExperimentConfig, HCPExperimentConfig
+from repro.gallery.reference import ReferenceGallery
 from repro.reporting.experiment import ExperimentRecord
 from repro.utils.rng import as_rng
 
@@ -207,6 +208,12 @@ def table2_multisite_noise(
     hcp_reference = hcp.scans_to_group_matrix(hcp_reference_scans)
     adhd_reference = adhd.scans_to_group_matrix(adhd_reference_scans)
 
+    # The attacker's references are fixed across every noise level and
+    # repetition — fit each gallery once and identify all noisy targets
+    # against it instead of re-running the SVD per cell.
+    hcp_gallery = ReferenceGallery(hcp_reference, n_features=hcp_config.n_features)
+    adhd_gallery = ReferenceGallery(adhd_reference, n_features=adhd_config.n_features)
+
     noise_levels = list(hcp_config.multisite_noise_levels)
     rng = as_rng(hcp_config.seed)
     hcp_rows: List[Dict[str, float]] = []
@@ -224,16 +231,8 @@ def table2_multisite_noise(
             )
             hcp_target = hcp.scans_to_group_matrix(noisy_hcp_scans)
             adhd_target = adhd.scans_to_group_matrix(noisy_adhd_scans)
-            hcp_accuracies.append(
-                evaluate_identification(
-                    hcp_reference, hcp_target, n_features=hcp_config.n_features
-                ).accuracy()
-            )
-            adhd_accuracies.append(
-                evaluate_identification(
-                    adhd_reference, adhd_target, n_features=adhd_config.n_features
-                ).accuracy()
-            )
+            hcp_accuracies.append(hcp_gallery.identify_group(hcp_target).accuracy())
+            adhd_accuracies.append(adhd_gallery.identify_group(adhd_target).accuracy())
         hcp_rows.append(
             {"noise": level, "mean": float(np.mean(hcp_accuracies)), "std": float(np.std(hcp_accuracies))}
         )

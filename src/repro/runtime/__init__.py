@@ -29,6 +29,7 @@ from repro.runtime.batch import (
 from repro.runtime.cache import (
     ArtifactCache,
     CacheStats,
+    default_cache_dir,
     get_default_cache,
     set_default_cache,
 )
@@ -59,6 +60,7 @@ __all__ = [
     # cache
     "ArtifactCache",
     "CacheStats",
+    "default_cache_dir",
     "get_default_cache",
     "set_default_cache",
     # runner

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -27,6 +29,37 @@ import numpy as np
 from repro.exceptions import ValidationError
 
 PathLike = Union[str, Path]
+
+# Artifact-kind ownership: ``group_matrix`` belongs to the batch layer;
+# ``svd``, ``leverage``, ``gallery``, and ``gallery-archive`` belong to the
+# gallery subsystem (cached SVD factors, leverage-score vectors, reduced
+# signature matrices, and saved-archive integrity digests respectively).
+
+
+def default_cache_dir() -> Path:
+    """Directory of the shared on-disk cache tier.
+
+    Honours the ``REPRO_CACHE_DIR`` environment variable; otherwise a
+    per-user directory under the system temp dir is used (per-user so two
+    accounts on one host never fight over file ownership).  This is the
+    directory process-pool :class:`~repro.runtime.runner.ExperimentRunner`
+    workers share by default, so artifacts computed in one worker are disk
+    hits in every other.
+
+    The disk tier is content-addressed and never evicts; point
+    ``REPRO_CACHE_DIR`` at scratch storage (or clear the directory) if it
+    grows too large.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    try:
+        import getpass
+
+        owner = getpass.getuser()
+    except (ImportError, OSError, KeyError):  # no resolvable user identity
+        owner = f"uid-{os.getuid()}" if hasattr(os, "getuid") else "shared"
+    return Path(tempfile.gettempdir()) / f"repro-artifact-cache-{owner}"
 
 
 @dataclass
@@ -109,6 +142,8 @@ class ArtifactCache:
                 f"max_memory_bytes must be >= 1, got {max_memory_bytes}"
             )
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            _secure_cache_dir(self.cache_dir)
         self.max_memory_items = int(max_memory_items)
         self.max_memory_bytes = int(max_memory_bytes)
         self._memory: "OrderedDict[str, Any]" = OrderedDict()
@@ -247,9 +282,30 @@ class ArtifactCache:
         if path is None or not isinstance(value, np.ndarray):
             return
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp.npz")
+        # Per-process temp name + atomic rename, so concurrent pool workers
+        # writing the same key never observe a partially written archive.
+        tmp = path.parent / f"{path.stem}.{os.getpid()}.tmp.npz"
         np.savez_compressed(tmp, artifact=value)
         tmp.replace(path)
+
+
+def _secure_cache_dir(directory: Path) -> None:
+    """Create the disk-tier root privately and refuse foreign-owned ones.
+
+    The default shared tier lives at a predictable path under the
+    world-writable temp dir, so another local user could pre-create it and
+    plant artifacts for content keys they can predict.  Creating with mode
+    ``0o700`` and rejecting directories owned by someone else closes that:
+    artifacts are only ever read from a tier the current user controls.
+    """
+    directory.mkdir(parents=True, exist_ok=True, mode=0o700)
+    if hasattr(os, "getuid"):
+        owner = directory.stat().st_uid
+        if owner != os.getuid():
+            raise ValidationError(
+                f"cache directory {directory} is owned by uid {owner}, not the "
+                f"current user (uid {os.getuid()}); refusing to trust its artifacts"
+            )
 
 
 def _payload_bytes(value: Any) -> int:

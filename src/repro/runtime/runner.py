@@ -19,13 +19,17 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError, ValidationError
 from repro.runtime.batch import build_group_matrix_batched
 from repro.runtime.cache import (
     ArtifactCache,
     _hash_part,
+    default_cache_dir,
     get_default_cache,
     set_default_cache,
 )
@@ -269,12 +273,46 @@ def _task_experiment(spec: ExperimentSpec, ctx: TaskContext) -> Tuple[Dict[str, 
     return metrics, record
 
 
+def _task_match_shard(spec: ExperimentSpec, ctx: TaskContext) -> Tuple[Dict[str, float], Any]:
+    """One column shard of a gallery match: correlation of a reference block.
+
+    The gallery layer (:func:`repro.gallery.matching.match_against_gallery`)
+    splits a large reference gallery into column blocks and schedules one of
+    these specs per block; the similarity block comes back as the result
+    ``output``.  The spec carries pre-normalized columns (plus degenerate
+    masks), so the worker applies only the shard-invariant contraction kernel
+    and the pooled result stays bit-identical to the inline path.  Registered
+    as a built-in kind so process-pool workers can resolve it without
+    importing the gallery package first.
+    """
+    from repro.gallery.matching import similarity_kernel
+
+    p = spec.params
+    reference_block = np.asarray(p["reference"], dtype=np.float64)
+    probe = np.asarray(p["probe"], dtype=np.float64)
+    reference_degenerate = p.get("reference_degenerate")
+    probe_degenerate = p.get("probe_degenerate")
+    with ctx.timings.section("match_s"):
+        similarity = similarity_kernel(
+            reference_block,
+            probe,
+            None if reference_degenerate is None else np.asarray(reference_degenerate, dtype=bool),
+            None if probe_degenerate is None else np.asarray(probe_degenerate, dtype=bool),
+        )
+    metrics = {
+        "n_reference": float(similarity.shape[0]),
+        "n_probe": float(similarity.shape[1]),
+    }
+    return metrics, similarity
+
+
 #: Registered task kinds (extensible; see :func:`register_task_kind`).
 TASK_KINDS: Dict[str, Callable[[ExperimentSpec, TaskContext], Tuple[Dict[str, float], Any]]] = {
     "attack": _task_attack,
     "defense": _task_defense,
     "inference": _task_inference,
     "experiment": _task_experiment,
+    "match_shard": _task_match_shard,
 }
 
 
@@ -318,9 +356,21 @@ def execute_spec(
     )
 
 
-def _execute_in_subprocess(spec: ExperimentSpec, seed: int) -> RunResult:
-    """Process-pool entry point (each worker uses its own default cache)."""
-    return execute_spec(spec, seed, cache=None)
+def _execute_in_subprocess(
+    spec: ExperimentSpec, seed: int, cache_dir: Optional[str] = None
+) -> RunResult:
+    """Process-pool entry point.
+
+    With ``cache_dir`` set (the default configuration) every worker builds an
+    :class:`ArtifactCache` backed by the same on-disk tier, so artifacts
+    computed in one worker are disk hits in every other and across batches.
+    Without it each worker falls back to its own memory-only default cache.
+    """
+    if cache_dir is None:
+        return execute_spec(spec, seed, cache=None)
+    cache = ArtifactCache(cache_dir=cache_dir)
+    with _default_cache_scope(cache):
+        return execute_spec(spec, seed, cache=cache)
 
 
 @contextmanager
@@ -355,9 +405,7 @@ class ExperimentRunner:
         Artifact cache shared by all tasks; defaults to the process-wide
         cache.  An explicit cache is also installed as the process default
         for the duration of each run, so experiment-kind tasks (which reach
-        caching through the datasets/pipeline layer) use it too.  With
-        ``executor="process"`` each worker process uses its own cache (the
-        parent's statistics then only reflect parent-side work).
+        caching through the datasets/pipeline layer) use it too.
     max_workers:
         Pool size; 1 (the default) runs inline with no pool at all.
     executor:
@@ -366,6 +414,15 @@ class ExperimentRunner:
     base_seed:
         Mixed into every derived spec seed, so one batch can be re-run as an
         independent replicate by changing a single number.
+    cache_dir:
+        Directory of the shared on-disk cache tier.  ``None`` resolves to
+        :func:`~repro.runtime.cache.default_cache_dir` for process-pool runs
+        (so all workers share one disk tier — the default) and to no disk
+        tier otherwise.  Ignored when an explicit ``cache`` is given (its own
+        ``cache_dir`` is used instead).
+    shared_disk_cache:
+        Explicit opt-out: ``False`` keeps process-pool workers memory-only
+        (the pre-disk-tier behaviour, where each worker caches privately).
     """
 
     def __init__(
@@ -374,6 +431,8 @@ class ExperimentRunner:
         max_workers: int = 1,
         executor: str = "thread",
         base_seed: int = 0,
+        cache_dir: Optional[Union[str, Path]] = None,
+        shared_disk_cache: bool = True,
     ):
         if max_workers < 1:
             raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
@@ -381,10 +440,32 @@ class ExperimentRunner:
             raise ConfigurationError(
                 f"executor must be 'thread' or 'process', got {executor!r}"
             )
-        self.cache = cache if cache is not None else get_default_cache()
+        self.shared_disk_cache = bool(shared_disk_cache)
+        if cache_dir is not None and not self.shared_disk_cache:
+            raise ConfigurationError(
+                "cache_dir and shared_disk_cache=False contradict each other; "
+                "drop one of them"
+            )
+        if cache is not None:
+            self.cache = cache
+        elif not self.shared_disk_cache:
+            self.cache = get_default_cache()
+        elif cache_dir is not None:
+            self.cache = ArtifactCache(cache_dir=cache_dir)
+        elif executor == "process":
+            self.cache = ArtifactCache(cache_dir=default_cache_dir())
+        else:
+            self.cache = get_default_cache()
         self.max_workers = int(max_workers)
         self.executor = executor
         self.base_seed = int(base_seed)
+
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        """Directory of the disk tier shared with workers (``None`` = memory-only)."""
+        if not self.shared_disk_cache:
+            return None
+        return self.cache.cache_dir
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -400,9 +481,11 @@ class ExperimentRunner:
         seeds = [spec.resolved_seed(self.base_seed) for spec in specs]
 
         if self.executor == "process" and self.max_workers > 1:
+            worker_cache_dir = self.cache_dir
+            worker_dir_arg = str(worker_cache_dir) if worker_cache_dir is not None else None
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
                 futures = [
-                    pool.submit(_execute_in_subprocess, spec, seed)
+                    pool.submit(_execute_in_subprocess, spec, seed, worker_dir_arg)
                     for spec, seed in zip(specs, seeds)
                 ]
                 return [future.result() for future in futures]
@@ -429,11 +512,14 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
     def worker_config(self) -> Dict[str, Any]:
         """Pool configuration for reports and ``runtime-info``."""
+        cache_dir = self.cache_dir
         return {
             "max_workers": self.max_workers,
             "executor": self.executor,
             "base_seed": self.base_seed,
             "cpu_count": os.cpu_count() or 1,
+            "cache_dir": str(cache_dir) if cache_dir is not None else None,
+            "shared_disk_cache": self.shared_disk_cache,
         }
 
 

@@ -1,0 +1,20 @@
+"""Gallery-test fixtures.
+
+``tall_matrix`` is redefined here with a private generator (instead of the
+session-wide ``rng`` fixture) so the gallery tests do not advance the shared
+random stream other test modules draw from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture()
+def tall_matrix() -> np.ndarray:
+    """A tall random matrix with a planted low-rank structure."""
+    rng = np.random.default_rng(20260730)
+    basis = rng.standard_normal((200, 5))
+    weights = rng.standard_normal((5, 12))
+    return basis @ weights + 0.05 * rng.standard_normal((200, 12))

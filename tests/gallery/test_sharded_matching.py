@@ -1,0 +1,142 @@
+"""Shard-vs-single-block equivalence tests for gallery matching.
+
+The acceptance criterion is *bit-for-bit* equality: every shard layout —
+including pathological one-column edge shards — must reproduce the
+single-block similarity matrix exactly, inline or through a runner pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attack.matching import match_subjects
+from repro.exceptions import AttackError, ValidationError
+from repro.gallery.matching import (
+    match_against_gallery,
+    shard_similarity,
+    shard_slices,
+)
+from repro.runtime.cache import ArtifactCache
+from repro.runtime.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def reduced_pair(rest_pair):
+    """A reduced reference/probe matrix pair in a 60-feature space."""
+    rng = np.random.default_rng(11)
+    features = rng.choice(rest_pair["reference"].n_features, size=60, replace=False)
+    return (
+        rest_pair["reference"].data[features, :],
+        rest_pair["target"].data[features, :],
+    )
+
+
+class TestShardSlices:
+    def test_none_is_single_block(self):
+        assert shard_slices(10, None) == [(0, 10)]
+
+    def test_blocks_cover_in_order(self):
+        assert shard_slices(10, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_oversized_shard_is_single_block(self):
+        assert shard_slices(5, 100) == [(0, 5)]
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValidationError):
+            shard_slices(0, None)
+        with pytest.raises(ValidationError):
+            shard_slices(10, 0)
+
+
+class TestShardEquivalence:
+    def test_single_block_matches_match_subjects_predictions(self, reduced_pair):
+        reference, probe = reduced_pair
+        single = match_against_gallery(reference, probe)
+        legacy = match_subjects(reference, probe)
+        assert np.array_equal(
+            single.predicted_reference_index, legacy.predicted_reference_index
+        )
+        assert np.allclose(single.similarity, legacy.similarity)
+
+    @pytest.mark.parametrize("shard_size", [1, 2, 3, 5, 7, 11, 12, 100])
+    def test_every_shard_layout_is_bitwise_identical(self, reduced_pair, shard_size):
+        reference, probe = reduced_pair
+        single = match_against_gallery(reference, probe)
+        sharded = match_against_gallery(reference, probe, shard_size=shard_size)
+        assert np.array_equal(sharded.similarity, single.similarity)
+        assert np.array_equal(
+            sharded.predicted_reference_index, single.predicted_reference_index
+        )
+        assert np.array_equal(sharded.margin(), single.margin())
+        assert sharded.predicted_subject_ids == single.predicted_subject_ids
+
+    def test_degenerate_columns_survive_sharding(self):
+        rng = np.random.default_rng(0)
+        reference = rng.standard_normal((40, 9))
+        probe = rng.standard_normal((40, 4))
+        reference[:, 2] = 1.5  # constant gallery subject
+        probe[:, 1] = -3.0  # constant probe
+        single = match_against_gallery(reference, probe)
+        sharded = match_against_gallery(reference, probe, shard_size=2)
+        assert np.array_equal(sharded.similarity, single.similarity)
+        assert np.all(single.similarity[2, :] == 0.0)
+        assert np.all(single.similarity[:, 1] == 0.0)
+
+    def test_subject_ids_flow_through(self, reduced_pair):
+        reference, probe = reduced_pair
+        ref_ids = [f"r{i}" for i in range(reference.shape[1])]
+        tgt_ids = [f"t{i}" for i in range(probe.shape[1])]
+        result = match_against_gallery(
+            reference, probe,
+            reference_subject_ids=ref_ids, target_subject_ids=tgt_ids,
+            shard_size=4,
+        )
+        assert result.reference_subject_ids == ref_ids
+        assert result.target_subject_ids == tgt_ids
+
+
+class TestPooledSharding:
+    def test_thread_pool_matches_inline_bitwise(self, reduced_pair):
+        reference, probe = reduced_pair
+        inline = match_against_gallery(reference, probe, shard_size=5)
+        runner = ExperimentRunner(cache=ArtifactCache(), max_workers=3)
+        pooled = match_against_gallery(reference, probe, shard_size=5, runner=runner)
+        assert np.array_equal(pooled.similarity, inline.similarity)
+
+    def test_process_pool_matches_inline_bitwise(self, reduced_pair):
+        reference, probe = reduced_pair
+        inline = match_against_gallery(reference, probe, shard_size=24)
+        runner = ExperimentRunner(max_workers=2, executor="process")
+        pooled = match_against_gallery(reference, probe, shard_size=24, runner=runner)
+        assert np.array_equal(pooled.similarity, inline.similarity)
+
+    def test_single_shard_skips_the_pool(self, reduced_pair):
+        reference, probe = reduced_pair
+
+        class ExplodingRunner:
+            def run(self, specs):  # pragma: no cover - must not be called
+                raise AssertionError("runner must not be used for a single shard")
+
+        result = match_against_gallery(
+            reference, probe, shard_size=None, runner=ExplodingRunner()
+        )
+        assert result.similarity.shape == (reference.shape[1], probe.shape[1])
+
+
+class TestValidation:
+    def test_feature_space_mismatch_rejected(self, reduced_pair):
+        reference, probe = reduced_pair
+        with pytest.raises(AttackError, match="feature space"):
+            match_against_gallery(reference, probe[:-1, :])
+
+    def test_single_feature_rejected(self):
+        with pytest.raises(AttackError, match="two features"):
+            match_against_gallery(np.ones((1, 3)), np.ones((1, 2)))
+
+    def test_id_length_mismatch_rejected(self, reduced_pair):
+        reference, probe = reduced_pair
+        with pytest.raises(ValidationError, match="reference_subject_ids"):
+            match_against_gallery(reference, probe, reference_subject_ids=["a"])
+
+    def test_shard_similarity_validates_feature_space(self):
+        with pytest.raises(AttackError, match="feature space"):
+            shard_similarity(np.ones((4, 2)), np.ones((5, 2)))

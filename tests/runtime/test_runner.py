@@ -5,7 +5,7 @@ import pytest
 
 from repro.exceptions import ConfigurationError, ValidationError
 from repro.experiments import HCPExperimentConfig
-from repro.runtime.cache import ArtifactCache
+from repro.runtime.cache import ArtifactCache, default_cache_dir
 from repro.runtime.runner import (
     PAPER_EXPERIMENTS,
     ExperimentRunner,
@@ -103,7 +103,31 @@ class TestRunnerExecution:
 
 class TestTaskKinds:
     def test_registry_covers_builtin_kinds(self):
-        assert {"attack", "defense", "inference", "experiment"} <= set(TASK_KINDS)
+        assert {"attack", "defense", "inference", "experiment", "match_shard"} <= set(
+            TASK_KINDS
+        )
+
+    def test_match_shard_kind_computes_similarity_block(self):
+        from repro.gallery.matching import normalize_columns, similarity_kernel
+
+        rng = np.random.default_rng(4)
+        reference = rng.standard_normal((30, 5))
+        probe = rng.standard_normal((30, 3))
+        ref_n, ref_d = normalize_columns(reference)
+        prb_n, prb_d = normalize_columns(probe)
+        spec = ExperimentSpec(
+            name="shard", kind="match_shard", seed=0,
+            params={
+                "reference": ref_n, "probe": prb_n,
+                "reference_degenerate": ref_d, "probe_degenerate": prb_d,
+            },
+        )
+        result = ExperimentRunner(cache=ArtifactCache()).run_one(spec)
+        assert result.ok
+        assert result.metrics["n_reference"] == 5.0
+        assert np.array_equal(
+            result.output, similarity_kernel(ref_n, prb_n, ref_d, prb_d)
+        )
 
     def test_custom_kind_registration(self):
         def probe_task(spec, ctx):
@@ -162,7 +186,8 @@ class TestTaskKinds:
 
 
 class TestProcessPool:
-    def test_process_executor_produces_same_metrics(self):
+    def test_process_executor_produces_same_metrics(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shared"))
         specs = [tiny_spec("proc-0", seed=3)]
         inline = ExperimentRunner(cache=ArtifactCache()).run(specs)
         pooled = ExperimentRunner(max_workers=2, executor="process").run(specs)
@@ -170,3 +195,46 @@ class TestProcessPool:
         assert np.isclose(
             pooled[0].metrics["accuracy"], inline[0].metrics["accuracy"]
         )
+
+
+class TestSharedDiskCache:
+    def test_process_runner_defaults_to_the_shared_disk_tier(self):
+        runner = ExperimentRunner(max_workers=2, executor="process")
+        assert runner.cache_dir == default_cache_dir()
+        assert runner.worker_config()["cache_dir"] == str(default_cache_dir())
+
+    def test_memory_only_opt_out(self):
+        runner = ExperimentRunner(
+            max_workers=2, executor="process", shared_disk_cache=False
+        )
+        assert runner.cache_dir is None
+        assert runner.worker_config()["cache_dir"] is None
+        assert runner.worker_config()["shared_disk_cache"] is False
+
+    def test_explicit_cache_dir_wins(self, tmp_path):
+        runner = ExperimentRunner(
+            max_workers=2, executor="process", cache_dir=tmp_path / "mine"
+        )
+        assert runner.cache_dir == tmp_path / "mine"
+
+    def test_contradictory_cache_config_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="contradict"):
+            ExperimentRunner(cache_dir=tmp_path, shared_disk_cache=False)
+
+    def test_thread_runner_stays_memory_only_by_default(self):
+        runner = ExperimentRunner(max_workers=2)
+        assert runner.cache_dir is None
+
+    def test_env_var_overrides_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert default_cache_dir() == tmp_path / "env-cache"
+
+    def test_workers_share_artifacts_through_the_disk_tier(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shared"))
+        specs = [tiny_spec("disk-a", seed=9), tiny_spec("disk-b", seed=9, task="REST")]
+        runner = ExperimentRunner(max_workers=2, executor="process")
+        results = runner.run(specs)
+        assert all(result.ok for result in results)
+        # The workers persisted their group matrices into the shared tier.
+        artifacts = list((tmp_path / "shared" / "group_matrix").glob("*.npz"))
+        assert artifacts

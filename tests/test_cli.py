@@ -77,6 +77,68 @@ class TestRunCommand:
             main(["run", "figure99"])
 
 
+class TestGalleryCommand:
+    def _build(self, tmp_path, capsys, **overrides):
+        args = {
+            "--subjects": "8", "--regions": "28", "--timepoints": "70",
+            "--features": "50", "--seed": "2",
+        }
+        args.update(overrides)
+        argv = ["gallery", "build", "--dir", str(tmp_path / "gal")]
+        for key, value in args.items():
+            argv.extend([key, value])
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_build_saves_a_gallery(self, tmp_path, capsys):
+        output = self._build(tmp_path, capsys)
+        assert "built gallery: 8 subjects" in output
+        assert (tmp_path / "gal" / "gallery.npz").exists()
+        assert (tmp_path / "gal" / "gallery.json").exists()
+
+    def test_identify_reports_accuracy_and_cache(self, tmp_path, capsys):
+        self._build(tmp_path, capsys)
+        assert main(
+            ["gallery", "identify", "--dir", str(tmp_path / "gal"), "--repeat", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "identification accuracy" in output
+        assert "hits" in output
+
+    def test_enroll_grows_the_gallery(self, tmp_path, capsys):
+        self._build(tmp_path, capsys)
+        assert main(
+            ["gallery", "enroll", "--dir", str(tmp_path / "gal"), "--extra-subjects", "3"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "enrolled 3 new subject(s)" in output
+        assert "11 subjects" in output
+        assert main(["gallery", "info", "--dir", str(tmp_path / "gal")]) == 0
+        assert "subjects enrolled   : 11" in capsys.readouterr().out
+
+    def test_info_prints_fingerprint_and_cache_kinds(self, tmp_path, capsys):
+        self._build(tmp_path, capsys)
+        assert main(["gallery", "info", "--dir", str(tmp_path / "gal")]) == 0
+        output = capsys.readouterr().out
+        assert "fingerprint" in output
+        for kind in ("gallery", "leverage", "svd", "group_matrix"):
+            assert kind in output
+
+    def test_randomized_build(self, tmp_path, capsys):
+        output = self._build(
+            tmp_path, capsys, **{"--method": "randomized", "--rank": "4"}
+        )
+        assert "randomized SVD" in output
+
+    def test_missing_gallery_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["gallery"])
+
+    def test_missing_gallery_directory_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["gallery", "info", "--dir", str(tmp_path / "nope")]) == 1
+        assert "no saved gallery" in capsys.readouterr().err
+
+
 class TestRuntimeInfoCommand:
     def test_runtime_info_prints_cache_workers_and_blas(self, capsys):
         assert main(["runtime-info"]) == 0
