@@ -14,7 +14,12 @@ Run with::
     python examples/clinical_reidentification.py
 """
 
-from repro import ADHD200LikeDataset, ReferenceGallery
+from repro import (
+    ADHD200LikeDataset,
+    EnrollRequest,
+    IdentificationService,
+    IdentifyRequest,
+)
 from repro.attack.evaluation import repeated_identification
 from repro.connectome.similarity import pairwise_similarity, similarity_contrast
 from repro.datasets.multisite import simulate_multisite_session
@@ -55,23 +60,31 @@ def main() -> None:
     )
 
     # --- Table 2: second session re-acquired on a different scanner ------
-    # The hospital's reference gallery is fitted ONCE; every noisy
-    # re-acquisition below is just a warm identify against it — no per-noise
-    # re-fit of the leverage scores.
+    # The hospital runs an identification service: the reference gallery is
+    # enrolled ONCE; every noisy re-acquisition below arrives as a typed
+    # IdentifyRequest and is served warm — no per-noise re-fit of the
+    # leverage scores.
     reference_scans = dataset.generate_session(1)
     target_scans = dataset.generate_session(2)
-    gallery = ReferenceGallery.from_scans(reference_scans, n_features=100)
+    service = IdentificationService()
+    service.enroll(
+        EnrollRequest(gallery="hospital", scans=reference_scans, create=True)
+    )
     rows = []
     for noise in (0.0, 0.10, 0.20, 0.30):
         noisy_scans = simulate_multisite_session(
             target_scans, noise_variance_fraction=noise, random_state=1
         )
-        accuracy = gallery.identify(noisy_scans).accuracy()
-        rows.append([f"{int(100 * noise)} %", 100 * accuracy])
+        response = service.identify(
+            IdentifyRequest(gallery="hospital", scans=noisy_scans)
+        )
+        rows.append([f"{int(100 * noise)} %", 100 * response.accuracy])
+    gallery = service.registry.get("hospital")
     print()
     print(
         f"gallery fitted {gallery.refit_count_} time(s) for "
-        f"{len(rows)} identification queries"
+        f"{len(rows)} identification queries "
+        f"({service.stats().requests} service requests)"
     )
     print()
     print(

@@ -6,19 +6,28 @@ identified dataset (session 1, L-R encoding) and one anonymous dataset
 connectome features with the highest leverage scores in the identified
 dataset and matches subjects across datasets by Pearson correlation.
 
-The service-shaped way to run it is through the gallery subsystem
-(``repro.gallery``): a :class:`~repro.gallery.reference.ReferenceGallery` is
-fitted **once** on the identified cohort (SVD factors, leverage scores, and
-the reduced signature matrix all land in the content-keyed artifact cache)
-and then serves repeated ``identify`` queries without ever re-fitting.
+The recommended way to run it is the serving API (``repro.service``):
+enroll the identified cohort into a named gallery through an
+:class:`~repro.service.IdentificationService` and send typed
+``IdentifyRequest`` messages — sync for one-off queries, async for
+concurrent load (the service micro-batches concurrent requests into one
+stacked match, bit-identical to serial identifies).
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import HCPLikeDataset, ReferenceGallery
-from repro.runtime import ExperimentRunner, ExperimentSpec, get_default_cache
+import asyncio
+
+from repro import (
+    EnrollRequest,
+    HCPLikeDataset,
+    IdentificationService,
+    IdentifyRequest,
+    ServiceConfig,
+)
+from repro.runtime import ExperimentRunner, ExperimentSpec
 
 
 def main() -> None:
@@ -32,24 +41,38 @@ def main() -> None:
     reference_scans = dataset.generate_session("REST", encoding="LR", day=1)
     target_scans = dataset.generate_session("REST", encoding="RL", day=2)
 
-    # Fit once: the expensive part (one SVD of the reference group matrix)
+    # One config object owns every knob (features, SVD backend, sharding,
+    # batching); one service serves every gallery.
+    service = IdentificationService(config=ServiceConfig(n_features=100))
+
+    # Enroll once: the expensive part (one SVD of the reference group matrix)
     # happens here and is memoized under the `svd`/`leverage`/`gallery`
     # artifact kinds.
-    gallery = ReferenceGallery.from_scans(reference_scans, n_features=100)
-    result = gallery.identify(target_scans)
+    enrolled = service.enroll(
+        EnrollRequest(gallery="hcp-rest", scans=reference_scans, create=True)
+    )
+    print(f"enrolled {enrolled.enrolled} subjects into gallery {enrolled.gallery!r}")
+
+    response = service.identify(IdentifyRequest(gallery="hcp-rest", scans=target_scans))
 
     print()
-    print(f"identification accuracy : {100.0 * result.accuracy():.1f} %")
-    print(f"subjects enrolled       : {gallery.n_subjects}")
-    print(f"signature features      : {gallery.n_features}")
+    print(f"identification accuracy : {100.0 * response.accuracy:.1f} %")
+    print(f"subjects enrolled       : {response.n_gallery_subjects}")
+    print(f"probes identified       : {response.n_probes}")
+
+    gallery = service.registry.get("hcp-rest")
     print()
     print("Where does the signature live?  Top region pairs by leverage score:")
     for region_a, region_b in gallery.signature_region_pairs(dataset.n_regions, top=10):
         print(f"  region {region_a:3d} <-> region {region_b:3d}")
 
-    predicted = result.predicted_subject_ids
-    actual = result.target_subject_ids
-    mismatches = [(a, p) for a, p in zip(actual, predicted) if a != p]
+    mismatches = [
+        (actual, predicted)
+        for actual, predicted in zip(
+            response.target_subject_ids, response.predicted_subject_ids
+        )
+        if actual != predicted
+    ]
     print()
     if mismatches:
         print("Subjects the attack got wrong:")
@@ -58,30 +81,44 @@ def main() -> None:
     else:
         print("Every anonymous subject was re-identified correctly.")
 
-    # Identify again: warm-cache reuse, not a re-fit.  The probe group matrix
-    # is a content hit and the fitted gallery is reused as-is — this is the
-    # repeated-query path a production identification service lives on.
-    cache = get_default_cache()
-    gallery.identify(target_scans)
-    group_stats = cache.stats("group_matrix")
+    # Concurrent serving: each subject's anonymous scan arrives as its own
+    # request; awaiting them together lets the service coalesce all of them
+    # into ONE stacked sharded match (bit-identical to serial identifies).
+    async def serve_concurrently():
+        requests = [
+            IdentifyRequest(gallery="hcp-rest", scans=[scan]) for scan in target_scans
+        ]
+        return await asyncio.gather(
+            *(service.identify_async(request) for request in requests)
+        )
+
+    responses = asyncio.run(serve_concurrently())
+    n_correct = sum(
+        r.predicted_subject_ids == r.target_subject_ids for r in responses
+    )
     print()
     print(
-        "Second identify call is served warm: "
-        f"group matrices {group_stats.hits} hits / {group_stats.misses} misses, "
-        f"re-fits so far: {gallery.refit_count_} (fitted once, reused since)."
+        f"Async serving: {len(responses)} concurrent single-probe requests were "
+        f"coalesced into batches of up to {max(r.batch_size for r in responses)}; "
+        f"{n_correct}/{len(responses)} re-identified."
     )
 
-    # The fit itself is content-keyed too: standing up another gallery over
-    # the same cohort (another worker, another restart) skips the SVD — the
-    # leverage scores and the reduced signature matrix are pure cache hits.
-    ReferenceGallery.from_scans(reference_scans, n_features=100)
-    print("A second gallery over the same cohort fits from the cache:")
-    for kind in ("leverage", "gallery"):
-        kind_stats = cache.stats(kind)
-        print(
-            f"  {kind:<9s}: {kind_stats.hits} hits / {kind_stats.misses} misses "
-            f"(hit rate {kind_stats.hit_rate:.0%})"
-        )
+    # Repeat load is served warm: probe signatures and the normalized gallery
+    # are content-keyed cache hits, so nothing is rebuilt or re-fitted.
+    asyncio.run(serve_concurrently())
+    stats = service.stats()
+    probe_stats = stats.cache_kinds.get("probe", {})
+    print()
+    print(
+        "Second round is served warm: probe-signature cache "
+        f"{probe_stats.get('hits', 0):.0f} hits / "
+        f"{probe_stats.get('misses', 0):.0f} misses; "
+        f"gallery re-fits so far: {gallery.refit_count_} (fitted once, reused since)."
+    )
+    print(
+        f"Serving totals: {stats.requests} requests over {stats.batches} stacked "
+        f"matches (mean batch {stats.mean_batch_size:.1f})."
+    )
 
     # Batched execution: one spec per workload, deterministic seeds, shared
     # cache, optional thread pool (max_workers>1).

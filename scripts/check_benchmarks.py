@@ -22,6 +22,7 @@ from pathlib import Path
 REQUIRED_BENCHMARKS = {
     "bench_runtime_batching",
     "bench_gallery_matching",
+    "bench_service_batching",
 }
 
 

@@ -39,6 +39,16 @@ from repro.embedding import PCA, TSNE
 from repro.gallery import ReferenceGallery, match_against_gallery
 from repro.linalg import PrincipalFeaturesSubspace, RowSampler, leverage_scores
 from repro.ml import KNeighborsClassifier, LinearSVR
+from repro.service import (
+    EnrollRequest,
+    EnrollResponse,
+    GalleryRegistry,
+    IdentificationService,
+    IdentifyRequest,
+    IdentifyResponse,
+    ServiceConfig,
+    ServiceStats,
+)
 
 __version__ = "1.0.0"
 
@@ -65,6 +75,15 @@ __all__ = [
     # gallery
     "ReferenceGallery",
     "match_against_gallery",
+    # service
+    "IdentificationService",
+    "GalleryRegistry",
+    "ServiceConfig",
+    "IdentifyRequest",
+    "IdentifyResponse",
+    "EnrollRequest",
+    "EnrollResponse",
+    "ServiceStats",
     # algorithms
     "TSNE",
     "PCA",

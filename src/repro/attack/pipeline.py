@@ -15,6 +15,7 @@ reduced signature matrix.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
@@ -30,6 +31,7 @@ from repro.utils.rng import RandomStateLike
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.gallery.reference import ReferenceGallery
+    from repro.service.config import ServiceConfig
 
 
 @dataclass
@@ -80,8 +82,15 @@ class AttackPipeline:
     random_state:
         Seed forwarded to the attack (randomized selection / randomized SVD).
     shard_size:
-        Optional gallery shard width for the matching step (``None`` = one
-        block; results are bit-identical either way).
+        Deprecated here — sharding is a serving knob owned by
+        :class:`~repro.service.config.ServiceConfig`; pass ``config``
+        instead (results are bit-identical either way).
+    config:
+        A :class:`~repro.service.config.ServiceConfig` supplying every fit
+        and matching knob at once; individual kwargs above are ignored when
+        it is given.  This is the recommended construction path — the same
+        config object can drive an
+        :class:`~repro.service.service.IdentificationService` deployment.
     """
 
     n_features: int = 100
@@ -90,8 +99,27 @@ class AttackPipeline:
     method: str = "exact"
     random_state: RandomStateLike = None
     shard_size: Optional[int] = None
+    config: Optional["ServiceConfig"] = field(default=None, repr=False)
     attack_: Optional[LeverageScoreAttack] = field(default=None, repr=False)
     gallery_: Optional["ReferenceGallery"] = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if self.config is not None:
+            self.n_features = self.config.n_features
+            self.rank = self.config.rank
+            self.fisher = self.config.fisher
+            self.method = self.config.method
+            self.random_state = self.config.random_state
+            self.shard_size = self.config.shard_size
+        elif self.shard_size is not None:
+            warnings.warn(
+                "passing shard_size= directly to AttackPipeline is deprecated; "
+                "shard/cache/worker knobs are owned by the serving layer — use "
+                "AttackPipeline(config=repro.service.ServiceConfig(shard_size=...)) "
+                "or serve through repro.service.IdentificationService",
+                DeprecationWarning,
+                stacklevel=3,
+            )
 
     # ------------------------------------------------------------------ #
     # Building blocks

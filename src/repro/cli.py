@@ -15,19 +15,27 @@ Installed as the ``repro-attack`` console script (also runnable as
     Run the core de-anonymization attack on a freshly generated cohort and
     print the identification report with its timing breakdown.
 ``gallery build|enroll|identify|info``
-    Operate a persistent identification gallery: fit it once from a
+    Operate a persistent identification gallery through the service-layer
+    :class:`~repro.service.registry.GalleryRegistry`: fit it once from a
     reference session and save it to disk, append subjects incrementally,
     serve repeated identify queries against it (warm-cache, optionally
-    sharded), and inspect its state.
+    sharded), and inspect its state (including the disk cache tier).
+``serve``
+    Batch-identify through the :class:`~repro.service.IdentificationService`
+    async API: concurrent identify requests against a saved gallery are
+    micro-batched into stacked sharded matches (bit-identical to serial
+    identifies), and the serving statistics are printed.
 ``runtime-info``
-    Print cache statistics, worker configuration, and the detected BLAS
-    threading setup.
+    Print cache statistics (including the disk tier), worker configuration,
+    and the detected BLAS threading setup.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 from typing import Dict, Optional, Sequence
 
 from repro.experiments import (
@@ -146,6 +154,28 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     info_parser_gallery.add_argument("--dir", required=True)
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="micro-batch concurrent identify requests against a saved gallery",
+    )
+    serve_parser.add_argument("--dir", required=True, help="saved gallery directory")
+    serve_parser.add_argument(
+        "--requests", type=_positive_int, default=8,
+        help="how many concurrent identify requests to serve",
+    )
+    serve_parser.add_argument(
+        "--rounds", type=_positive_int, default=2,
+        help="serve the same request load N times (round 2+ shows warm serving)",
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=_positive_int, default=64,
+        help="most requests coalesced into one stacked match",
+    )
+    serve_parser.add_argument(
+        "--window", type=float, default=0.0,
+        help="micro-batch window in seconds (0 = coalesce per event-loop tick)",
+    )
+
     info_parser = subparsers.add_parser(
         "runtime-info",
         help="print cache statistics, worker configuration, and BLAS threading",
@@ -257,7 +287,7 @@ def _command_runtime_info(args) -> int:
 
 
 # --------------------------------------------------------------------------- #
-# Gallery subcommands
+# Gallery / serve subcommands (routed through the service layer)
 # --------------------------------------------------------------------------- #
 def _gallery_dataset(recipe: Dict):
     """Recreate the synthetic cohort a gallery was built from."""
@@ -271,8 +301,32 @@ def _gallery_dataset(recipe: Dict):
     )
 
 
+def _registry_for(directory, config=None):
+    """A :class:`~repro.service.GalleryRegistry` rooted next to ``directory``.
+
+    The CLI addresses galleries by directory; the registry addresses them by
+    name under a root — so ``--dir a/b/gal`` maps to root ``a/b`` and name
+    ``gal``.
+    """
+    from repro.service import GalleryRegistry
+
+    directory = Path(directory)
+    root = directory.parent if str(directory.parent) else Path(".")
+    return GalleryRegistry(root=root, config=config), directory.name
+
+
+def _print_cache_kinds(cache, kinds) -> None:
+    """Per-kind cache counters (memory + disk tiers) for operator output."""
+    for kind in kinds:
+        stats = cache.stats(kind)
+        print(
+            f"  - {kind:<13s}: hits={stats.hits} misses={stats.misses} "
+            f"disk_hits={stats.disk_hits} hit_rate={stats.hit_rate:.2f}"
+        )
+
+
 def _command_gallery_build(args) -> int:
-    from repro.gallery.reference import ReferenceGallery
+    from repro.service import ServiceConfig
 
     recipe = {
         "n_subjects": args.subjects,
@@ -284,16 +338,16 @@ def _command_gallery_build(args) -> int:
     dataset = _gallery_dataset(recipe)
     scans = dataset.generate_session(args.task, encoding="LR", day=1)
     n_features = min(args.features, dataset.n_regions * (dataset.n_regions - 1) // 2)
-    gallery = ReferenceGallery.from_scans(
-        scans,
+    config = ServiceConfig(
         n_features=n_features,
         rank=args.rank,
         method=args.method,
         random_state=args.seed,
         shard_size=args.shard_size,
-        metadata={"dataset": recipe},
     )
-    gallery.save(args.dir)
+    registry, name = _registry_for(args.dir, config=config)
+    gallery = registry.build(name, scans, metadata={"dataset": recipe})
+    registry.persist(name)
     print(
         f"built gallery: {gallery.n_subjects} subjects, "
         f"{gallery.n_features}/{gallery.reference.n_features} features "
@@ -304,9 +358,8 @@ def _command_gallery_build(args) -> int:
 
 
 def _command_gallery_enroll(args) -> int:
-    from repro.gallery.reference import ReferenceGallery
-
-    gallery = ReferenceGallery.load(args.dir)
+    registry, name = _registry_for(args.dir)
+    gallery = registry.get(name)
     recipe = dict(gallery.metadata.get("dataset") or {})
     if not recipe:
         print("gallery carries no dataset recipe; cannot synthesize new subjects",
@@ -315,9 +368,9 @@ def _command_gallery_enroll(args) -> int:
     recipe["n_subjects"] = int(recipe["n_subjects"]) + args.extra_subjects
     dataset = _gallery_dataset(recipe)
     scans = dataset.generate_session(recipe["task"], encoding="LR", day=1)
-    added = gallery.enroll(scans)
+    added = registry.enroll(name, scans)
     gallery.metadata["dataset"] = recipe
-    gallery.save(args.dir)
+    registry.persist(name)
     print(
         f"enrolled {added} new subject(s); gallery now holds "
         f"{gallery.n_subjects} subjects (refits: {gallery.refit_count_})"
@@ -326,9 +379,11 @@ def _command_gallery_enroll(args) -> int:
 
 
 def _command_gallery_identify(args) -> int:
-    from repro.gallery.reference import ReferenceGallery
+    from repro.service import IdentificationService, IdentifyRequest
 
-    gallery = ReferenceGallery.load(args.dir)
+    registry, name = _registry_for(args.dir)
+    service = IdentificationService(registry=registry)
+    gallery = registry.get(name)
     recipe = gallery.metadata.get("dataset")
     if not recipe:
         print("gallery carries no dataset recipe; cannot synthesize probes",
@@ -336,30 +391,37 @@ def _command_gallery_identify(args) -> int:
         return 1
     dataset = _gallery_dataset(recipe)
     probes = dataset.generate_session(recipe["task"], encoding="RL", day=2)
-    result = None
+    response = None
     for _ in range(args.repeat):
-        result = gallery.identify(probes)
-    accuracy = result.accuracy()
-    margins = result.margin()
+        response = service.identify(IdentifyRequest(gallery=name, scans=probes))
+    if not response.ok:
+        print(f"identify failed: {response.error}", file=sys.stderr)
+        return 1
     print(
-        f"identified {len(result.target_subject_ids)} probes against "
-        f"{gallery.n_subjects} enrolled subjects"
+        f"identified {response.n_probes} probes against "
+        f"{response.n_gallery_subjects} enrolled subjects"
     )
-    print(f"identification accuracy : {100.0 * accuracy:.1f} %")
-    print(f"mean confidence margin  : {float(margins.mean()):.3f}")
-    stats = gallery.cache.stats("group_matrix")
+    print(f"identification accuracy : {100.0 * response.accuracy:.1f} %")
+    margins = response.margins
+    print(f"mean confidence margin  : {sum(margins) / len(margins):.3f}")
+    stats = service.cache.stats("group_matrix")
+    probe_stats = service.cache.stats("probe")
     print(
         f"group-matrix cache      : {stats.hits} hits / {stats.misses} misses "
         f"over {args.repeat} identify call(s)"
+    )
+    print(
+        f"probe-signature cache   : {probe_stats.hits} hits / "
+        f"{probe_stats.misses} misses"
     )
     return 0
 
 
 def _command_gallery_info(args) -> int:
-    from repro.gallery.reference import ReferenceGallery
-
-    gallery = ReferenceGallery.load(args.dir)
+    registry, name = _registry_for(args.dir)
+    gallery = registry.get(name)
     info = gallery.info()
+    cache_dir = gallery.cache.cache_dir
     print(f"subjects enrolled   : {info['n_subjects']}")
     print(
         "signature features  : "
@@ -368,13 +430,78 @@ def _command_gallery_info(args) -> int:
     print(f"svd backend         : {info['method']} (rank={info['rank']})")
     print(f"shard size          : {info['shard_size'] or '(single block)'}")
     print(f"fingerprint         : {info['fingerprint']}")
-    for kind in ("gallery", "leverage", "svd", "group_matrix"):
-        stats = info["cache"][kind]
-        print(
-            f"  - {kind:<13s}: hits={stats['hits']} misses={stats['misses']} "
-            f"hit_rate={stats['hit_rate']:.2f}"
-        )
+    print(f"disk cache tier     : {cache_dir if cache_dir is not None else '(memory only)'}")
+    _print_cache_kinds(
+        gallery.cache,
+        ("gallery", "gallery_norm", "leverage", "svd", "group_matrix", "probe"),
+    )
     return 0
+
+
+def _command_serve(args) -> int:
+    from repro.exceptions import ReproError
+
+    try:
+        return _serve(args)
+    except ReproError as exc:
+        print(f"serve failed: {exc}", file=sys.stderr)
+        return 1
+
+
+def _serve(args) -> int:
+    import asyncio
+
+    from repro.service import IdentificationService, IdentifyRequest, ServiceConfig
+
+    config = ServiceConfig(max_batch_size=args.max_batch, batch_window_s=args.window)
+    registry, name = _registry_for(args.dir, config=config)
+    service = IdentificationService(registry=registry, config=config)
+    gallery = registry.get(name)
+    recipe = gallery.metadata.get("dataset")
+    if not recipe:
+        print("gallery carries no dataset recipe; cannot synthesize probes",
+              file=sys.stderr)
+        return 1
+    dataset = _gallery_dataset(recipe)
+    probes = dataset.generate_session(recipe["task"], encoding="RL", day=2)
+    n_requests = min(args.requests, len(probes))
+    groups = [probes[i::n_requests] for i in range(n_requests)]
+
+    async def serve_round():
+        requests = [IdentifyRequest(gallery=name, scans=group) for group in groups]
+        return await asyncio.gather(
+            *(service.identify_async(request) for request in requests)
+        )
+
+    responses = []
+    for round_index in range(args.rounds):
+        start = time.perf_counter()
+        responses = asyncio.run(serve_round())
+        elapsed = time.perf_counter() - start
+        label = "cold" if round_index == 0 else "warm"
+        print(
+            f"round {round_index + 1} ({label}): served {len(responses)} "
+            f"concurrent requests in {1e3 * elapsed:.1f} ms "
+            f"(max coalesced batch: {max(r.batch_size for r in responses)})"
+        )
+    failed = [response for response in responses if not response.ok]
+    for response in failed:
+        print(f"{response.request_id} failed: {response.error}", file=sys.stderr)
+    n_correct = sum(
+        predicted == actual
+        for response in responses
+        if response.ok
+        for predicted, actual in zip(
+            response.predicted_subject_ids, response.target_subject_ids
+        )
+    )
+    n_probes = sum(response.n_probes for response in responses if response.ok)
+    if n_probes:
+        print(f"identification accuracy : {100.0 * n_correct / n_probes:.1f} %")
+    print()
+    for line in service.stats().summary_lines():
+        print(line)
+    return 1 if failed else 0
 
 
 def _command_gallery(args) -> int:
@@ -408,6 +535,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_demo(args)
     if args.command == "gallery":
         return _command_gallery(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "runtime-info":
         return _command_runtime_info(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -24,6 +24,7 @@ from repro.gallery.factors import (
 )
 from repro.gallery.matching import (
     match_against_gallery,
+    match_normalized,
     normalize_columns,
     shard_similarity,
     shard_slices,
@@ -39,6 +40,7 @@ __all__ = [
     "leverage_cache_key",
     # matching
     "match_against_gallery",
+    "match_normalized",
     "normalize_columns",
     "shard_similarity",
     "shard_slices",

@@ -149,22 +149,14 @@ def match_against_gallery(
     )
     ref_normalized, ref_degenerate = normalize_columns(ref)
     probe_normalized, probe_degenerate = normalize_columns(prb)
-    slices = shard_slices(ref.shape[1], shard_size)
-    if runner is not None and len(slices) > 1:
-        blocks = _pooled_shard_blocks(
-            ref_normalized, probe_normalized, ref_degenerate, probe_degenerate, slices, runner
-        )
-    else:
-        blocks = [
-            similarity_kernel(
-                ref_normalized[:, start:stop],
-                probe_normalized,
-                ref_degenerate[start:stop],
-                probe_degenerate,
-            )
-            for start, stop in slices
-        ]
-    similarity = blocks[0] if len(blocks) == 1 else np.vstack(blocks)
+    similarity = match_normalized(
+        ref_normalized,
+        probe_normalized,
+        ref_degenerate,
+        probe_degenerate,
+        shard_size=shard_size,
+        runner=runner,
+    )
     predictions = np.argmax(similarity, axis=0)
     return MatchResult(
         similarity=similarity,
@@ -172,6 +164,47 @@ def match_against_gallery(
         reference_subject_ids=list(reference_subject_ids),
         target_subject_ids=list(target_subject_ids),
     )
+
+
+def match_normalized(
+    reference_normalized: np.ndarray,
+    probe_normalized: np.ndarray,
+    reference_degenerate: np.ndarray,
+    probe_degenerate: np.ndarray,
+    shard_size: Optional[int] = None,
+    runner=None,
+) -> np.ndarray:
+    """Sharded similarity of pre-normalized columns (the shard-invariant core).
+
+    This is the seam shared by :func:`match_against_gallery` and the serving
+    layer's micro-batched identification
+    (:class:`repro.service.IdentificationService` stacks the pre-normalized
+    probes of many concurrent requests and runs them through one call):
+    because the inputs are already normalized and the kernel is the
+    fixed-order contraction, the output is bit-for-bit identical however the
+    probe columns are batched or the gallery columns are sharded.
+    """
+    slices = shard_slices(reference_normalized.shape[1], shard_size)
+    if runner is not None and len(slices) > 1:
+        blocks = _pooled_shard_blocks(
+            reference_normalized,
+            probe_normalized,
+            reference_degenerate,
+            probe_degenerate,
+            slices,
+            runner,
+        )
+    else:
+        blocks = [
+            similarity_kernel(
+                reference_normalized[:, start:stop],
+                probe_normalized,
+                reference_degenerate[start:stop],
+                probe_degenerate,
+            )
+            for start, stop in slices
+        ]
+    return blocks[0] if len(blocks) == 1 else np.vstack(blocks)
 
 
 def _pooled_shard_blocks(

@@ -23,6 +23,7 @@ service's core object:
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
@@ -127,6 +128,16 @@ class ReferenceGallery:
         self.random_state = random_state
         self.shard_size = shard_size
         self.cache = cache if cache is not None else get_default_cache()
+        if runner is not None:
+            warnings.warn(
+                "passing runner= to ReferenceGallery is deprecated; worker-pool "
+                "wiring is owned by the serving layer — use "
+                "repro.service.ServiceConfig(max_workers=...) with a "
+                "GalleryRegistry/IdentificationService (or assign "
+                "gallery.runner after construction)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.runner = runner
         self.metadata: Dict[str, Any] = dict(metadata) if metadata else {}
         self.reference = reference
@@ -134,6 +145,7 @@ class ReferenceGallery:
         self.selector_: Optional[PrincipalFeaturesSubspace] = None
         self.signatures_: Optional[np.ndarray] = None
         self._leverage_key: Optional[str] = None
+        self._fingerprint: Optional[str] = None
         self._fit()
 
     # ------------------------------------------------------------------ #
@@ -209,6 +221,7 @@ class ReferenceGallery:
             self.cache, data, rank=self.rank, method=self.method,
             random_state=self.random_state,
         )
+        self._fingerprint = self._gallery_key(data)
         self.refit_count_ += 1
 
     @property
@@ -304,6 +317,7 @@ class ReferenceGallery:
             sessions=self._merged_labels(self.reference.sessions, addition.sessions),
         )
         self.reference = merged
+        self._fingerprint = None
         new_key = leverage_cache_key(
             self.cache, merged.data, rank=self.rank, method=self.method,
             random_state=self.random_state,
@@ -362,8 +376,17 @@ class ReferenceGallery:
     # ------------------------------------------------------------------ #
     @property
     def fingerprint(self) -> str:
-        """Content hash of the fitted gallery (reference data + fit params)."""
-        return self._gallery_key(self.reference.data)
+        """Content hash of the fitted gallery (reference data + fit params).
+
+        Memoized at fit/load time: serving paths key per-request artifacts
+        on the fingerprint, and re-hashing megabytes of reference data per
+        request would dominate a warm identify.  Every mutation of the
+        fitted state (``_fit``, including enroll-driven refits) refreshes
+        the memo.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = self._gallery_key(self.reference.data)
+        return self._fingerprint
 
     def _integrity_digest(
         self,
@@ -484,6 +507,7 @@ class ReferenceGallery:
         gallery.selector_ = selector
         gallery.signatures_ = signatures
         gallery.refit_count_ = 0
+        gallery._fingerprint = None
 
         integrity = gallery._integrity_digest(
             reference_data, signatures, selected_indices, leverage_scores_arr
@@ -493,7 +517,7 @@ class ReferenceGallery:
                 "saved gallery failed its integrity check "
                 "(the archive was modified or saved by incompatible parameters)"
             )
-        fingerprint = gallery._gallery_key(gallery.reference.data)
+        fingerprint = gallery.fingerprint
         # Prime the cache so post-load enrollment and sibling galleries start
         # warm instead of refactorizing.  Uncacheable fits (randomized SVD
         # without an integer seed) must not be primed: their keys cannot

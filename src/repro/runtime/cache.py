@@ -19,10 +19,11 @@ import json
 import os
 import tempfile
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -33,7 +34,16 @@ PathLike = Union[str, Path]
 # Artifact-kind ownership: ``group_matrix`` belongs to the batch layer;
 # ``svd``, ``leverage``, ``gallery``, and ``gallery-archive`` belong to the
 # gallery subsystem (cached SVD factors, leverage-score vectors, reduced
-# signature matrices, and saved-archive integrity digests respectively).
+# signature matrices, and saved-archive integrity digests respectively);
+# ``probe`` and ``gallery_norm`` belong to the serving layer (reduced
+# normalized probe signatures and normalized gallery signatures).
+
+#: Default LRU bounds.  The byte budget is the real memory guard; the item
+#: bound exists so metadata-sized artifacts cannot grow the table without
+#: limit.  It is sized for serving workloads (two small ``probe`` entries per
+#: distinct request), which a 64-item table would thrash straight through.
+DEFAULT_MAX_MEMORY_ITEMS = 1024
+DEFAULT_MAX_MEMORY_BYTES = 512 * 1024 * 1024
 
 
 def default_cache_dir() -> Path:
@@ -130,8 +140,8 @@ class ArtifactCache:
     def __init__(
         self,
         cache_dir: Optional[PathLike] = None,
-        max_memory_items: int = 64,
-        max_memory_bytes: int = 512 * 1024 * 1024,
+        max_memory_items: int = DEFAULT_MAX_MEMORY_ITEMS,
+        max_memory_bytes: int = DEFAULT_MAX_MEMORY_BYTES,
     ):
         if max_memory_items < 1:
             raise ValidationError(
@@ -350,6 +360,47 @@ def _hash_part(digest: "hashlib._Hash", part: Any) -> None:
             rendered = repr(part)
         digest.update(b"\x00json")
         digest.update(rendered.encode("utf-8"))
+
+
+#: Identity-memoized array digests: ``id(array) -> (weakref, hex digest)``.
+#: Entries are only created for arrays that own their memory and have been
+#: frozen (``writeable=False``), so a memoized digest can never go stale.
+_digest_memo: Dict[int, Tuple["weakref.ref", str]] = {}
+_digest_lock = threading.Lock()
+
+
+def frozen_array_digest(array: np.ndarray) -> str:
+    """Content digest of an array, memoized by freezing the array.
+
+    Request-serving paths key probe artifacts on scan content; re-hashing
+    ~100 KB of time series on every repeat request would dominate a warm
+    identify.  The first call hashes the raw bytes and — when the array owns
+    its memory — marks it read-only, so the digest can afterwards be reused
+    by object identity: a later in-place write raises instead of silently
+    invalidating the memo.  Views and non-owning arrays are hashed on every
+    call (their base could still be mutated through another reference).
+    """
+    arr = np.asarray(array)
+    entry_key = id(arr)
+    with _digest_lock:
+        entry = _digest_memo.get(entry_key)
+        if entry is not None and entry[0]() is arr:
+            return entry[1]
+    digest = hashlib.sha256()
+    _hash_part(digest, arr)
+    value = digest.hexdigest()
+    if arr.base is None:
+        arr.setflags(write=False)
+
+        def _drop(ref, entry_key=entry_key):
+            with _digest_lock:
+                current = _digest_memo.get(entry_key)
+                if current is not None and current[0] is ref:
+                    del _digest_memo[entry_key]
+
+        with _digest_lock:
+            _digest_memo[entry_key] = (weakref.ref(arr, _drop), value)
+    return value
 
 
 #: Process-wide default cache used by the batched group-matrix builders.

@@ -113,18 +113,19 @@ def format_runtime_info(info: Dict[str, Any]) -> str:
     total = cache["total"]
     lines.append(
         "cache               : "
-        f"{cache['memory_items']}/{cache['max_memory_items']} items in memory, "
-        f"dir={cache['cache_dir'] or '(memory only)'}"
+        f"{cache['memory_items']}/{cache['max_memory_items']} items in memory"
     )
+    lines.append(f"disk cache tier     : {cache['cache_dir'] or '(memory only)'}")
     lines.append(
         "cache stats         : "
         f"hits={total['hits']} misses={total['misses']} puts={total['puts']} "
-        f"evictions={total['evictions']} hit_rate={total['hit_rate']:.2f}"
+        f"evictions={total['evictions']} disk_hits={total['disk_hits']} "
+        f"hit_rate={total['hit_rate']:.2f}"
     )
     for kind, stats in cache["by_kind"].items():
         lines.append(
             f"  - {kind:<17s}: hits={stats['hits']} misses={stats['misses']} "
-            f"hit_rate={stats['hit_rate']:.2f}"
+            f"disk_hits={stats['disk_hits']} hit_rate={stats['hit_rate']:.2f}"
         )
     blas = info["blas"]
     lines.append(f"blas detection      : {blas['source']}")

@@ -1,0 +1,43 @@
+"""Serving layer: the typed public API of the identification system.
+
+This package is the recommended entrypoint for consuming the attack as a
+service (datasets → gallery → service):
+
+``messages``
+    Typed request/response dataclasses (:class:`IdentifyRequest`,
+    :class:`IdentifyResponse`, :class:`EnrollRequest`,
+    :class:`EnrollResponse`, :class:`ServiceStats`) with JSON round-trip.
+``config``
+    :class:`ServiceConfig` — every cache/shard/worker/batching knob of a
+    deployment in one validated, serializable object.
+``registry``
+    :class:`GalleryRegistry` — named, persistable
+    :class:`~repro.gallery.reference.ReferenceGallery` instances sharing one
+    artifact cache and runner pool.
+``service``
+    :class:`IdentificationService` — sync and ``asyncio`` identification,
+    with the async path micro-batching concurrent requests into one stacked
+    sharded match (bit-identical to serial identifies).
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.messages import (
+    EnrollRequest,
+    EnrollResponse,
+    IdentifyRequest,
+    IdentifyResponse,
+    ServiceStats,
+)
+from repro.service.registry import GalleryRegistry
+from repro.service.service import IdentificationService
+
+__all__ = [
+    "ServiceConfig",
+    "EnrollRequest",
+    "EnrollResponse",
+    "IdentifyRequest",
+    "IdentifyResponse",
+    "ServiceStats",
+    "GalleryRegistry",
+    "IdentificationService",
+]

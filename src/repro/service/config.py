@@ -1,0 +1,184 @@
+"""One configuration object for the whole serving stack.
+
+Before the service layer, the knobs steering an identification deployment
+were scattered across three constructors: fit parameters on
+:class:`~repro.attack.pipeline.AttackPipeline`, shard/cache settings on
+:class:`~repro.gallery.reference.ReferenceGallery`, and worker-pool settings
+on :class:`~repro.runtime.runner.ExperimentRunner`.  :class:`ServiceConfig`
+owns all of them in one typed, JSON-round-trippable place and knows how to
+build the cache, the runner, and gallery constructor kwargs from itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.cache import (
+    DEFAULT_MAX_MEMORY_BYTES as _DEFAULT_MAX_MEMORY_BYTES,
+    DEFAULT_MAX_MEMORY_ITEMS as _DEFAULT_MAX_MEMORY_ITEMS,
+    ArtifactCache,
+    get_default_cache,
+)
+from repro.runtime.runner import ExperimentRunner
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of an identification-service deployment.
+
+    Parameters
+    ----------
+    n_features / rank / fisher / method / random_state:
+        Gallery fit parameters (see
+        :class:`~repro.gallery.reference.ReferenceGallery`).  ``random_state``
+        is restricted to ``None`` or an integer so the config can round-trip
+        through JSON (generator objects also defeat artifact caching).
+    shard_size:
+        Gallery columns per matching shard (``None`` = single block; results
+        are bit-identical either way).
+    max_workers / executor:
+        Worker pool computing matching shards; ``max_workers=1`` keeps
+        everything inline and pool-free.
+    cache_dir / max_memory_items / max_memory_bytes:
+        Artifact-cache tier settings.  With every cache field at its default
+        the service shares the process-wide cache; any override builds a
+        dedicated :class:`~repro.runtime.cache.ArtifactCache`.
+    max_batch_size:
+        Most concurrent identify requests merged into one stacked match.
+    batch_window_s:
+        How long the async micro-batcher waits for more concurrent requests
+        before flushing; ``0.0`` flushes on the next event-loop tick, which
+        already coalesces everything submitted concurrently (e.g. via
+        ``asyncio.gather``).
+    """
+
+    n_features: int = 100
+    rank: Optional[int] = None
+    fisher: bool = False
+    method: str = "exact"
+    random_state: Optional[int] = None
+    shard_size: Optional[int] = None
+    max_workers: int = 1
+    executor: str = "thread"
+    cache_dir: Optional[str] = None
+    max_memory_items: int = _DEFAULT_MAX_MEMORY_ITEMS
+    max_memory_bytes: int = _DEFAULT_MAX_MEMORY_BYTES
+    max_batch_size: int = 64
+    batch_window_s: float = 0.0
+
+    def __post_init__(self):
+        if self.n_features < 1:
+            raise ConfigurationError(f"n_features must be >= 1, got {self.n_features}")
+        if self.rank is not None and int(self.rank) < 1:
+            raise ConfigurationError(f"rank must be >= 1 or None, got {self.rank}")
+        if self.method not in ("exact", "randomized"):
+            raise ConfigurationError(
+                f"method must be 'exact' or 'randomized', got {self.method!r}"
+            )
+        if self.random_state is not None and not isinstance(self.random_state, int):
+            raise ConfigurationError(
+                "random_state must be None or an integer (generator objects do "
+                "not JSON-round-trip and defeat artifact caching); got "
+                f"{type(self.random_state).__name__}"
+            )
+        if self.shard_size is not None and int(self.shard_size) < 1:
+            raise ConfigurationError(
+                f"shard_size must be >= 1 or None, got {self.shard_size}"
+            )
+        if self.max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.executor not in ("thread", "process"):
+            raise ConfigurationError(
+                f"executor must be 'thread' or 'process', got {self.executor!r}"
+            )
+        if self.max_batch_size < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.batch_window_s < 0:
+            raise ConfigurationError(
+                f"batch_window_s must be >= 0, got {self.batch_window_s}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Builders
+    # ------------------------------------------------------------------ #
+    @property
+    def uses_default_cache(self) -> bool:
+        """Whether this config shares the process-wide artifact cache."""
+        return (
+            self.cache_dir is None
+            and self.max_memory_items == _DEFAULT_MAX_MEMORY_ITEMS
+            and self.max_memory_bytes == _DEFAULT_MAX_MEMORY_BYTES
+        )
+
+    def build_cache(self) -> ArtifactCache:
+        """The artifact cache this deployment should run on.
+
+        All-default cache settings share the process-wide cache (so the
+        service stays warm with pipelines and datasets in the same process);
+        any override builds a dedicated cache.
+        """
+        if self.uses_default_cache:
+            return get_default_cache()
+        return ArtifactCache(
+            cache_dir=self.cache_dir,
+            max_memory_items=self.max_memory_items,
+            max_memory_bytes=self.max_memory_bytes,
+        )
+
+    def build_runner(self, cache: Optional[ArtifactCache] = None) -> Optional[ExperimentRunner]:
+        """The shard-matching worker pool, or ``None`` for inline matching."""
+        if self.max_workers == 1:
+            return None
+        return ExperimentRunner(
+            cache=cache,
+            max_workers=self.max_workers,
+            executor=self.executor,
+        )
+
+    def gallery_kwargs(self) -> Dict[str, Any]:
+        """Constructor kwargs for a :class:`~repro.gallery.reference.ReferenceGallery`."""
+        return {
+            "n_features": self.n_features,
+            "rank": self.rank,
+            "fisher": self.fisher,
+            "method": self.method,
+            "random_state": self.random_state,
+            "shard_size": self.shard_size,
+        }
+
+    def replace(self, **overrides: Any) -> "ServiceConfig":
+        """A copy of this config with the given fields replaced (re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view of every knob."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ServiceConfig":
+        """Rebuild (and re-validate) a config from its :meth:`to_dict` payload."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ServiceConfig field(s): {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """Serialize to one JSON document."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, document: str) -> "ServiceConfig":
+        """Rebuild a config from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(document))

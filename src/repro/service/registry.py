@@ -1,0 +1,236 @@
+"""Named gallery management for the identification service.
+
+A deployment typically serves more than one reference cohort — one gallery
+per site, study, or consent tier.  :class:`GalleryRegistry` owns that set:
+named :class:`~repro.gallery.reference.ReferenceGallery` instances that can
+be built from scans, enrolled into, evicted from memory, persisted to a root
+directory (via the gallery's own ``save``/``load``), and lazily reloaded on
+first use after a restart.  All galleries share the registry's artifact
+cache and (optional) shard-matching runner pool.
+"""
+
+from __future__ import annotations
+
+import shutil
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.datasets.base import ScanRecord
+from repro.exceptions import ValidationError
+from repro.gallery.reference import ReferenceGallery
+from repro.runtime.cache import ArtifactCache
+from repro.service.config import ServiceConfig
+
+PathLike = Union[str, Path]
+
+#: Metadata file marking a directory as a persisted gallery.
+_GALLERY_META_FILE = "gallery.json"
+
+
+def _check_name(name: Any) -> str:
+    """Reject names that are empty or would escape the registry root."""
+    if not isinstance(name, str) or not name:
+        raise ValidationError("gallery name must be a non-empty string")
+    if name in (".", "..") or "/" in name or "\\" in name:
+        raise ValidationError(
+            f"gallery name {name!r} must not contain path separators"
+        )
+    return name
+
+
+class GalleryRegistry:
+    """A named, persistable collection of reference galleries.
+
+    Parameters
+    ----------
+    root:
+        Optional directory holding one subdirectory per persisted gallery.
+        Without it the registry is memory-only (``persist`` then needs an
+        explicit directory).
+    config:
+        :class:`~repro.service.config.ServiceConfig` providing the fit
+        parameters for :meth:`build` and the cache/runner wiring.
+    cache / runner:
+        Explicit overrides for the artifact cache and the shard-matching
+        worker pool; default to what ``config`` builds.
+    """
+
+    def __init__(
+        self,
+        root: Optional[PathLike] = None,
+        config: Optional[ServiceConfig] = None,
+        cache: Optional[ArtifactCache] = None,
+        runner=None,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        self.cache = cache if cache is not None else self.config.build_cache()
+        self.runner = runner if runner is not None else self.config.build_runner(self.cache)
+        self.root = Path(root) if root is not None else None
+        self._galleries: Dict[str, ReferenceGallery] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+    def names(self) -> List[str]:
+        """Sorted names of every known gallery (in memory or on disk)."""
+        with self._lock:
+            known = set(self._galleries)
+        if self.root is not None and self.root.exists():
+            for path in self.root.iterdir():
+                if path.is_dir() and (path / _GALLERY_META_FILE).exists():
+                    known.add(path.name)
+        return sorted(known)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            if name in self._galleries:
+                return True
+        return self._directory_for(name) is not None
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    def _directory_for(self, name: str) -> Optional[Path]:
+        """The persisted directory of ``name``, or ``None`` if not on disk."""
+        if self.root is None:
+            return None
+        directory = self.root / name
+        if (directory / _GALLERY_META_FILE).exists():
+            return directory
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Construction / registration
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, gallery: ReferenceGallery) -> ReferenceGallery:
+        """Adopt an already-fitted gallery under ``name``.
+
+        The registry's runner pool is attached when the gallery has none, so
+        service-side sharded matching works without re-wiring the gallery.
+        """
+        name = _check_name(name)
+        if gallery.runner is None:
+            gallery.runner = self.runner
+        with self._lock:
+            self._galleries[name] = gallery
+        return gallery
+
+    def build(
+        self,
+        name: str,
+        scans: Sequence[ScanRecord],
+        metadata: Optional[Dict[str, Any]] = None,
+        **overrides: Any,
+    ) -> ReferenceGallery:
+        """Fit a new gallery from reference scans under the registry's config.
+
+        ``overrides`` replace individual
+        :meth:`~repro.service.config.ServiceConfig.gallery_kwargs` entries
+        (e.g. ``n_features=50``).
+        """
+        name = _check_name(name)
+        if name in self:
+            raise ValidationError(
+                f"gallery {name!r} already exists; use enroll() to grow it "
+                "or evict() it first"
+            )
+        kwargs = self.config.gallery_kwargs()
+        kwargs.update(overrides)
+        gallery = ReferenceGallery.from_scans(
+            scans, cache=self.cache, metadata=metadata, **kwargs
+        )
+        return self.register(name, gallery)
+
+    def get(self, name: str) -> ReferenceGallery:
+        """The named gallery, lazily loaded from the root directory if needed."""
+        name = _check_name(name)
+        with self._lock:
+            gallery = self._galleries.get(name)
+            if gallery is not None:
+                return gallery
+        directory = self._directory_for(name)
+        if directory is None:
+            raise ValidationError(
+                f"unknown gallery {name!r}: no saved gallery "
+                f"{'under ' + str(self.root) if self.root is not None else 'root configured'} "
+                f"and none registered in memory (known: {self.names() or '(none)'})"
+            )
+        gallery = ReferenceGallery.load(
+            directory, cache=self.cache, runner=self.runner
+        )
+        with self._lock:
+            # Another thread may have loaded it meanwhile; first one wins.
+            return self._galleries.setdefault(name, gallery)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def enroll(self, name: str, scans: Sequence[ScanRecord]) -> int:
+        """Append subjects to the named gallery; returns how many were added."""
+        return self.get(name).enroll(scans)
+
+    def persist(self, name: str, directory: Optional[PathLike] = None) -> Path:
+        """Save the named gallery to disk (default: ``root/name``)."""
+        gallery = self.get(name)
+        if directory is None:
+            if self.root is None:
+                raise ValidationError(
+                    "persist() needs an explicit directory when the registry "
+                    "has no root"
+                )
+            directory = self.root / name
+        return gallery.save(directory)
+
+    def evict(self, name: str, delete: bool = False) -> bool:
+        """Drop the named gallery from memory; ``delete`` also removes its
+        persisted directory.  Returns whether anything was evicted."""
+        name = _check_name(name)
+        with self._lock:
+            evicted = self._galleries.pop(name, None) is not None
+        directory = self._directory_for(name)
+        if delete and directory is not None:
+            shutil.rmtree(directory)
+            evicted = True
+        return evicted
+
+    def load_all(self) -> List[str]:
+        """Load every persisted gallery into memory; returns their names."""
+        loaded = []
+        for name in self.names():
+            self.get(name)
+            loaded.append(name)
+        return loaded
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def info(self) -> Dict[str, Any]:
+        """Registry state: root, per-gallery summary, residency."""
+        with self._lock:
+            in_memory = dict(self._galleries)
+        galleries: Dict[str, Any] = {}
+        for name in self.names():
+            gallery = in_memory.get(name)
+            if gallery is not None:
+                galleries[name] = {
+                    "resident": True,
+                    "n_subjects": gallery.n_subjects,
+                    "n_features": gallery.n_features,
+                    "shard_size": gallery.shard_size,
+                    "fingerprint": gallery.fingerprint,
+                }
+            else:
+                galleries[name] = {"resident": False}
+        return {
+            "root": str(self.root) if self.root is not None else None,
+            "n_galleries": len(galleries),
+            "galleries": galleries,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GalleryRegistry(root={str(self.root) if self.root else None!r}, "
+            f"galleries={self.names()})"
+        )

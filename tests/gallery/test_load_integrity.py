@@ -1,0 +1,86 @@
+"""Integrity-digest tamper detection in :meth:`ReferenceGallery.load`.
+
+The persisted archive is covered by a digest over *every* array plus the fit
+parameters; these tests corrupt persisted state in ways a bit-flip, a partial
+write, or a malicious edit could and assert the load fails loudly — and,
+just as important, that a failed load never primes the artifact cache with
+poisoned arrays.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.gallery.reference import ReferenceGallery
+from repro.runtime.cache import ArtifactCache
+
+
+@pytest.fixture()
+def saved_gallery(small_hcp, tmp_path):
+    """A fitted gallery persisted to ``tmp_path / 'gal'``."""
+    scans = small_hcp.generate_session("REST", encoding="LR", day=1)
+    gallery = ReferenceGallery.from_scans(scans, n_features=40, cache=ArtifactCache())
+    directory = gallery.save(tmp_path / "gal")
+    return gallery, directory
+
+
+def _corrupt_array(directory, name):
+    """Flip one value of one persisted array inside the npz archive."""
+    archive = directory / "gallery.npz"
+    with np.load(archive) as data:
+        arrays = {key: data[key].copy() for key in data.files}
+    flat = arrays[name].reshape(-1)
+    flat[0] = flat[0] + 1.0 if np.issubdtype(flat.dtype, np.floating) else flat[0] + 1
+    np.savez_compressed(archive, **arrays)
+
+
+class TestTamperDetection:
+    def test_single_corrupted_signature_value_is_a_clear_error(self, saved_gallery):
+        _, directory = saved_gallery
+        _corrupt_array(directory, "signatures")
+        with pytest.raises(ValidationError, match="integrity"):
+            ReferenceGallery.load(directory, cache=ArtifactCache())
+
+    def test_corrupted_leverage_scores_are_a_clear_error(self, saved_gallery):
+        _, directory = saved_gallery
+        _corrupt_array(directory, "leverage_scores")
+        with pytest.raises(ValidationError, match="integrity"):
+            ReferenceGallery.load(directory, cache=ArtifactCache())
+
+    def test_tampered_fit_parameters_are_a_clear_error(self, saved_gallery):
+        # Editing gallery.json (e.g. claiming a different n_features) breaks
+        # the digest even though every array is untouched.
+        _, directory = saved_gallery
+        meta_path = directory / "gallery.json"
+        meta = json.loads(meta_path.read_text())
+        meta["n_features"] = meta["n_features"] - 1
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValidationError, match="integrity"):
+            ReferenceGallery.load(directory, cache=ArtifactCache())
+
+    def test_tampered_integrity_field_is_a_clear_error(self, saved_gallery):
+        _, directory = saved_gallery
+        meta_path = directory / "gallery.json"
+        meta = json.loads(meta_path.read_text())
+        meta["integrity"] = "0" * len(meta["integrity"])
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValidationError, match="integrity"):
+            ReferenceGallery.load(directory, cache=ArtifactCache())
+
+    def test_failed_load_does_not_prime_the_cache(self, saved_gallery):
+        # A tampered archive must not leave poisoned leverage/gallery
+        # artifacts behind for later fits to hit.
+        _, directory = saved_gallery
+        _corrupt_array(directory, "leverage_scores")
+        cache = ArtifactCache()
+        with pytest.raises(ValidationError):
+            ReferenceGallery.load(directory, cache=cache)
+        assert cache.stats("leverage").puts == 0
+        assert cache.stats("gallery").puts == 0
+
+    def test_untampered_archive_still_loads(self, saved_gallery):
+        gallery, directory = saved_gallery
+        loaded = ReferenceGallery.load(directory, cache=ArtifactCache())
+        assert loaded.fingerprint == gallery.fingerprint

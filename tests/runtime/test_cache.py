@@ -143,3 +143,33 @@ class TestDefaultCache:
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ValidationError, match="max_memory_items"):
             ArtifactCache(max_memory_items=0)
+
+
+class TestFrozenArrayDigest:
+    def test_digest_matches_key_content_semantics(self):
+        from repro.runtime.cache import frozen_array_digest
+
+        array = np.arange(6, dtype=np.float64)
+        other = np.arange(6, dtype=np.float64)
+        assert frozen_array_digest(array) == frozen_array_digest(other)
+        assert frozen_array_digest(array) != frozen_array_digest(other + 1)
+
+    def test_owning_arrays_are_frozen_and_memoized(self):
+        from repro.runtime.cache import frozen_array_digest
+
+        array = np.arange(8, dtype=np.float64)
+        digest = frozen_array_digest(array)
+        assert not array.flags.writeable  # frozen: the memo cannot go stale
+        with pytest.raises(ValueError):
+            array[0] = 99.0
+        assert frozen_array_digest(array) == digest
+
+    def test_views_are_not_frozen(self):
+        from repro.runtime.cache import frozen_array_digest
+
+        base = np.arange(12, dtype=np.float64)
+        view = base[2:8]
+        digest = frozen_array_digest(view)
+        assert base.flags.writeable  # a view's base stays mutable
+        base[2] = 100.0  # mutating through the base must change the digest
+        assert frozen_array_digest(view) != digest

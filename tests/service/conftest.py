@@ -1,0 +1,39 @@
+"""Service-test fixtures.
+
+Every fixture builds on the session-wide ``small_hcp`` cohort but keeps its
+own :class:`~repro.runtime.cache.ArtifactCache`, so the serving tests never
+leak cache state into (or out of) other test modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.cache import ArtifactCache
+from repro.service import GalleryRegistry, IdentificationService, ServiceConfig
+
+
+@pytest.fixture()
+def sessions(small_hcp):
+    """Reference and probe scan sessions of the shared small cohort."""
+    return (
+        small_hcp.generate_session("REST", encoding="LR", day=1),
+        small_hcp.generate_session("REST", encoding="RL", day=2),
+    )
+
+
+@pytest.fixture()
+def registry(sessions):
+    """A memory-only registry with one fitted gallery named ``hcp``."""
+    reference_scans, _ = sessions
+    registry = GalleryRegistry(
+        config=ServiceConfig(n_features=60), cache=ArtifactCache()
+    )
+    registry.build("hcp", reference_scans)
+    return registry
+
+
+@pytest.fixture()
+def service(registry):
+    """An identification service over the ``hcp`` gallery."""
+    return IdentificationService(registry=registry)

@@ -1,0 +1,123 @@
+"""Tests for the gallery registry: naming, eviction, persistence, lazy load."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.gallery.reference import ReferenceGallery
+from repro.runtime.cache import ArtifactCache
+from repro.service import GalleryRegistry, ServiceConfig
+
+
+class TestMembership:
+    def test_build_registers_and_lists(self, registry):
+        assert "hcp" in registry
+        assert registry.names() == ["hcp"]
+        assert len(registry) == 1
+
+    def test_get_unknown_gallery_is_a_clean_error(self, registry):
+        with pytest.raises(ValidationError, match="unknown gallery"):
+            registry.get("nope")
+
+    def test_duplicate_build_rejected(self, registry, sessions):
+        with pytest.raises(ValidationError, match="already exists"):
+            registry.build("hcp", sessions[0])
+
+    @pytest.mark.parametrize("name", ["", ".", "..", "a/b", "a\\b"])
+    def test_bad_names_rejected(self, registry, name):
+        with pytest.raises(ValidationError):
+            registry.get(name)
+
+
+class TestConfigPlumbing:
+    def test_build_uses_the_registry_config(self, sessions):
+        registry = GalleryRegistry(
+            config=ServiceConfig(n_features=40, shard_size=5), cache=ArtifactCache()
+        )
+        gallery = registry.build("g", sessions[0])
+        assert gallery.n_features == 40
+        assert gallery.shard_size == 5
+        assert gallery.cache is registry.cache
+
+    def test_build_overrides_win(self, sessions):
+        registry = GalleryRegistry(
+            config=ServiceConfig(n_features=40), cache=ArtifactCache()
+        )
+        gallery = registry.build("g", sessions[0], n_features=30)
+        assert gallery.n_features == 30
+
+    def test_registry_attaches_its_runner_to_registered_galleries(self, sessions):
+        from repro.runtime.runner import ExperimentRunner
+
+        runner = ExperimentRunner(max_workers=2)
+        registry = GalleryRegistry(cache=ArtifactCache(), runner=runner)
+        gallery = registry.build("g", sessions[0][:4], n_features=20)
+        assert gallery.runner is runner
+
+
+class TestPersistence:
+    def test_persist_evict_and_lazy_reload(self, tmp_path, sessions):
+        reference_scans, probe_scans = sessions
+        cache = ArtifactCache()
+        registry = GalleryRegistry(
+            root=tmp_path, config=ServiceConfig(n_features=60), cache=cache
+        )
+        gallery = registry.build("site-a", reference_scans)
+        expected = gallery.identify(probe_scans)
+        registry.persist("site-a")
+        assert (tmp_path / "site-a" / "gallery.json").exists()
+
+        assert registry.evict("site-a")
+        assert "site-a" in registry  # still on disk
+        reloaded = registry.get("site-a")  # lazily loaded, never re-fitted
+        assert reloaded.refit_count_ == 0
+        assert np.array_equal(
+            reloaded.identify(probe_scans).similarity, expected.similarity
+        )
+
+    def test_evict_with_delete_removes_the_directory(self, tmp_path, sessions):
+        registry = GalleryRegistry(root=tmp_path, cache=ArtifactCache())
+        registry.build("gone", sessions[0][:4], n_features=20)
+        registry.persist("gone")
+        assert registry.evict("gone", delete=True)
+        assert "gone" not in registry
+        assert not (tmp_path / "gone").exists()
+        assert not registry.evict("gone")  # nothing left to evict
+
+    def test_persist_without_root_needs_a_directory(self, registry, tmp_path):
+        with pytest.raises(ValidationError, match="root"):
+            registry.persist("hcp")
+        registry.persist("hcp", tmp_path / "explicit")
+        assert (tmp_path / "explicit" / "gallery.npz").exists()
+
+    def test_load_all_restores_every_persisted_gallery(self, tmp_path, sessions):
+        registry = GalleryRegistry(root=tmp_path, cache=ArtifactCache())
+        for name in ("a", "b"):
+            registry.build(name, sessions[0][:6], n_features=20)
+            registry.persist(name)
+            registry.evict(name)
+        fresh = GalleryRegistry(root=tmp_path, cache=ArtifactCache())
+        assert fresh.load_all() == ["a", "b"]
+        assert fresh.info()["galleries"]["a"]["resident"]
+
+    def test_registered_foreign_gallery_adopts_the_pool(self, sessions):
+        registry = GalleryRegistry(cache=ArtifactCache())
+        gallery = ReferenceGallery.from_scans(
+            sessions[0][:4], n_features=20, cache=registry.cache
+        )
+        registry.register("adopted", gallery)
+        assert registry.get("adopted") is gallery
+
+
+class TestInfo:
+    def test_info_reports_residency_and_fingerprint(self, tmp_path, sessions):
+        registry = GalleryRegistry(root=tmp_path, cache=ArtifactCache())
+        registry.build("mem", sessions[0][:4], n_features=20)
+        registry.persist("mem")
+        registry.build("other", sessions[0][4:8], n_features=20)
+        registry.evict("other")  # memory-only gallery, evicted without persist
+        info = registry.info()
+        assert info["root"] == str(tmp_path)
+        assert info["galleries"]["mem"]["resident"]
+        assert info["galleries"]["mem"]["n_subjects"] == 4
+        assert "fingerprint" in info["galleries"]["mem"]
