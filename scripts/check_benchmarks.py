@@ -6,14 +6,23 @@ paying for a full benchmark run.  This script imports every
 ``benchmarks/bench_*.py`` module with the benchmarks directory on
 ``sys.path`` (mirroring how pytest resolves their ``conftest`` import).
 
+With ``--backend-trajectory PATH`` it additionally *runs* the backend
+matching benchmark and writes its trajectory record (transport speedup,
+selected backend, precision outcomes) to PATH — the ``BENCH_backend.json``
+artifact the CI smoke job uploads so speedups can be tracked across
+commits.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_benchmarks.py
+    PYTHONPATH=src python scripts/check_benchmarks.py --backend-trajectory BENCH_backend.json
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib
+import json
 import sys
 from pathlib import Path
 
@@ -23,10 +32,37 @@ REQUIRED_BENCHMARKS = {
     "bench_runtime_batching",
     "bench_gallery_matching",
     "bench_service_batching",
+    "bench_backend_matching",
 }
 
 
+def write_backend_trajectory(path: Path) -> dict:
+    """Run the backend benchmark and write its trajectory record to ``path``.
+
+    Runs the acceptance workload (256-subject x 400-feature gallery, 256
+    probes) — a couple of seconds end to end, and the only scale at which
+    the transport comparison means anything (tiny workloads cannot amortize
+    the one-time segment publish).  The record carries the transport speedup
+    and the selected backend name.
+    """
+    import bench_backend_matching as bench
+
+    transport = bench.run_transport_benchmark()
+    precision = bench.run_precision_benchmark()
+    record = bench.trajectory_record(transport, precision)
+    path.write_text(json.dumps(record, indent=2))
+    return record
+
+
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend-trajectory", metavar="PATH", default=None,
+        help="run the backend matching benchmark and write its trajectory "
+        "record (speedup + backend name) to PATH",
+    )
+    args = parser.parse_args()
+
     benchmarks_dir = Path(__file__).resolve().parent.parent / "benchmarks"
     sys.path.insert(0, str(benchmarks_dir))
     failures = []
@@ -44,7 +80,25 @@ def main() -> int:
             failures.append((module_name, exc))
             print(f"FAIL {module_name}: {type(exc).__name__}: {exc}")
     print(f"{len(modules) - len(failures)}/{len(modules)} benchmark modules import cleanly")
-    return 1 if failures else 0
+    if failures:
+        return 1
+
+    if args.backend_trajectory:
+        record = write_backend_trajectory(Path(args.backend_trajectory))
+        print(
+            "backend trajectory: backend={backend} "
+            "transport_speedup={speedup:.2f}x "
+            "bitwise_equal={equal} -> {path}".format(
+                backend=record["backend"],
+                speedup=record["speedup"],
+                equal=record["transport"]["bitwise_equal"],
+                path=args.backend_trajectory,
+            )
+        )
+        if not record["transport"]["bitwise_equal"]:
+            print("FAIL backend trajectory: transports disagreed bitwise")
+            return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -85,6 +85,9 @@ class AttackPipeline:
         Deprecated here — sharding is a serving knob owned by
         :class:`~repro.service.config.ServiceConfig`; pass ``config``
         instead (results are bit-identical either way).
+    backend:
+        Matching-backend name (``None`` = the bit-exact ``numpy64``
+        default); supplied by ``config`` when one is given.
     config:
         A :class:`~repro.service.config.ServiceConfig` supplying every fit
         and matching knob at once; individual kwargs above are ignored when
@@ -99,6 +102,7 @@ class AttackPipeline:
     method: str = "exact"
     random_state: RandomStateLike = None
     shard_size: Optional[int] = None
+    backend: Optional[str] = None
     config: Optional["ServiceConfig"] = field(default=None, repr=False)
     attack_: Optional[LeverageScoreAttack] = field(default=None, repr=False)
     gallery_: Optional["ReferenceGallery"] = field(default=None, repr=False)
@@ -111,6 +115,7 @@ class AttackPipeline:
             self.method = self.config.method
             self.random_state = self.config.random_state
             self.shard_size = self.config.shard_size
+            self.backend = self.config.resolved_backend()
         elif self.shard_size is not None:
             warnings.warn(
                 "passing shard_size= directly to AttackPipeline is deprecated; "
@@ -169,6 +174,7 @@ class AttackPipeline:
             method=self.method,
             random_state=self.random_state,
             shard_size=self.shard_size,
+            backend=self.backend,
             cache=get_default_cache(),
         )
         self.gallery_ = gallery

@@ -148,6 +148,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--repeat", type=_positive_int, default=1,
         help="identify the same probes N times (shows warm-cache reuse)",
     )
+    _add_backend_arguments(identify_parser)
 
     info_parser_gallery = gallery_sub.add_parser(
         "info", help="print the state and cache statistics of a saved gallery"
@@ -175,6 +176,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--window", type=float, default=0.0,
         help="micro-batch window in seconds (0 = coalesce per event-loop tick)",
     )
+    _add_backend_arguments(serve_parser)
 
     info_parser = subparsers.add_parser(
         "runtime-info",
@@ -183,6 +185,26 @@ def _build_parser() -> argparse.ArgumentParser:
     info_parser.add_argument("--workers", type=_positive_int, default=1)
     info_parser.add_argument("--executor", choices=("thread", "process"), default="thread")
     return parser
+
+
+def _add_backend_arguments(parser) -> None:
+    """Shared ``--backend``/``--precision`` policy flags (serving commands)."""
+    from repro.runtime.backend import AUTO_BACKEND, PRECISIONS, available_backends
+
+    parser.add_argument(
+        "--backend",
+        choices=[*available_backends(), AUTO_BACKEND],
+        default=None,
+        help="matching backend (default: the bit-exact numpy64; "
+        "'auto' picks the fastest for the chosen precision)",
+    )
+    parser.add_argument(
+        "--precision",
+        choices=list(PRECISIONS),
+        default="float64",
+        help="matching precision; float32 is opt-in (rank agreement, "
+        "not bit-identity)",
+    )
 
 
 def _configs(paper_scale: bool):
@@ -379,10 +401,11 @@ def _command_gallery_enroll(args) -> int:
 
 
 def _command_gallery_identify(args) -> int:
-    from repro.service import IdentificationService, IdentifyRequest
+    from repro.service import IdentificationService, IdentifyRequest, ServiceConfig
 
-    registry, name = _registry_for(args.dir)
-    service = IdentificationService(registry=registry)
+    config = ServiceConfig(backend=args.backend, precision=args.precision)
+    registry, name = _registry_for(args.dir, config=config)
+    service = IdentificationService(registry=registry, config=config)
     gallery = registry.get(name)
     recipe = gallery.metadata.get("dataset")
     if not recipe:
@@ -399,7 +422,8 @@ def _command_gallery_identify(args) -> int:
         return 1
     print(
         f"identified {response.n_probes} probes against "
-        f"{response.n_gallery_subjects} enrolled subjects"
+        f"{response.n_gallery_subjects} enrolled subjects "
+        f"(backend: {gallery.backend})"
     )
     print(f"identification accuracy : {100.0 * response.accuracy:.1f} %")
     margins = response.margins
@@ -428,6 +452,7 @@ def _command_gallery_info(args) -> int:
         f"{info['n_features_selected']} of {info['n_features_total']}"
     )
     print(f"svd backend         : {info['method']} (rank={info['rank']})")
+    print(f"matching backend    : {info['backend'] or 'numpy64 (default)'}")
     print(f"shard size          : {info['shard_size'] or '(single block)'}")
     print(f"fingerprint         : {info['fingerprint']}")
     print(f"disk cache tier     : {cache_dir if cache_dir is not None else '(memory only)'}")
@@ -453,7 +478,12 @@ def _serve(args) -> int:
 
     from repro.service import IdentificationService, IdentifyRequest, ServiceConfig
 
-    config = ServiceConfig(max_batch_size=args.max_batch, batch_window_s=args.window)
+    config = ServiceConfig(
+        max_batch_size=args.max_batch,
+        batch_window_s=args.window,
+        backend=args.backend,
+        precision=args.precision,
+    )
     registry, name = _registry_for(args.dir, config=config)
     service = IdentificationService(registry=registry, config=config)
     gallery = registry.get(name)
@@ -498,9 +528,11 @@ def _serve(args) -> int:
     n_probes = sum(response.n_probes for response in responses if response.ok)
     if n_probes:
         print(f"identification accuracy : {100.0 * n_correct / n_probes:.1f} %")
+    print(f"matching backend        : {gallery.backend}")
     print()
     for line in service.stats().summary_lines():
         print(line)
+    service.close()
     return 1 if failed else 0
 
 

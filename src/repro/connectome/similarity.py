@@ -61,10 +61,10 @@ def similarity_contrast(similarity: np.ndarray) -> Dict[str, float]:
     """
     sim = check_matrix(similarity, name="similarity")
     n = min(sim.shape)
-    diagonal = np.array([sim[i, i] for i in range(n)])
+    indices = np.arange(n)
+    diagonal = sim[indices, indices]
     mask = np.ones_like(sim, dtype=bool)
-    for i in range(n):
-        mask[i, i] = False
+    mask[indices, indices] = False
     off_diagonal = sim[mask]
     return {
         "diagonal_mean": float(diagonal.mean()),

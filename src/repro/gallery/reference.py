@@ -87,6 +87,11 @@ class ReferenceGallery:
     runner:
         Optional :class:`~repro.runtime.runner.ExperimentRunner` used to
         compute matching shards through a worker pool.
+    backend:
+        Matching-backend name for :meth:`identify` (``None`` = the bit-exact
+        ``numpy64`` default; see :mod:`repro.runtime.backend`).  A runtime
+        deployment knob like ``runner`` — it is not persisted by
+        :meth:`save`.
     metadata:
         Free-form JSON-serializable dict persisted alongside the gallery
         (the CLI stores its dataset recipe here).
@@ -113,6 +118,7 @@ class ReferenceGallery:
         shard_size: Optional[int] = None,
         cache: Optional[ArtifactCache] = None,
         runner=None,
+        backend: Optional[str] = None,
         metadata: Optional[Dict[str, Any]] = None,
     ):
         check_positive_int(n_features, name="n_features")
@@ -139,6 +145,7 @@ class ReferenceGallery:
                 stacklevel=2,
             )
         self.runner = runner
+        self.backend = backend
         self.metadata: Dict[str, Any] = dict(metadata) if metadata else {}
         self.reference = reference
         self.refit_count_ = 0
@@ -163,6 +170,7 @@ class ReferenceGallery:
         shard_size: Optional[int] = None,
         cache: Optional[ArtifactCache] = None,
         runner=None,
+        backend: Optional[str] = None,
         metadata: Optional[Dict[str, Any]] = None,
     ) -> "ReferenceGallery":
         """Build and fit a gallery from reference scans.
@@ -185,6 +193,7 @@ class ReferenceGallery:
             shard_size=shard_size,
             cache=cache,
             runner=runner,
+            backend=backend,
             metadata=metadata,
         )
 
@@ -279,6 +288,7 @@ class ReferenceGallery:
             target_subject_ids=probe.subject_ids,
             shard_size=self.shard_size,
             runner=self.runner,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------ #
@@ -453,6 +463,7 @@ class ReferenceGallery:
         directory: PathLike,
         cache: Optional[ArtifactCache] = None,
         runner=None,
+        backend: Optional[str] = None,
         shard_size: Any = _UNCHANGED,
     ) -> "ReferenceGallery":
         """Load a saved gallery without re-fitting anything.
@@ -489,6 +500,7 @@ class ReferenceGallery:
         )
         gallery.cache = cache if cache is not None else get_default_cache()
         gallery.runner = runner
+        gallery.backend = backend
         gallery.metadata = meta.get("metadata") or {}
         gallery.reference = GroupMatrix(
             data=reference_data,
@@ -551,6 +563,7 @@ class ReferenceGallery:
             "method": self.method,
             "fisher": self.fisher,
             "shard_size": self.shard_size,
+            "backend": self.backend,
             "refit_count": self.refit_count_,
             "fingerprint": self.fingerprint,
             "cache": {

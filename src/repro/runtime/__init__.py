@@ -2,6 +2,10 @@
 
 The runtime layer makes heavy multi-experiment workloads cheap to run:
 
+``backend``
+    Pluggable matching backends (``numpy64`` bit-exact default, ``numpy32``
+    mixed precision, ``blas_blocked`` GEMM) behind one registry and the
+    backend/precision policy.
 ``batch``
     Single-GEMM construction of group matrices from stacked time series,
     replacing the per-scan connectome loop.
@@ -11,6 +15,9 @@ The runtime layer makes heavy multi-experiment workloads cheap to run:
 ``runner``
     :class:`ExperimentRunner` executes batches of :class:`ExperimentSpec`
     through a thread/process pool with deterministic per-spec seeding.
+``shm``
+    Content-keyed shared-memory segments — the zero-copy transport that
+    ships ``match_shard`` inputs to process-pool workers without pickling.
 ``results``
     Uniform :class:`RunResult` records with timing breakdowns and JSON
     serialization.
@@ -19,6 +26,13 @@ The runtime layer makes heavy multi-experiment workloads cheap to run:
     command (cache stats, worker config, BLAS threading).
 """
 
+from repro.runtime.backend import (
+    MatchingBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.runtime.batch import (
     batch_correlation_connectomes,
     batch_group_features,
@@ -49,8 +63,15 @@ from repro.runtime.runner import (
     paper_experiment_specs,
     register_task_kind,
 )
+from repro.runtime.shm import SharedArrayStore, shared_memory_available
 
 __all__ = [
+    # backend
+    "MatchingBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
     # batch
     "batch_correlation_connectomes",
     "batch_group_features",
@@ -76,6 +97,9 @@ __all__ = [
     "load_results_json",
     "summarize_results",
     "write_results_json",
+    # shm
+    "SharedArrayStore",
+    "shared_memory_available",
     # info
     "detect_blas_threading",
     "format_runtime_info",

@@ -80,6 +80,7 @@ def runtime_info(cache=None, runner=None) -> Dict[str, Any]:
         Optional :class:`~repro.runtime.runner.ExperimentRunner` whose worker
         configuration should be reported; defaults to a fresh default runner.
     """
+    from repro.runtime.backend import backend_registry_info
     from repro.runtime.cache import get_default_cache
     from repro.runtime.runner import ExperimentRunner
 
@@ -87,6 +88,7 @@ def runtime_info(cache=None, runner=None) -> Dict[str, Any]:
     runner = runner if runner is not None else ExperimentRunner(cache=cache)
     return {
         "numpy_version": np.__version__,
+        "backends": backend_registry_info(),
         "cache": {
             "memory_items": len(cache),
             "max_memory_items": cache.max_memory_items,
@@ -108,7 +110,23 @@ def format_runtime_info(info: Dict[str, Any]) -> str:
         "workers             : "
         f"max_workers={workers['max_workers']} executor={workers['executor']} "
         f"base_seed={workers['base_seed']} cpu_count={workers['cpu_count']}"
+        + (
+            f" shared_transport={workers['shared_transport']}"
+            if "shared_transport" in workers
+            else ""
+        )
     )
+    backends = info.get("backends") or []
+    if backends:
+        rendered = ", ".join(
+            "{name} ({precision}{exact})".format(
+                name=backend["name"],
+                precision=backend["precision"],
+                exact=", bit-exact" if backend["bit_exact"] else "",
+            )
+            for backend in backends
+        )
+        lines.append(f"matching backends   : {rendered}")
     cache = info["cache"]
     total = cache["total"]
     lines.append(

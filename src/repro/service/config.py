@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.exceptions import ConfigurationError
+from repro.runtime.backend import PRECISIONS, resolve_backend
 from repro.runtime.cache import (
     DEFAULT_MAX_MEMORY_BYTES as _DEFAULT_MAX_MEMORY_BYTES,
     DEFAULT_MAX_MEMORY_ITEMS as _DEFAULT_MAX_MEMORY_ITEMS,
@@ -40,9 +41,28 @@ class ServiceConfig:
     shard_size:
         Gallery columns per matching shard (``None`` = single block; results
         are bit-identical either way).
+    backend / precision:
+        The matching-backend policy (see
+        :func:`repro.runtime.backend.resolve_backend`).  ``backend=None``
+        keeps the bit-exact default for the precision (``numpy64`` for
+        float64, ``numpy32`` for float32); ``backend="auto"`` picks the
+        fastest backend for the precision (``blas_blocked`` / ``numpy32``);
+        an explicit name must agree with ``precision``.  ``precision``
+        defaults to float64 — float32 is opt-in only, with a rank-agreement
+        (not bit-identity) guarantee.
     max_workers / executor:
         Worker pool computing matching shards; ``max_workers=1`` keeps
         everything inline and pool-free.
+    shared_transport:
+        Whether process-pool shard matching may ship its inputs through
+        content-keyed shared-memory segments instead of pickling them
+        (``True`` by default; the results are identical either way).
+    max_galleries / gallery_ttl_s:
+        Registry residency policy: at most ``max_galleries`` galleries held
+        in memory (least-recently-used persisted galleries are evicted
+        first) and persisted galleries idle longer than ``gallery_ttl_s``
+        seconds are dropped.  ``None`` disables the respective bound;
+        evicted galleries lazily reload from disk on next use.
     cache_dir / max_memory_items / max_memory_bytes:
         Artifact-cache tier settings.  With every cache field at its default
         the service shares the process-wide cache; any override builds a
@@ -62,13 +82,18 @@ class ServiceConfig:
     method: str = "exact"
     random_state: Optional[int] = None
     shard_size: Optional[int] = None
+    backend: Optional[str] = None
+    precision: str = "float64"
     max_workers: int = 1
     executor: str = "thread"
+    shared_transport: bool = True
     cache_dir: Optional[str] = None
     max_memory_items: int = _DEFAULT_MAX_MEMORY_ITEMS
     max_memory_bytes: int = _DEFAULT_MAX_MEMORY_BYTES
     max_batch_size: int = 64
     batch_window_s: float = 0.0
+    max_galleries: Optional[int] = None
+    gallery_ttl_s: Optional[float] = None
 
     def __post_init__(self):
         if self.n_features < 1:
@@ -88,6 +113,21 @@ class ServiceConfig:
         if self.shard_size is not None and int(self.shard_size) < 1:
             raise ConfigurationError(
                 f"shard_size must be >= 1 or None, got {self.shard_size}"
+            )
+        if self.precision not in PRECISIONS:
+            raise ConfigurationError(
+                f"precision must be one of {PRECISIONS}, got {self.precision!r}"
+            )
+        # Resolve eagerly so an unknown backend or a backend/precision
+        # mismatch fails at construction, not at serving time.
+        resolve_backend(self.backend, self.precision)
+        if self.max_galleries is not None and int(self.max_galleries) < 1:
+            raise ConfigurationError(
+                f"max_galleries must be >= 1 or None, got {self.max_galleries}"
+            )
+        if self.gallery_ttl_s is not None and float(self.gallery_ttl_s) <= 0:
+            raise ConfigurationError(
+                f"gallery_ttl_s must be > 0 or None, got {self.gallery_ttl_s}"
             )
         if self.max_workers < 1:
             raise ConfigurationError(f"max_workers must be >= 1, got {self.max_workers}")
@@ -139,7 +179,12 @@ class ServiceConfig:
             cache=cache,
             max_workers=self.max_workers,
             executor=self.executor,
+            shared_transport=self.shared_transport,
         )
+
+    def resolved_backend(self) -> str:
+        """The matching-backend name the backend/precision policy selects."""
+        return resolve_backend(self.backend, self.precision).name
 
     def gallery_kwargs(self) -> Dict[str, Any]:
         """Constructor kwargs for a :class:`~repro.gallery.reference.ReferenceGallery`."""
@@ -150,6 +195,7 @@ class ServiceConfig:
             "method": self.method,
             "random_state": self.random_state,
             "shard_size": self.shard_size,
+            "backend": self.resolved_backend(),
         }
 
     def replace(self, **overrides: Any) -> "ServiceConfig":

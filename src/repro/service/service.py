@@ -194,6 +194,18 @@ class IdentificationService:
         return await batcher.submit(request)
 
     # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release pooled matching resources (worker pool, shm segments).
+
+        Delegates to the registry; serving stays possible afterwards (the
+        pool respawns lazily), so this is a resource checkpoint, not a
+        terminal shutdown.
+        """
+        self.registry.close()
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> ServiceStats:
@@ -271,6 +283,7 @@ class IdentificationService:
                         stacked_mask,
                         shard_size=gallery.shard_size,
                         runner=gallery.runner,
+                        backend=gallery.backend,
                     )
                     predictions = np.argmax(similarity, axis=0)
                     margins = _stacked_margins(similarity)

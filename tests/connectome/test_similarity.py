@@ -40,6 +40,24 @@ class TestPairwiseSimilarity:
             pairwise_similarity(rest_pair["reference"], truncated)
 
 
+def _similarity_contrast_loop(similarity: np.ndarray) -> dict:
+    """The original per-element/loop implementation, kept as the test oracle."""
+    sim = np.asarray(similarity, dtype=float)
+    n = min(sim.shape)
+    diagonal = np.array([sim[i, i] for i in range(n)])
+    mask = np.ones_like(sim, dtype=bool)
+    for i in range(n):
+        mask[i, i] = False
+    off_diagonal = sim[mask]
+    return {
+        "diagonal_mean": float(diagonal.mean()),
+        "diagonal_std": float(diagonal.std()),
+        "off_diagonal_mean": float(off_diagonal.mean()),
+        "off_diagonal_std": float(off_diagonal.std()),
+        "contrast": float(diagonal.mean() - off_diagonal.mean()),
+    }
+
+
 class TestSimilarityContrast:
     def test_known_matrix(self):
         similarity = np.array([[0.9, 0.1], [0.2, 0.8]])
@@ -47,6 +65,19 @@ class TestSimilarityContrast:
         assert contrast["diagonal_mean"] == pytest.approx(0.85)
         assert contrast["off_diagonal_mean"] == pytest.approx(0.15)
         assert contrast["contrast"] == pytest.approx(0.70)
+
+    @pytest.mark.parametrize("shape", [(2, 2), (7, 7), (5, 9), (9, 5), (1, 4)])
+    def test_vectorized_matches_loop_implementation(self, rng, shape):
+        similarity = rng.standard_normal(shape)
+        vectorized = similarity_contrast(similarity)
+        looped = _similarity_contrast_loop(similarity)
+        assert set(vectorized) == set(looped)
+        for key, value in looped.items():
+            assert vectorized[key] == value, key
+
+    def test_vectorized_matches_loop_on_real_similarity(self, rest_pair):
+        similarity = pairwise_similarity(rest_pair["reference"], rest_pair["target"])
+        assert similarity_contrast(similarity) == _similarity_contrast_loop(similarity)
 
 
 class TestIdentificationAccuracy:

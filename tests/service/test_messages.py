@@ -143,12 +143,14 @@ class TestServiceConfig:
         with pytest.raises(ConfigurationError, match="unknown"):
             ServiceConfig.from_dict({"n_features": 10, "warp_factor": 9})
 
-    def test_gallery_kwargs_cover_fit_and_shard_knobs(self):
+    def test_gallery_kwargs_cover_fit_shard_and_backend_knobs(self):
         kwargs = ServiceConfig(n_features=40, shard_size=8).gallery_kwargs()
         assert kwargs["n_features"] == 40
         assert kwargs["shard_size"] == 8
+        assert kwargs["backend"] == "numpy64"
         assert set(kwargs) == {
             "n_features", "rank", "fisher", "method", "random_state", "shard_size",
+            "backend",
         }
 
     def test_default_config_shares_the_process_cache(self):

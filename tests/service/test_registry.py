@@ -109,6 +109,172 @@ class TestPersistence:
         assert registry.get("adopted") is gallery
 
 
+class FakeClock:
+    """An injectable monotonic clock the tests advance by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestResidencyPolicy:
+    def _persisted_registry(self, tmp_path, sessions, **kwargs):
+        clock = FakeClock()
+        registry = GalleryRegistry(
+            root=tmp_path, config=ServiceConfig(n_features=20),
+            cache=ArtifactCache(), clock=clock, **kwargs,
+        )
+        return registry, clock
+
+    def test_ttl_evicts_idle_persisted_galleries(self, tmp_path, sessions):
+        registry, clock = self._persisted_registry(tmp_path, sessions, ttl_seconds=60.0)
+        registry.build("a", sessions[0][:4])
+        registry.persist("a")
+        registry.build("b", sessions[0][4:8])
+        registry.persist("b")
+        clock.advance(30.0)
+        registry.get("a")  # refreshes a's idle clock; b stays untouched
+        clock.advance(45.0)  # b idle 75s (> ttl), a idle 45s (< ttl)
+        assert registry.get("a").refit_count_ >= 0
+        info = registry.info()
+        assert info["galleries"]["a"]["resident"]
+        assert not info["galleries"]["b"]["resident"]
+        assert info["auto_evictions"] == 1
+
+    def test_evicted_gallery_lazily_reloads_with_identical_results(
+        self, tmp_path, sessions
+    ):
+        registry, clock = self._persisted_registry(tmp_path, sessions, ttl_seconds=10.0)
+        reference_scans, probe_scans = sessions
+        gallery = registry.build("site", reference_scans[:6])
+        expected = gallery.identify(probe_scans[:6])
+        registry.persist("site")
+        clock.advance(11.0)
+        # Any registry access runs the eviction pass; touch another name.
+        registry.build("poke", reference_scans[6:10])
+        assert not registry.info()["galleries"]["site"]["resident"]
+        reloaded = registry.get("site")
+        assert reloaded is not gallery
+        assert reloaded.refit_count_ == 0  # load(), never a re-fit
+        assert np.array_equal(
+            reloaded.identify(probe_scans[:6]).similarity, expected.similarity
+        )
+
+    def test_memory_only_galleries_are_never_auto_evicted(self, tmp_path, sessions):
+        registry, clock = self._persisted_registry(
+            tmp_path, sessions, ttl_seconds=5.0, max_galleries=1
+        )
+        registry.build("volatile", sessions[0][:4])  # never persisted
+        registry.build("saved", sessions[0][4:8])
+        registry.persist("saved")
+        clock.advance(100.0)
+        registry.build("third", sessions[0][8:12])
+        info = registry.info()
+        assert info["galleries"]["volatile"]["resident"]  # exempt: not on disk
+        assert not info["galleries"]["saved"]["resident"]  # ttl + capacity
+
+    def test_capacity_evicts_least_recently_used_first(self, tmp_path, sessions):
+        registry, clock = self._persisted_registry(
+            tmp_path, sessions, max_galleries=2
+        )
+        for index, name in enumerate(("a", "b", "c")):
+            if index:
+                clock.advance(1.0)
+            if name != "c":
+                registry.build(name, sessions[0][2 * index:2 * index + 2])
+                registry.persist(name)
+        clock.advance(1.0)
+        registry.get("a")  # a is now more recently used than b
+        clock.advance(1.0)
+        registry.build("c", sessions[0][4:6])
+        registry.persist("c")
+        info = registry.info()
+        assert info["galleries"]["a"]["resident"]
+        assert info["galleries"]["c"]["resident"]
+        assert not info["galleries"]["b"]["resident"]  # the LRU victim
+        assert registry.get("b").n_subjects == 2  # and it reloads fine
+
+    def test_enrolled_but_unpersisted_galleries_are_protected(
+        self, tmp_path, sessions
+    ):
+        registry, clock = self._persisted_registry(tmp_path, sessions, ttl_seconds=5.0)
+        reference_scans, _ = sessions
+        gallery = registry.build("site", reference_scans[:4])
+        registry.persist("site")
+        # Enroll AFTER persisting: the disk snapshot is now stale, so the
+        # residency policy must not drop the in-memory state.
+        registry.enroll("site", reference_scans[4:8])
+        assert gallery.n_subjects == 8
+        clock.advance(100.0)
+        registry.build("poke", reference_scans[8:10])  # triggers the pass
+        assert registry.info()["galleries"]["site"]["resident"]
+        assert registry.get("site").n_subjects == 8
+        # Re-persisting the enrolled state makes it evictable again.
+        registry.persist("site")
+        clock.advance(100.0)
+        registry.get("poke")
+        assert not registry.info()["galleries"]["site"]["resident"]
+        assert registry.get("site").n_subjects == 8  # reloads the new snapshot
+
+    def test_metadata_mutations_protect_from_eviction_until_repersisted(
+        self, tmp_path, sessions
+    ):
+        registry, clock = self._persisted_registry(tmp_path, sessions, ttl_seconds=5.0)
+        reference_scans, _ = sessions
+        gallery = registry.build("site", reference_scans[:4], metadata={"v": 1})
+        registry.persist("site")
+        gallery.metadata["v"] = 2  # in-place edit; disk still holds v=1
+        clock.advance(100.0)
+        registry.build("poke", reference_scans[4:6])  # triggers the pass
+        assert registry.info()["galleries"]["site"]["resident"]
+        assert registry.get("site").metadata["v"] == 2
+        registry.persist("site")
+        clock.advance(100.0)
+        registry.get("poke")
+        assert not registry.info()["galleries"]["site"]["resident"]
+        assert registry.get("site").metadata["v"] == 2  # reloaded snapshot
+
+    def test_auto_eviction_preserves_a_custom_gallery_backend(
+        self, tmp_path, sessions
+    ):
+        registry, clock = self._persisted_registry(tmp_path, sessions, ttl_seconds=5.0)
+        reference_scans, _ = sessions
+        gallery = ReferenceGallery.from_scans(
+            reference_scans[:4], n_features=20, cache=registry.cache,
+            backend="blas_blocked",
+        )
+        registry.register("custom", gallery)
+        registry.persist("custom")
+        clock.advance(100.0)
+        registry.build("poke", reference_scans[4:6])  # triggers the pass
+        assert not registry.info()["galleries"]["custom"]["resident"]
+        reloaded = registry.get("custom")
+        assert reloaded.backend == "blas_blocked"  # not the registry default
+
+    def test_policy_defaults_come_from_the_config(self, tmp_path):
+        registry = GalleryRegistry(
+            root=tmp_path,
+            config=ServiceConfig(max_galleries=3, gallery_ttl_s=120.0),
+            cache=ArtifactCache(),
+        )
+        assert registry.max_galleries == 3
+        assert registry.ttl_seconds == 120.0
+        info = registry.info()
+        assert info["max_galleries"] == 3
+        assert info["ttl_seconds"] == 120.0
+
+    def test_invalid_policy_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="max_galleries"):
+            GalleryRegistry(root=tmp_path, cache=ArtifactCache(), max_galleries=0)
+        with pytest.raises(ValidationError, match="ttl_seconds"):
+            GalleryRegistry(root=tmp_path, cache=ArtifactCache(), ttl_seconds=0.0)
+
+
 class TestInfo:
     def test_info_reports_residency_and_fingerprint(self, tmp_path, sessions):
         registry = GalleryRegistry(root=tmp_path, cache=ArtifactCache())
