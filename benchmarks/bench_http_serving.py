@@ -1,0 +1,278 @@
+"""Benchmark: concurrent HTTP identifies vs in-process async serving.
+
+The HTTP front end (:mod:`repro.service.http`) exists so network clients get
+the same micro-batched serving the in-process async API provides: every
+connection handler is a coroutine on the server's event loop, so concurrent
+HTTP identifies flow through the same per-event-loop batcher and coalesce
+into stacked matches.  This benchmark quantifies the transport on the
+acceptance workload (a 64-subject x 100-region gallery, one single-probe
+request per subject, several concurrent keep-alive clients):
+
+* **in-process** — the same requests awaited concurrently through
+  ``IdentificationService.identify_async`` (one ``asyncio.gather``), warm.
+* **http** — the requests issued by concurrent :class:`ServiceClient`
+  threads against a live :class:`HttpServiceServer`, warm.
+
+Correctness is non-negotiable: every HTTP response must be *bit-for-bit*
+identical to its serial ``ReferenceGallery.identify`` counterpart (JSON
+floats round-trip exactly), and concurrent clients must actually coalesce
+(max batch observed over HTTP > 1).  The HTTP overhead (wire JSON encode +
+parse + socket hops) must stay bounded relative to the in-process path.
+
+Runnable standalone for CI smoke checks::
+
+    PYTHONPATH=src python benchmarks/bench_http_serving.py --subjects 10 --regions 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import threading
+import time
+
+import numpy as np
+
+from repro.datasets.hcp import HCPLikeDataset
+from repro.gallery.reference import ReferenceGallery
+from repro.runtime.cache import ArtifactCache
+from repro.service import (
+    BackgroundHttpServer,
+    GalleryRegistry,
+    IdentificationService,
+    IdentifyRequest,
+    ServiceClient,
+    ServiceConfig,
+)
+
+#: HTTP may cost this many multiples of the warm in-process async path
+#: before the benchmark fails: the wire pays JSON encode/decode of every
+#: probe time series plus socket hops, which the in-process path never
+#: sees.  Generous on purpose — the hard guarantees are bitwise equality
+#: and coalescing; the bound only catches pathological regressions
+#: (e.g. the batcher no longer coalescing network clients).
+DEFAULT_MAX_OVERHEAD = 100.0
+
+
+def make_sessions(n_subjects: int, n_regions: int, n_timepoints: int, seed: int = 0):
+    """Reference/probe scan sessions of one synthetic HCP-like cohort."""
+    dataset = HCPLikeDataset(
+        n_subjects=n_subjects,
+        n_regions=n_regions,
+        n_timepoints=n_timepoints,
+        random_state=seed,
+    )
+    reference = dataset.generate_session("REST", encoding="LR", day=1)
+    probes = dataset.generate_session("REST", encoding="RL", day=2)
+    return reference, probes
+
+
+def _bitwise_equal(serial_results, responses) -> bool:
+    """Every response bit-identical to its serial identify counterpart."""
+    return all(
+        response.ok
+        and response.predicted_subject_ids == serial.predicted_subject_ids
+        and np.array_equal(np.asarray(response.margins), serial.margin())
+        for serial, response in zip(serial_results, responses)
+    )
+
+
+def run_http_benchmark(
+    n_subjects: int = 64,
+    n_regions: int = 100,
+    n_timepoints: int = 100,
+    n_features: int = 100,
+    clients: int = 4,
+    repeats: int = 3,
+    window_s: float = 0.02,
+    seed: int = 0,
+) -> dict:
+    """Time concurrent HTTP identifies against warm in-process async serving.
+
+    Both paths serve the identical request load (one single-probe request
+    per enrolled subject) and both are warmed up before timing; the best of
+    ``repeats`` runs is kept per path.  Bitwise equality against serial
+    ``ReferenceGallery.identify`` results is checked on every HTTP round.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    reference_scans, probe_scans = make_sessions(
+        n_subjects, n_regions, n_timepoints, seed=seed
+    )
+    config = ServiceConfig(
+        n_features=n_features,
+        max_batch_size=max(len(probe_scans), 1),
+        batch_window_s=window_s,
+    )
+    registry = GalleryRegistry(config=config, cache=ArtifactCache())
+    registry.register(
+        "bench",
+        ReferenceGallery.from_scans(
+            reference_scans, n_features=n_features, cache=registry.cache
+        ),
+    )
+    service = IdentificationService(registry=registry, config=config)
+    gallery = registry.get("bench")
+
+    request_scans = [[scan] for scan in probe_scans]
+    serial_results = [gallery.identify(scans) for scans in request_scans]  # warm-up + reference
+
+    async def run_inprocess():
+        requests = [
+            IdentifyRequest(gallery="bench", scans=scans) for scans in request_scans
+        ]
+        return await asyncio.gather(
+            *(service.identify_async(request) for request in requests)
+        )
+
+    asyncio.run(run_inprocess())  # warm-up: probe signatures cached
+    inprocess_s = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        asyncio.run(run_inprocess())
+        inprocess_s = min(inprocess_s, time.perf_counter() - start)
+
+    n_clients = min(clients, len(request_scans))
+    slices = [request_scans[i::n_clients] for i in range(n_clients)]
+
+    http_s = float("inf")
+    bitwise_equal = True
+    max_http_batch = 0
+    try:
+        with BackgroundHttpServer(service, port=0) as server:
+
+            def run_http_round():
+                """All clients fire concurrently; responses in request order."""
+                responses = [None] * len(request_scans)
+                barrier = threading.Barrier(n_clients)
+
+                def worker(client_index: int, client: ServiceClient):
+                    barrier.wait()
+                    for offset, scans in enumerate(slices[client_index]):
+                        response = client.identify(gallery="bench", scans=scans)
+                        responses[client_index + offset * n_clients] = response
+
+                pool = [ServiceClient(port=server.port) for _ in range(n_clients)]
+                try:
+                    threads = [
+                        threading.Thread(target=worker, args=(index, client))
+                        for index, client in enumerate(pool)
+                    ]
+                    start = time.perf_counter()
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads:
+                        thread.join()
+                    elapsed = time.perf_counter() - start
+                finally:
+                    for client in pool:
+                        client.close()
+                return responses, elapsed
+
+            run_http_round()  # warm-up: connections established, codec paths hot
+            for _ in range(repeats):
+                responses, elapsed = run_http_round()
+                http_s = min(http_s, elapsed)
+                bitwise_equal = bitwise_equal and _bitwise_equal(serial_results, responses)
+                max_http_batch = max(
+                    max_http_batch, max(response.batch_size for response in responses)
+                )
+    finally:
+        service.close()
+
+    return {
+        "n_subjects": n_subjects,
+        "n_regions": n_regions,
+        "n_timepoints": n_timepoints,
+        "n_requests": len(request_scans),
+        "n_clients": n_clients,
+        "inprocess_s": inprocess_s,
+        "http_s": http_s,
+        "overhead": http_s / inprocess_s if inprocess_s > 0 else float("inf"),
+        "bitwise_equal": bool(bitwise_equal),
+        "max_http_batch": max_http_batch,
+        "per_request_ms": 1e3 * http_s / len(request_scans),
+    }
+
+
+def test_http_serving_coalesces_and_matches_inprocess(benchmark):
+    """Acceptance workload: 64 subjects x 100 regions over 4 HTTP clients.
+
+    Hard guarantees: every HTTP response bit-identical to its serial
+    identify, concurrent clients coalesced into stacked batches
+    (max batch > 1), and warm-path overhead bounded vs in-process async.
+    Timing on a loaded CI box is noisy, so up to three measurement rounds
+    are taken; correctness must hold on every round.
+    """
+    def measure():
+        best = None
+        for _ in range(3):
+            outcome = run_http_benchmark(n_subjects=64, n_regions=100, repeats=3)
+            assert outcome["bitwise_equal"], "HTTP responses diverged from serial identify"
+            assert outcome["max_http_batch"] > 1, (
+                "concurrent HTTP clients were not coalesced into one batch"
+            )
+            if best is None or outcome["overhead"] < best["overhead"]:
+                best = outcome
+            if best["overhead"] <= DEFAULT_MAX_OVERHEAD:
+                break
+        return best
+
+    outcome = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(
+        "\nin-process {inprocess_s:.4f}s vs http {http_s:.4f}s "
+        "({n_requests} requests over {n_clients} clients, "
+        "max http batch {max_http_batch}) -> {overhead:.1f}x overhead".format(**outcome)
+    )
+    assert outcome["overhead"] <= DEFAULT_MAX_OVERHEAD, (
+        f"HTTP warm path {outcome['overhead']:.1f}x over in-process async "
+        f"(bound {DEFAULT_MAX_OVERHEAD}x)"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--subjects", type=int, default=64)
+    parser.add_argument("--regions", type=int, default=100)
+    parser.add_argument("--timepoints", type=int, default=100)
+    parser.add_argument("--features", type=int, default=100)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--window", type=float, default=0.02)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-overhead", type=float, default=DEFAULT_MAX_OVERHEAD)
+    args = parser.parse_args()
+    outcome = run_http_benchmark(
+        n_subjects=args.subjects,
+        n_regions=args.regions,
+        n_timepoints=args.timepoints,
+        n_features=min(args.features, args.regions * (args.regions - 1) // 2),
+        clients=args.clients,
+        repeats=args.repeats,
+        window_s=args.window,
+        seed=args.seed,
+    )
+    print(
+        "workload: {n_requests} single-probe requests over {n_clients} "
+        "concurrent HTTP clients against a {n_subjects}-subject x "
+        "{n_regions}-region gallery".format(**outcome)
+    )
+    print("in-process async (warm): {inprocess_s:.4f} s".format(**outcome))
+    print("http concurrent  (warm): {http_s:.4f} s "
+          "({per_request_ms:.1f} ms/request)".format(**outcome))
+    print("http overhead          : {overhead:.1f}x".format(**outcome))
+    print("max coalesced http batch: {max_http_batch}".format(**outcome))
+    print("bitwise equal to serial : {bitwise_equal}".format(**outcome))
+    coalesced = outcome["max_http_batch"] > 1 or outcome["n_clients"] < 2
+    ok = (
+        outcome["bitwise_equal"]
+        and coalesced
+        and outcome["overhead"] <= args.max_overhead
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ REQUIRED_BENCHMARKS = {
     "bench_gallery_matching",
     "bench_service_batching",
     "bench_backend_matching",
+    "bench_http_serving",
 }
 
 

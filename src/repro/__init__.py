@@ -43,9 +43,11 @@ from repro.service import (
     EnrollRequest,
     EnrollResponse,
     GalleryRegistry,
+    HttpServiceServer,
     IdentificationService,
     IdentifyRequest,
     IdentifyResponse,
+    ServiceClient,
     ServiceConfig,
     ServiceStats,
 )
@@ -84,6 +86,8 @@ __all__ = [
     "EnrollRequest",
     "EnrollResponse",
     "ServiceStats",
+    "HttpServiceServer",
+    "ServiceClient",
     # algorithms
     "TSNE",
     "PCA",

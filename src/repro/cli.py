@@ -24,7 +24,11 @@ Installed as the ``repro-attack`` console script (also runnable as
     Batch-identify through the :class:`~repro.service.IdentificationService`
     async API: concurrent identify requests against a saved gallery are
     micro-batched into stacked sharded matches (bit-identical to serial
-    identifies), and the serving statistics are printed.
+    identifies), and the serving statistics are printed.  With ``--http
+    PORT`` it instead exposes the gallery over the stdlib-asyncio HTTP
+    front end (``POST /identify``, ``POST /enroll``, ``GET /stats``,
+    ``GET /healthz``) until SIGINT/SIGTERM, draining in-flight batches on
+    shutdown.
 ``runtime-info``
     Print cache statistics (including the disk tier), worker configuration,
     and the detected BLAS threading setup.
@@ -175,6 +179,22 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--window", type=float, default=0.0,
         help="micro-batch window in seconds (0 = coalesce per event-loop tick)",
+    )
+    serve_parser.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="serve over HTTP on PORT instead of running synthetic rounds "
+        "(0 = ephemeral port; SIGINT drains in-flight batches and exits)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address of the HTTP server"
+    )
+    serve_parser.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="shard-matching worker pool size (1 = inline matching)",
+    )
+    serve_parser.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="worker pool kind for sharded matching",
     )
     _add_backend_arguments(serve_parser)
 
@@ -368,36 +388,42 @@ def _command_gallery_build(args) -> int:
         shard_size=args.shard_size,
     )
     registry, name = _registry_for(args.dir, config=config)
-    gallery = registry.build(name, scans, metadata={"dataset": recipe})
-    registry.persist(name)
-    print(
-        f"built gallery: {gallery.n_subjects} subjects, "
-        f"{gallery.n_features}/{gallery.reference.n_features} features "
-        f"({gallery.method} SVD), saved to {args.dir}"
-    )
-    print(f"fingerprint: {gallery.fingerprint[:16]}…")
-    return 0
+    try:
+        gallery = registry.build(name, scans, metadata={"dataset": recipe})
+        registry.persist(name)
+        print(
+            f"built gallery: {gallery.n_subjects} subjects, "
+            f"{gallery.n_features}/{gallery.reference.n_features} features "
+            f"({gallery.method} SVD), saved to {args.dir}"
+        )
+        print(f"fingerprint: {gallery.fingerprint[:16]}…")
+        return 0
+    finally:
+        registry.close()
 
 
 def _command_gallery_enroll(args) -> int:
     registry, name = _registry_for(args.dir)
-    gallery = registry.get(name)
-    recipe = dict(gallery.metadata.get("dataset") or {})
-    if not recipe:
-        print("gallery carries no dataset recipe; cannot synthesize new subjects",
-              file=sys.stderr)
-        return 1
-    recipe["n_subjects"] = int(recipe["n_subjects"]) + args.extra_subjects
-    dataset = _gallery_dataset(recipe)
-    scans = dataset.generate_session(recipe["task"], encoding="LR", day=1)
-    added = registry.enroll(name, scans)
-    gallery.metadata["dataset"] = recipe
-    registry.persist(name)
-    print(
-        f"enrolled {added} new subject(s); gallery now holds "
-        f"{gallery.n_subjects} subjects (refits: {gallery.refit_count_})"
-    )
-    return 0
+    try:
+        gallery = registry.get(name)
+        recipe = dict(gallery.metadata.get("dataset") or {})
+        if not recipe:
+            print("gallery carries no dataset recipe; cannot synthesize new subjects",
+                  file=sys.stderr)
+            return 1
+        recipe["n_subjects"] = int(recipe["n_subjects"]) + args.extra_subjects
+        dataset = _gallery_dataset(recipe)
+        scans = dataset.generate_session(recipe["task"], encoding="LR", day=1)
+        added = registry.enroll(name, scans)
+        gallery.metadata["dataset"] = recipe
+        registry.persist(name)
+        print(
+            f"enrolled {added} new subject(s); gallery now holds "
+            f"{gallery.n_subjects} subjects (refits: {gallery.refit_count_})"
+        )
+        return 0
+    finally:
+        registry.close()
 
 
 def _command_gallery_identify(args) -> int:
@@ -406,61 +432,67 @@ def _command_gallery_identify(args) -> int:
     config = ServiceConfig(backend=args.backend, precision=args.precision)
     registry, name = _registry_for(args.dir, config=config)
     service = IdentificationService(registry=registry, config=config)
-    gallery = registry.get(name)
-    recipe = gallery.metadata.get("dataset")
-    if not recipe:
-        print("gallery carries no dataset recipe; cannot synthesize probes",
-              file=sys.stderr)
-        return 1
-    dataset = _gallery_dataset(recipe)
-    probes = dataset.generate_session(recipe["task"], encoding="RL", day=2)
-    response = None
-    for _ in range(args.repeat):
-        response = service.identify(IdentifyRequest(gallery=name, scans=probes))
-    if not response.ok:
-        print(f"identify failed: {response.error}", file=sys.stderr)
-        return 1
-    print(
-        f"identified {response.n_probes} probes against "
-        f"{response.n_gallery_subjects} enrolled subjects "
-        f"(backend: {gallery.backend})"
-    )
-    print(f"identification accuracy : {100.0 * response.accuracy:.1f} %")
-    margins = response.margins
-    print(f"mean confidence margin  : {sum(margins) / len(margins):.3f}")
-    stats = service.cache.stats("group_matrix")
-    probe_stats = service.cache.stats("probe")
-    print(
-        f"group-matrix cache      : {stats.hits} hits / {stats.misses} misses "
-        f"over {args.repeat} identify call(s)"
-    )
-    print(
-        f"probe-signature cache   : {probe_stats.hits} hits / "
-        f"{probe_stats.misses} misses"
-    )
-    return 0
+    try:
+        gallery = registry.get(name)
+        recipe = gallery.metadata.get("dataset")
+        if not recipe:
+            print("gallery carries no dataset recipe; cannot synthesize probes",
+                  file=sys.stderr)
+            return 1
+        dataset = _gallery_dataset(recipe)
+        probes = dataset.generate_session(recipe["task"], encoding="RL", day=2)
+        response = None
+        for _ in range(args.repeat):
+            response = service.identify(IdentifyRequest(gallery=name, scans=probes))
+        if not response.ok:
+            print(f"identify failed: {response.error}", file=sys.stderr)
+            return 1
+        print(
+            f"identified {response.n_probes} probes against "
+            f"{response.n_gallery_subjects} enrolled subjects "
+            f"(backend: {gallery.backend})"
+        )
+        print(f"identification accuracy : {100.0 * response.accuracy:.1f} %")
+        margins = response.margins
+        print(f"mean confidence margin  : {sum(margins) / len(margins):.3f}")
+        stats = service.cache.stats("group_matrix")
+        probe_stats = service.cache.stats("probe")
+        print(
+            f"group-matrix cache      : {stats.hits} hits / {stats.misses} misses "
+            f"over {args.repeat} identify call(s)"
+        )
+        print(
+            f"probe-signature cache   : {probe_stats.hits} hits / "
+            f"{probe_stats.misses} misses"
+        )
+        return 0
+    finally:
+        service.close()
 
 
 def _command_gallery_info(args) -> int:
     registry, name = _registry_for(args.dir)
-    gallery = registry.get(name)
-    info = gallery.info()
-    cache_dir = gallery.cache.cache_dir
-    print(f"subjects enrolled   : {info['n_subjects']}")
-    print(
-        "signature features  : "
-        f"{info['n_features_selected']} of {info['n_features_total']}"
-    )
-    print(f"svd backend         : {info['method']} (rank={info['rank']})")
-    print(f"matching backend    : {info['backend'] or 'numpy64 (default)'}")
-    print(f"shard size          : {info['shard_size'] or '(single block)'}")
-    print(f"fingerprint         : {info['fingerprint']}")
-    print(f"disk cache tier     : {cache_dir if cache_dir is not None else '(memory only)'}")
-    _print_cache_kinds(
-        gallery.cache,
-        ("gallery", "gallery_norm", "leverage", "svd", "group_matrix", "probe"),
-    )
-    return 0
+    try:
+        gallery = registry.get(name)
+        info = gallery.info()
+        cache_dir = gallery.cache.cache_dir
+        print(f"subjects enrolled   : {info['n_subjects']}")
+        print(
+            "signature features  : "
+            f"{info['n_features_selected']} of {info['n_features_total']}"
+        )
+        print(f"svd backend         : {info['method']} (rank={info['rank']})")
+        print(f"matching backend    : {info['backend'] or 'numpy64 (default)'}")
+        print(f"shard size          : {info['shard_size'] or '(single block)'}")
+        print(f"fingerprint         : {info['fingerprint']}")
+        print(f"disk cache tier     : {cache_dir if cache_dir is not None else '(memory only)'}")
+        _print_cache_kinds(
+            gallery.cache,
+            ("gallery", "gallery_norm", "leverage", "svd", "group_matrix", "probe"),
+        )
+        return 0
+    finally:
+        registry.close()
 
 
 def _command_serve(args) -> int:
@@ -474,19 +506,44 @@ def _command_serve(args) -> int:
 
 
 def _serve(args) -> int:
-    import asyncio
-
-    from repro.service import IdentificationService, IdentifyRequest, ServiceConfig
+    from repro.service import IdentificationService, ServiceConfig
 
     config = ServiceConfig(
         max_batch_size=args.max_batch,
         batch_window_s=args.window,
         backend=args.backend,
         precision=args.precision,
+        max_workers=args.workers,
+        executor=args.executor,
+        http_host=args.host,
+        http_port=args.http if args.http is not None else 8035,
     )
     registry, name = _registry_for(args.dir, config=config)
     service = IdentificationService(registry=registry, config=config)
-    gallery = registry.get(name)
+    # Everything below must release the runner pool and /dev/shm segments on
+    # every exit path — early returns and mid-round ReproErrors included.
+    try:
+        if args.http is not None:
+            return _serve_http(service, name)
+        return _serve_rounds(service, name, args)
+    finally:
+        service.close()
+
+
+def _serve_rounds(service, name, args) -> int:
+    """Synthetic-load mode: N concurrent requests, R rounds, one event loop.
+
+    All rounds run inside a single ``asyncio.run`` so round 2+ reuses the
+    event loop — and therefore the per-loop micro-batcher — it claims to be
+    measuring warm.  (One loop per round would create a fresh batcher each
+    time; ``ServiceStats.batchers`` staying at 1 is the observable proof of
+    reuse.)
+    """
+    import asyncio
+
+    from repro.service import IdentifyRequest
+
+    gallery = service.registry.get(name)
     recipe = gallery.metadata.get("dataset")
     if not recipe:
         print("gallery carries no dataset recipe; cannot synthesize probes",
@@ -497,22 +554,30 @@ def _serve(args) -> int:
     n_requests = min(args.requests, len(probes))
     groups = [probes[i::n_requests] for i in range(n_requests)]
 
-    async def serve_round():
-        requests = [IdentifyRequest(gallery=name, scans=group) for group in groups]
-        return await asyncio.gather(
-            *(service.identify_async(request) for request in requests)
-        )
+    async def serve_rounds():
+        last = []
+        for round_index in range(args.rounds):
+            requests = [IdentifyRequest(gallery=name, scans=group) for group in groups]
+            start = time.perf_counter()
+            last = await asyncio.gather(
+                *(service.identify_async(request) for request in requests)
+            )
+            elapsed = time.perf_counter() - start
+            label = "cold" if round_index == 0 else "warm"
+            print(
+                f"round {round_index + 1} ({label}): served {len(last)} "
+                f"concurrent requests in {1e3 * elapsed:.1f} ms "
+                f"(max coalesced batch: {max(r.batch_size for r in last)})"
+            )
+        return last, service.stats()
 
-    responses = []
-    for round_index in range(args.rounds):
-        start = time.perf_counter()
-        responses = asyncio.run(serve_round())
-        elapsed = time.perf_counter() - start
-        label = "cold" if round_index == 0 else "warm"
+    responses, stats = asyncio.run(serve_rounds())
+    if stats.batchers != 1:
         print(
-            f"round {round_index + 1} ({label}): served {len(responses)} "
-            f"concurrent requests in {1e3 * elapsed:.1f} ms "
-            f"(max coalesced batch: {max(r.batch_size for r in responses)})"
+            f"warning: {stats.batchers} micro-batchers were live after "
+            f"{args.rounds} rounds (expected 1: warm rounds should reuse "
+            "the same event loop's batcher)",
+            file=sys.stderr,
         )
     failed = [response for response in responses if not response.ok]
     for response in failed:
@@ -530,10 +595,42 @@ def _serve(args) -> int:
         print(f"identification accuracy : {100.0 * n_correct / n_probes:.1f} %")
     print(f"matching backend        : {gallery.backend}")
     print()
+    for line in stats.summary_lines():
+        print(line)
+    return 1 if failed else 0
+
+
+def _serve_http(service, name) -> int:
+    """HTTP mode: serve the gallery until SIGINT/SIGTERM, then drain."""
+    import asyncio
+    import signal
+
+    from repro.service.http import HttpServiceServer
+
+    service.registry.get(name)  # fail fast on a missing/corrupt gallery
+
+    async def run_server():
+        server = HttpServiceServer(service)
+        await server.start()
+        host, port = server.address
+        print(f"serving gallery {name!r} on http://{host}:{port}", flush=True)
+        print("endpoints: POST /identify  POST /enroll  GET /stats  GET /healthz",
+              flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.stop)
+            except NotImplementedError:  # pragma: no cover - non-Unix loop
+                signal.signal(signum, lambda *_: server.stop())
+        await server.serve_forever()
+        print("shutdown: in-flight batches drained", flush=True)
+        return server.requests_served
+
+    served = asyncio.run(run_server())
+    print(f"requests served over HTTP: {served}")
     for line in service.stats().summary_lines():
         print(line)
-    service.close()
-    return 1 if failed else 0
+    return 0
 
 
 def _command_gallery(args) -> int:

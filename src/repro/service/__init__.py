@@ -18,6 +18,11 @@ service (datasets → gallery → service):
     :class:`IdentificationService` — sync and ``asyncio`` identification,
     with the async path micro-batching concurrent requests into one stacked
     sharded match (bit-identical to serial identifies).
+``http``
+    :class:`HttpServiceServer` / :class:`ServiceClient` — a stdlib-asyncio
+    HTTP front end over ``identify_async`` (``POST /identify``,
+    ``POST /enroll``, ``GET /stats``, ``GET /healthz``) whose responses are
+    bit-identical to in-process identifies, plus the blocking client.
 """
 
 from repro.service.config import ServiceConfig
@@ -30,6 +35,12 @@ from repro.service.messages import (
 )
 from repro.service.registry import GalleryRegistry
 from repro.service.service import IdentificationService
+from repro.service.http import (
+    BackgroundHttpServer,
+    HttpServiceError,
+    HttpServiceServer,
+    ServiceClient,
+)
 
 __all__ = [
     "ServiceConfig",
@@ -40,4 +51,8 @@ __all__ = [
     "ServiceStats",
     "GalleryRegistry",
     "IdentificationService",
+    "BackgroundHttpServer",
+    "HttpServiceError",
+    "HttpServiceServer",
+    "ServiceClient",
 ]

@@ -74,6 +74,13 @@ class ServiceConfig:
         before flushing; ``0.0`` flushes on the next event-loop tick, which
         already coalesces everything submitted concurrently (e.g. via
         ``asyncio.gather``).
+    http_host / http_port:
+        Bind address of the HTTP front end
+        (:class:`~repro.service.http.HttpServiceServer`); ``http_port=0``
+        binds an ephemeral port.
+    max_request_bytes:
+        Largest HTTP request body accepted; larger declared bodies are
+        refused with ``413`` before the body is read.
     """
 
     n_features: int = 100
@@ -94,6 +101,9 @@ class ServiceConfig:
     batch_window_s: float = 0.0
     max_galleries: Optional[int] = None
     gallery_ttl_s: Optional[float] = None
+    http_host: str = "127.0.0.1"
+    http_port: int = 8035
+    max_request_bytes: int = 64 * 1024 * 1024
 
     def __post_init__(self):
         if self.n_features < 1:
@@ -142,6 +152,18 @@ class ServiceConfig:
         if self.batch_window_s < 0:
             raise ConfigurationError(
                 f"batch_window_s must be >= 0, got {self.batch_window_s}"
+            )
+        if not isinstance(self.http_host, str) or not self.http_host:
+            raise ConfigurationError(
+                f"http_host must be a non-empty string, got {self.http_host!r}"
+            )
+        if not 0 <= int(self.http_port) <= 65535:
+            raise ConfigurationError(
+                f"http_port must be in [0, 65535], got {self.http_port}"
+            )
+        if int(self.max_request_bytes) < 1:
+            raise ConfigurationError(
+                f"max_request_bytes must be >= 1, got {self.max_request_bytes}"
             )
 
     # ------------------------------------------------------------------ #

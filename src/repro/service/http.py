@@ -1,0 +1,764 @@
+"""HTTP front end over the identification service (stdlib only).
+
+:class:`HttpServiceServer` exposes an
+:class:`~repro.service.service.IdentificationService` over a small
+``asyncio``-streams HTTP/1.1 server — no third-party web framework, no new
+dependency.  Four routes cover the serving surface:
+
+``POST /identify``
+    Body: an :class:`~repro.service.messages.IdentifyRequest` envelope
+    (``to_dict`` form) plus a ``"scans"`` list in the wire codec below.
+    Response: the :class:`~repro.service.messages.IdentifyResponse`
+    ``to_dict`` document, **bit-identical** to an in-process
+    :meth:`~repro.gallery.reference.ReferenceGallery.identify` of the same
+    probes (JSON floats round-trip exactly: ``json.dumps`` emits the
+    shortest repr of a double and ``json.loads`` parses back the same bits).
+``POST /enroll``
+    Body: an :class:`~repro.service.messages.EnrollRequest` envelope plus
+    ``"scans"``.  Response: the ``EnrollResponse`` document.
+``GET /stats``
+    The :class:`~repro.service.messages.ServiceStats` snapshot.
+``GET /healthz``
+    Liveness: ``{"status": "ok", "galleries": [...]}``.
+
+Every connection handler is a coroutine on the server's event loop, and
+identifies flow through :meth:`identify_async` — so concurrent HTTP clients
+are coalesced by the same per-event-loop micro-batcher that serves
+in-process ``asyncio.gather`` load: N network clients awaiting identifies
+against one gallery cost one stacked match, not N.
+
+Error mapping is structured: a malformed body is a ``400`` with a
+``{"status": "error", "error": {"type", "message"}}`` document, an unknown
+gallery is a ``404``, a body larger than
+``ServiceConfig.max_request_bytes`` is a ``413``, an unknown route a
+``404`` (``405`` for a known path with the wrong method).
+
+Shutdown is graceful: :meth:`HttpServiceServer.shutdown` stops accepting,
+drains every in-flight request (letting pending micro-batches flush), and
+closes idle connections — the CLI's ``serve --http`` mode wires SIGINT /
+SIGTERM to it and calls ``service.close()`` afterwards.
+
+:class:`ServiceClient` is the matching blocking client on stdlib
+``http.client``, used by the tests, the HTTP benchmark, and the CI smoke
+step.  :class:`BackgroundHttpServer` runs a server on a dedicated thread
+with its own event loop for in-process tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.base import ScanRecord
+from repro.exceptions import ReproError, ValidationError
+from repro.service.messages import (
+    EnrollRequest,
+    EnrollResponse,
+    IdentifyRequest,
+    IdentifyResponse,
+    ServiceStats,
+)
+from repro.service.service import IdentificationService
+
+#: Reason phrases for the status codes the server actually emits.
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+#: Routes and the methods they accept (anything else is 404/405).
+_ROUTES = {
+    "/identify": ("POST",),
+    "/enroll": ("POST",),
+    "/stats": ("GET",),
+    "/healthz": ("GET",),
+}
+
+
+class HttpServiceError(ReproError):
+    """A non-2xx response from the HTTP serving API.
+
+    Carries the HTTP ``status`` and the decoded JSON ``payload`` so callers
+    (and tests) can distinguish a 404 from a 400 without string matching.
+    """
+
+    def __init__(self, status: int, payload: Dict[str, Any]):
+        self.status = int(status)
+        self.payload = dict(payload)
+        detail = payload.get("error")
+        if isinstance(detail, dict):
+            message = f"{detail.get('type', 'Error')}: {detail.get('message', '')}"
+        else:
+            message = str(detail or payload)
+        super().__init__(f"HTTP {status}: {message}")
+
+
+# --------------------------------------------------------------------------- #
+# Wire codec: scan payloads over JSON
+# --------------------------------------------------------------------------- #
+def scan_to_wire(scan: ScanRecord) -> Dict[str, Any]:
+    """One scan as a JSON-serializable document.
+
+    The time series goes over the wire as nested lists of Python floats;
+    ``json`` emits the shortest round-tripping repr of each double, so the
+    array rebuilt by :func:`scan_from_wire` is bit-identical to the
+    original — the foundation of the HTTP path's bit-identity contract.
+    """
+    return {
+        "subject_id": scan.subject_id,
+        "task": scan.task,
+        "session": scan.session,
+        "timeseries": np.asarray(scan.timeseries, dtype=np.float64).tolist(),
+        "site": scan.site,
+        "performance": None if scan.performance is None else float(scan.performance),
+        "diagnosis": scan.diagnosis,
+    }
+
+
+def scan_from_wire(payload: Any) -> ScanRecord:
+    """Rebuild a :class:`~repro.datasets.base.ScanRecord` from its wire form."""
+    if not isinstance(payload, dict):
+        raise ValidationError("each scan must be a JSON object")
+    missing = [key for key in ("subject_id", "task", "session", "timeseries") if key not in payload]
+    if missing:
+        raise ValidationError(f"scan payload is missing field(s): {missing}")
+    try:
+        timeseries = np.asarray(payload["timeseries"], dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"scan timeseries is not a numeric matrix: {exc}") from None
+    performance = payload.get("performance")
+    return ScanRecord(
+        subject_id=str(payload["subject_id"]),
+        task=str(payload["task"]),
+        session=str(payload["session"]),
+        timeseries=timeseries,
+        site=payload.get("site"),
+        performance=None if performance is None else float(performance),
+        diagnosis=payload.get("diagnosis"),
+    )
+
+
+def identify_request_to_wire(request: IdentifyRequest) -> Dict[str, Any]:
+    """The full HTTP body of an identify request (envelope + scan payload)."""
+    if request.scans is None:
+        raise ValidationError(
+            "the HTTP transport carries scan payloads only; build the "
+            "IdentifyRequest with scans= (pre-built probe matrices are "
+            "in-process only)"
+        )
+    document = request.to_dict()
+    document["scans"] = [scan_to_wire(scan) for scan in request.scans]
+    return document
+
+
+def identify_request_from_wire(payload: Dict[str, Any]) -> IdentifyRequest:
+    """Decode an HTTP identify body into a payload-carrying request."""
+    if not isinstance(payload, dict):
+        raise ValidationError("the request body must be a JSON object")
+    if "gallery" not in payload:
+        raise ValidationError("an identify body needs a 'gallery' field")
+    scans = payload.get("scans")
+    if not isinstance(scans, list) or not scans:
+        raise ValidationError("an identify body needs a non-empty 'scans' list")
+    return IdentifyRequest(
+        gallery=payload["gallery"],
+        scans=[scan_from_wire(scan) for scan in scans],
+        request_id=str(payload.get("request_id", "")),
+        metadata=dict(payload.get("metadata") or {}),
+    )
+
+
+def enroll_request_to_wire(request: EnrollRequest) -> Dict[str, Any]:
+    """The full HTTP body of an enroll request (envelope + scan payload)."""
+    if request.scans is None:
+        raise ValidationError("an HTTP EnrollRequest needs a scans payload")
+    document = request.to_dict()
+    document["scans"] = [scan_to_wire(scan) for scan in request.scans]
+    return document
+
+
+def enroll_request_from_wire(payload: Dict[str, Any]) -> EnrollRequest:
+    """Decode an HTTP enroll body into a payload-carrying request."""
+    if not isinstance(payload, dict):
+        raise ValidationError("the request body must be a JSON object")
+    if "gallery" not in payload:
+        raise ValidationError("an enroll body needs a 'gallery' field")
+    scans = payload.get("scans")
+    if not isinstance(scans, list) or not scans:
+        raise ValidationError("an enroll body needs a non-empty 'scans' list")
+    return EnrollRequest(
+        gallery=payload["gallery"],
+        scans=[scan_from_wire(scan) for scan in scans],
+        create=bool(payload.get("create", False)),
+        request_id=str(payload.get("request_id", "")),
+        metadata=dict(payload.get("metadata") or {}),
+    )
+
+
+def _error_body(kind: str, message: str) -> Dict[str, Any]:
+    """The structured error document every non-2xx response carries."""
+    return {"status": "error", "error": {"type": kind, "message": message}}
+
+
+class _HttpRequest:
+    """One parsed inbound request (method, path, headers, raw body)."""
+
+    __slots__ = ("method", "path", "headers", "body", "keep_alive")
+
+    def __init__(self, method: str, path: str, headers: Dict[str, str], body: bytes):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+        self.keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+
+
+class _BadRequestLine(Exception):
+    """Unparseable request line / headers: answer 400 and drop the connection."""
+
+
+class _OversizedBody(Exception):
+    """Declared body exceeds the limit: answer 413 and drop the connection."""
+
+
+class _UnsupportedEncoding(Exception):
+    """Transfer-Encoding request bodies are not supported: answer 501.
+
+    Silently ignoring the header would desync the connection (the unread
+    chunk framing would be parsed as the next request line), so the
+    connection is answered cleanly and closed instead.
+    """
+
+
+class HttpServiceServer:
+    """Serve an :class:`IdentificationService` over asyncio HTTP.
+
+    Parameters
+    ----------
+    service:
+        The service to expose.  Its config supplies the defaults for every
+        transport knob below.
+    host / port:
+        Bind address; ``port=0`` binds an ephemeral port (read it back from
+        :attr:`port` after :meth:`start`).
+    max_request_bytes:
+        Largest accepted request body; larger declared bodies are refused
+        with ``413`` before any byte of the body is read.
+
+    Lifecycle: ``await start()`` binds the listener, ``await
+    serve_forever()`` runs until :meth:`stop` (loop-thread) is called, then
+    performs the graceful :meth:`shutdown` — stop accepting, drain every
+    in-flight request, close idle connections.
+    """
+
+    def __init__(
+        self,
+        service: IdentificationService,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        max_request_bytes: Optional[int] = None,
+    ):
+        config = service.config
+        self.service = service
+        self.host = host if host is not None else config.http_host
+        self.port = int(port if port is not None else config.http_port)
+        self.max_request_bytes = int(
+            max_request_bytes if max_request_bytes is not None else config.max_request_bytes
+        )
+        if self.max_request_bytes < 1:
+            raise ValidationError(
+                f"max_request_bytes must be >= 1, got {self.max_request_bytes}"
+            )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._writers: set = set()
+        self._inflight = 0
+        self._closing = False
+        self._requests_served = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind the listener (and resolve an ephemeral port)."""
+        if self._server is not None:
+            raise ValidationError("the server is already started")
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def stop(self) -> None:
+        """Request shutdown (call on the server's event loop thread)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`stop` is called, then shut down gracefully."""
+        if self._server is None:
+            await self.start()
+        assert self._stop_event is not None
+        await self._stop_event.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain in-flight requests, close connections.
+
+        Idempotent.  In-flight identifies finish through their pending
+        micro-batches (nothing is cancelled); only then are the remaining
+        keep-alive connections closed.
+        """
+        self._closing = True
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        while self._inflight > 0:
+            await asyncio.sleep(0.005)
+        # In-flight work is done (responses written); unblock idle keep-alive
+        # connections and wait for every handler to observe EOF and exit, so
+        # the event loop shuts down without cancelling anything mid-cleanup.
+        for writer in list(self._writers):
+            writer.close()
+        while self._writers:
+            await asyncio.sleep(0.005)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` pair."""
+        return self.host, self.port
+
+    @property
+    def requests_served(self) -> int:
+        """How many HTTP requests this server has answered."""
+        return self._requests_served
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while not self._closing:
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequestLine as exc:
+                    await self._write_response(
+                        writer, 400, _error_body("MalformedRequest", str(exc)), False
+                    )
+                    break
+                except _OversizedBody as exc:
+                    await self._write_response(
+                        writer, 413, _error_body("PayloadTooLarge", str(exc)), False
+                    )
+                    # The client may still be mid-upload; a plain close would
+                    # RST the un-read upload away and the 413 with it.
+                    await self._linger_close(reader, writer)
+                    break
+                except _UnsupportedEncoding as exc:
+                    await self._write_response(
+                        writer, 501, _error_body("NotImplemented", str(exc)), False
+                    )
+                    break
+                if request is None:
+                    break
+                # In-flight covers the response write too, so a draining
+                # shutdown never closes a connection mid-answer.
+                self._inflight += 1
+                try:
+                    status, body = await self._dispatch(request)
+                    keep_alive = request.keep_alive and not self._closing
+                    await self._write_response(writer, status, body, keep_alive)
+                    self._requests_served += 1
+                finally:
+                    self._inflight -= 1
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> Optional[_HttpRequest]:
+        """Parse one request off the stream (``None`` = clean EOF)."""
+        try:
+            request_line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise _BadRequestLine("request line too long") from None
+        if not request_line or not request_line.strip():
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _BadRequestLine(f"malformed request line: {request_line[:80]!r}")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                raise _BadRequestLine("header line too long") from None
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        if "transfer-encoding" in headers:
+            raise _UnsupportedEncoding(
+                "Transfer-Encoding request bodies are not supported; "
+                "send a Content-Length body"
+            )
+        try:
+            content_length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _BadRequestLine("unparseable Content-Length header") from None
+        if content_length < 0:
+            raise _BadRequestLine("negative Content-Length header")
+        if content_length > self.max_request_bytes:
+            raise _OversizedBody(
+                f"request body of {content_length} bytes exceeds the "
+                f"{self.max_request_bytes}-byte limit"
+            )
+        body = await reader.readexactly(content_length) if content_length else b""
+        path = target.split("?", 1)[0]
+        return _HttpRequest(method.upper(), path, headers, body)
+
+    async def _linger_close(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        deadline_s: float = 10.0,
+    ) -> None:
+        """Half-close, then discard the client's remaining upload until EOF.
+
+        A refused request (413) is answered while the client may still be
+        writing megabytes of body; closing the socket outright makes the
+        kernel RST the connection and the client sees a broken pipe instead
+        of the response.  Shutting down only our write side and draining the
+        upload (time-bounded) lets the client finish sending and read the
+        413.
+        """
+        try:
+            if writer.can_write_eof():
+                writer.write_eof()
+        except (OSError, RuntimeError):
+            return
+        deadline = asyncio.get_running_loop().time() + deadline_s
+        try:
+            while asyncio.get_running_loop().time() < deadline:
+                chunk = await asyncio.wait_for(reader.read(65536), timeout=deadline_s)
+                if not chunk:
+                    break
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass  # slow or gone client: give up on the lingering drain
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: Dict[str, Any],
+        keep_alive: bool,
+    ) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, request: _HttpRequest) -> Tuple[int, Dict[str, Any]]:
+        methods = _ROUTES.get(request.path)
+        if methods is None:
+            return 404, _error_body("NotFound", f"unknown path {request.path!r}")
+        if request.method not in methods:
+            return 405, _error_body(
+                "MethodNotAllowed",
+                f"{request.path} accepts {'/'.join(methods)}, not {request.method}",
+            )
+        try:
+            if request.path == "/healthz":
+                return 200, {"status": "ok", "galleries": self.service.registry.names()}
+            if request.path == "/stats":
+                return 200, self.service.stats().to_dict()
+            if request.path == "/identify":
+                return await self._handle_identify(request)
+            return await self._handle_enroll(request)
+        except Exception as exc:  # noqa: BLE001 - a handler bug must not kill the connection loop
+            return 500, _error_body(type(exc).__name__, str(exc))
+
+    def _decode_json(self, request: _HttpRequest) -> Dict[str, Any]:
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValidationError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ValidationError("the request body must be a JSON object")
+        return payload
+
+    async def _handle_identify(self, request: _HttpRequest) -> Tuple[int, Dict[str, Any]]:
+        try:
+            payload = self._decode_json(request)
+            message = identify_request_from_wire(payload)
+        except ReproError as exc:
+            return 400, _error_body(type(exc).__name__, str(exc))
+        if message.gallery not in self.service.registry:
+            return 404, _error_body(
+                "UnknownGallery", f"unknown gallery {message.gallery!r}"
+            )
+        response = await self.service.identify_async(message)
+        return (200 if response.ok else 400), response.to_dict()
+
+    async def _handle_enroll(self, request: _HttpRequest) -> Tuple[int, Dict[str, Any]]:
+        try:
+            payload = self._decode_json(request)
+            message = enroll_request_from_wire(payload)
+        except ReproError as exc:
+            return 400, _error_body(type(exc).__name__, str(exc))
+        if not message.create and message.gallery not in self.service.registry:
+            return 404, _error_body(
+                "UnknownGallery",
+                f"unknown gallery {message.gallery!r} (set create=true to build it)",
+            )
+        # Enrollment re-fits the gallery (CPU-bound); keep the loop serving.
+        loop = asyncio.get_running_loop()
+        response = await loop.run_in_executor(None, self.service.enroll, message)
+        return (200 if response.ok else 400), response.to_dict()
+
+
+class BackgroundHttpServer:
+    """Run an :class:`HttpServiceServer` on its own thread and event loop.
+
+    The in-process harness tests and benchmarks use: start a server without
+    blocking the caller, read back the bound port, and stop it with a
+    graceful drain.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        service: IdentificationService,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        max_request_bytes: Optional[int] = None,
+    ):
+        self.server = HttpServiceServer(
+            service, host=host, port=port, max_request_bytes=max_request_bytes
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self, timeout: float = 10.0) -> "BackgroundHttpServer":
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            try:
+                await self.server.start()
+            except BaseException as exc:  # noqa: BLE001 - reported to the caller
+                self._startup_error = exc
+                self._started.set()
+                raise
+            self._started.set()
+            await self.server.serve_forever()
+
+        def run() -> None:
+            try:
+                asyncio.run(main())
+            except BaseException:  # noqa: BLE001 - startup errors surface via start()
+                if not self._started.is_set():
+                    self._started.set()
+
+        self._thread = threading.Thread(target=run, name="repro-http-server", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise ValidationError("the HTTP server did not start within the timeout")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Request a graceful shutdown and join the server thread."""
+        if self._thread is None:
+            return
+        if self._loop is not None and not self._loop.is_closed():
+            try:
+                self._loop.call_soon_threadsafe(self.server.stop)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+        self._thread.join(timeout)
+        self._thread = None
+
+    def __enter__(self) -> "BackgroundHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class ServiceClient:
+    """Blocking HTTP client of the serving API (stdlib ``http.client``).
+
+    One client owns one keep-alive connection; it is **not** thread-safe —
+    use one client per thread (each holding its own connection is also what
+    makes concurrent clients coalesce server-side).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8035, timeout: float = 60.0):
+        import http.client
+
+        self.host = host
+        self.port = int(port)
+        self._conn = http.client.HTTPConnection(host, self.port, timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str, payload: Optional[Dict[str, Any]] = None):
+        import http.client
+
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {} if body is None else {"Content-Type": "application/json"}
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+        except (ConnectionError, OSError):
+            # The send failed: either the server closed an idle keep-alive
+            # connection, or it refused mid-upload (413 lingering close).
+            # A waiting response takes priority — only if none is readable
+            # is it safe to resend (the server never saw a whole request,
+            # so a non-idempotent POST cannot have executed).
+            response = data = None
+            if self._conn.sock is not None:
+                try:
+                    response = self._conn.getresponse()
+                    data = response.read()
+                except (OSError, http.client.HTTPException):
+                    response = None
+            if response is None:
+                self._conn.close()
+                self._conn.request(method, path, body=body, headers=headers)
+                response = self._conn.getresponse()
+                data = response.read()
+        else:
+            try:
+                response = self._conn.getresponse()
+                data = response.read()
+            except (ConnectionError, OSError):
+                # The request was fully sent but the response never came
+                # back.  Re-sending would be safe for GETs only — the server
+                # may have executed a POST (enroll!) before dying, and a
+                # blind retry would run it twice.
+                self._conn.close()
+                if method != "GET":
+                    raise
+                self._conn.request(method, path, body=body, headers=headers)
+                response = self._conn.getresponse()
+                data = response.read()
+        if response.will_close:
+            self._conn.close()
+        try:
+            document = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpServiceError(
+                response.status, _error_body("MalformedResponse", str(exc))
+            ) from None
+        if response.status >= 400:
+            raise HttpServiceError(response.status, document)
+        return document
+
+    # ------------------------------------------------------------------ #
+    # API surface
+    # ------------------------------------------------------------------ #
+    def identify(
+        self,
+        request: Optional[IdentifyRequest] = None,
+        *,
+        gallery: Optional[str] = None,
+        scans: Optional[Sequence[ScanRecord]] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> IdentifyResponse:
+        """POST one identify request; returns the typed response message."""
+        if request is None:
+            if gallery is None or scans is None:
+                raise ValidationError(
+                    "identify() needs an IdentifyRequest or gallery= and scans="
+                )
+            request = IdentifyRequest(
+                gallery=gallery, scans=list(scans), metadata=dict(metadata or {})
+            )
+        document = self._request("POST", "/identify", identify_request_to_wire(request))
+        return IdentifyResponse.from_dict(document)
+
+    def enroll(
+        self,
+        request: Optional[EnrollRequest] = None,
+        *,
+        gallery: Optional[str] = None,
+        scans: Optional[Sequence[ScanRecord]] = None,
+        create: bool = False,
+    ) -> EnrollResponse:
+        """POST one enroll request; returns the typed response message."""
+        if request is None:
+            if gallery is None or scans is None:
+                raise ValidationError(
+                    "enroll() needs an EnrollRequest or gallery= and scans="
+                )
+            request = EnrollRequest(gallery=gallery, scans=list(scans), create=create)
+        document = self._request("POST", "/enroll", enroll_request_to_wire(request))
+        return EnrollResponse.from_dict(document)
+
+    def stats(self) -> ServiceStats:
+        """GET the serving statistics snapshot."""
+        return ServiceStats.from_dict(self._request("GET", "/stats"))
+
+    def healthz(self) -> Dict[str, Any]:
+        """GET the liveness document."""
+        return self._request("GET", "/healthz")
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        self._conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = [
+    "BackgroundHttpServer",
+    "HttpServiceError",
+    "HttpServiceServer",
+    "ServiceClient",
+    "enroll_request_from_wire",
+    "enroll_request_to_wire",
+    "identify_request_from_wire",
+    "identify_request_to_wire",
+    "scan_from_wire",
+    "scan_to_wire",
+]

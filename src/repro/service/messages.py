@@ -308,6 +308,11 @@ class ServiceStats:
         Largest number of requests ever coalesced into one batch.
     errors:
         Requests that came back with ``status == "error"``.
+    batchers:
+        Live per-event-loop micro-batchers.  A well-behaved serving process
+        runs every round of traffic on one event loop, so this stays at 1 —
+        a higher number means callers are spinning up a fresh loop (and a
+        fresh, never-warm batcher) per burst.
     galleries:
         Per-gallery identify-request counters.
     cache_kinds:
@@ -323,6 +328,7 @@ class ServiceStats:
     coalesced_batches: int = 0
     max_batch_size: int = 0
     errors: int = 0
+    batchers: int = 0
     galleries: Dict[str, int] = field(default_factory=dict)
     cache_kinds: Dict[str, Dict[str, float]] = field(default_factory=dict)
     cache_dir: Optional[str] = None
@@ -344,6 +350,7 @@ class ServiceStats:
             "max_batch_size": int(self.max_batch_size),
             "mean_batch_size": self.mean_batch_size,
             "errors": int(self.errors),
+            "batchers": int(self.batchers),
             "galleries": dict(self.galleries),
             "cache_kinds": {
                 kind: dict(stats) for kind, stats in self.cache_kinds.items()
@@ -361,6 +368,7 @@ class ServiceStats:
             coalesced_batches=int(payload.get("coalesced_batches", 0)),
             max_batch_size=int(payload.get("max_batch_size", 0)),
             errors=int(payload.get("errors", 0)),
+            batchers=int(payload.get("batchers", 0)),
             galleries=dict(payload.get("galleries", {})),
             cache_kinds={
                 kind: dict(stats)
@@ -377,6 +385,7 @@ class ServiceStats:
             f"stacked matches     : {self.batches} "
             f"({self.coalesced_batches} coalesced, "
             f"mean batch {self.mean_batch_size:.1f}, max {self.max_batch_size})",
+            f"micro-batchers      : {self.batchers} event loop(s)",
             f"disk cache tier     : {self.cache_dir or '(memory only)'}",
         ]
         for kind in sorted(self.cache_kinds):

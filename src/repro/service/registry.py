@@ -118,6 +118,7 @@ class GalleryRegistry:
         self._backend_overrides: Dict[str, str] = {}
         self._auto_evictions = 0
         self._lock = threading.RLock()
+        self._close_lock = threading.Lock()
 
     @staticmethod
     def _state_token(gallery: ReferenceGallery) -> Any:
@@ -359,10 +360,15 @@ class GalleryRegistry:
 
         The registry stays usable (galleries remain registered; the runner
         lazily respawns its pool), so this is safe to call between bursts of
-        traffic as well as at shutdown.
+        traffic as well as at shutdown.  Idempotent and thread-safe: a
+        second ``close()`` is a no-op, concurrent closes serialize on a
+        dedicated lock (never the registry lock, so a close can't deadlock
+        against serving), and a shard run in flight simply finishes first —
+        ``ExperimentRunner.shutdown`` waits for its pool.
         """
-        if self.runner is not None and hasattr(self.runner, "shutdown"):
-            self.runner.shutdown()
+        with self._close_lock:
+            if self.runner is not None and hasattr(self.runner, "shutdown"):
+                self.runner.shutdown()
 
     # ------------------------------------------------------------------ #
     # Introspection

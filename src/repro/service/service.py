@@ -89,6 +89,7 @@ class IdentificationService:
         #: post-enroll selector against pre-enroll signatures.
         self._serve_lock = threading.RLock()
         self._stats_lock = threading.Lock()
+        self._close_lock = threading.Lock()
         self._requests = 0
         self._probes = 0
         self._batches = 0
@@ -189,7 +190,7 @@ class IdentificationService:
         loop = asyncio.get_running_loop()
         batcher = self._batchers.get(loop)
         if batcher is None:
-            batcher = _MicroBatcher(self, loop)
+            batcher = _MicroBatcher(self)
             self._batchers[loop] = batcher
         return await batcher.submit(request)
 
@@ -201,9 +202,14 @@ class IdentificationService:
 
         Delegates to the registry; serving stays possible afterwards (the
         pool respawns lazily), so this is a resource checkpoint, not a
-        terminal shutdown.
+        terminal shutdown.  Idempotent and thread-safe: a second ``close()``
+        is a no-op, and calling it with requests in flight is allowed —
+        the HTTP shutdown path invokes it from a signal handler while the
+        last batches drain.  It deliberately does **not** take the serve
+        lock, so it can never deadlock against an in-flight batch.
         """
-        self.registry.close()
+        with self._close_lock:
+            self.registry.close()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -218,6 +224,12 @@ class IdentificationService:
                 coalesced_batches=self._coalesced_batches,
                 max_batch_size=self._max_batch_size,
                 errors=self._errors,
+                # Count batchers of loops that are still open: a loop that
+                # exited (e.g. a finished asyncio.run) may linger in a GC
+                # cycle for a while, but its batcher can never serve again.
+                batchers=sum(
+                    1 for loop in self._batchers if not loop.is_closed()
+                ),
                 galleries=dict(self._per_gallery),
             )
         snapshot.cache_kinds = self.cache.stats_by_kind()
@@ -461,19 +473,24 @@ class _MicroBatcher:
     submission, groups the drained requests by gallery, and serves each
     group through :meth:`IdentificationService._identify_batch` in chunks of
     ``max_batch_size``.
+
+    The batcher deliberately holds **no** reference to its event loop (it
+    resolves ``get_running_loop()`` per call): it lives as a value in the
+    service's loop-keyed ``WeakKeyDictionary``, and a value that referenced
+    its own key would pin dead loops — and their batchers — forever.
     """
 
-    def __init__(self, service: IdentificationService, loop: asyncio.AbstractEventLoop):
+    def __init__(self, service: IdentificationService):
         self._service = service
-        self._loop = loop
         self._pending: List[Tuple[IdentifyRequest, "asyncio.Future[IdentifyResponse]"]] = []
         self._flush_task: Optional["asyncio.Task[None]"] = None
 
     async def submit(self, request: IdentifyRequest) -> IdentifyResponse:
-        future: "asyncio.Future[IdentifyResponse]" = self._loop.create_future()
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[IdentifyResponse]" = loop.create_future()
         self._pending.append((request, future))
         if self._flush_task is None or self._flush_task.done():
-            self._flush_task = self._loop.create_task(self._flush_after_window())
+            self._flush_task = loop.create_task(self._flush_after_window())
         return await future
 
     async def _flush_after_window(self) -> None:
@@ -504,7 +521,7 @@ class _MicroBatcher:
                     # The stacked match is CPU-bound; run it off the event
                     # loop so other coroutines (heartbeats, unrelated
                     # requests) keep running while the batch computes.
-                    responses = await self._loop.run_in_executor(
+                    responses = await asyncio.get_running_loop().run_in_executor(
                         None,
                         self._service._identify_batch,
                         name,

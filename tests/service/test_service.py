@@ -159,6 +159,21 @@ class TestAsyncServing:
         assert stats.batches == 5
         assert stats.mean_batch_size == pytest.approx(len(probes))
 
+    def test_batchers_gauge_only_counts_live_event_loops(self, service, sessions):
+        """A fresh ``asyncio.run`` per burst must not inflate the gauge:
+        batchers of closed loops are dead weight, not serving capacity."""
+        _, probes = sessions
+
+        async def one_burst():
+            request = IdentifyRequest(gallery="hcp", scans=[probes[0]])
+            response = await service.identify_async(request)
+            assert response.ok
+            return service.stats().batchers
+
+        for _ in range(3):
+            assert asyncio.run(one_burst()) == 1
+        assert service.stats().batchers == 0  # every loop above is closed
+
     def test_sequential_awaits_do_not_batch(self, service, sessions):
         _, probes = sessions
 

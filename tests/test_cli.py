@@ -1,8 +1,21 @@
 """Tests for the command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main
+
+
+def _shm_segments():
+    """Live repro shared-memory segments (the leak check)."""
+    from repro.runtime.shm import SEGMENT_PREFIX
+
+    shm_root = Path("/dev/shm")
+    if not shm_root.exists():  # pragma: no cover - non-Linux
+        return []
+    return sorted(path.name for path in shm_root.glob(f"{SEGMENT_PREFIX}-*"))
 
 
 class TestListCommand:
@@ -137,6 +150,145 @@ class TestGalleryCommand:
     def test_missing_gallery_directory_is_a_clean_error(self, tmp_path, capsys):
         assert main(["gallery", "info", "--dir", str(tmp_path / "nope")]) == 1
         assert "no saved gallery" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def _build(self, tmp_path, capsys, **overrides):
+        args = {
+            "--subjects": "8", "--regions": "28", "--timepoints": "70",
+            "--features": "50", "--seed": "2",
+        }
+        args.update(overrides)
+        argv = ["gallery", "build", "--dir", str(tmp_path / "gal")]
+        for key, value in args.items():
+            argv.extend([key, value])
+        assert main(argv) == 0
+        capsys.readouterr()
+        return tmp_path / "gal"
+
+    def _drop_recipe(self, gallery_dir):
+        """Strip the dataset recipe from a saved gallery's metadata."""
+        meta_path = gallery_dir / "gallery.json"
+        meta = json.loads(meta_path.read_text())
+        meta["metadata"].pop("dataset", None)
+        meta_path.write_text(json.dumps(meta, indent=2))
+
+    def test_serve_rounds_reuse_one_event_loop_and_coalesce(self, tmp_path, capsys):
+        gallery_dir = self._build(tmp_path, capsys)
+        assert main(
+            ["serve", "--dir", str(gallery_dir), "--requests", "4", "--rounds", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "round 1 (cold)" in output
+        assert "round 2 (warm)" in output
+        assert "max coalesced batch: 4" in output
+        # All rounds ran inside ONE asyncio.run: a single live micro-batcher.
+        assert "micro-batchers      : 1 event loop(s)" in output
+
+    def test_serve_missing_recipe_exits_1_and_releases_resources(
+        self, tmp_path, capsys
+    ):
+        gallery_dir = self._build(tmp_path, capsys)
+        self._drop_recipe(gallery_dir)
+        assert main(["serve", "--dir", str(gallery_dir)]) == 1
+        assert "no dataset recipe" in capsys.readouterr().err
+        assert _shm_segments() == []
+
+    def test_serve_missing_gallery_exits_1_and_releases_resources(
+        self, tmp_path, capsys
+    ):
+        assert main(["serve", "--dir", str(tmp_path / "nope")]) == 1
+        assert "no saved gallery" in capsys.readouterr().err
+        assert _shm_segments() == []
+
+    def test_serve_with_process_pool_leaves_no_shm_segments(self, tmp_path, capsys):
+        """Sharded process-pool serving publishes /dev/shm segments; every
+        exit path of ``serve`` must release them."""
+        gallery_dir = self._build(tmp_path, capsys, **{"--shard-size": "4"})
+        assert main(
+            [
+                "serve", "--dir", str(gallery_dir),
+                "--requests", "2", "--rounds", "1",
+                "--workers", "2", "--executor", "process",
+            ]
+        ) == 0
+        assert "served 2 concurrent requests" in capsys.readouterr().out
+        assert _shm_segments() == []
+
+    def test_gallery_identify_missing_recipe_exits_1(self, tmp_path, capsys):
+        gallery_dir = self._build(tmp_path, capsys)
+        self._drop_recipe(gallery_dir)
+        assert main(["gallery", "identify", "--dir", str(gallery_dir)]) == 1
+        assert "no dataset recipe" in capsys.readouterr().err
+        assert _shm_segments() == []
+
+
+class TestServeHttpCommand:
+    @pytest.mark.integration
+    def test_http_mode_serves_and_drains_on_sigint(self, tmp_path):
+        """End-to-end: build a gallery, `serve --http 0` in a subprocess,
+        identify over HTTP, SIGINT, assert graceful drain and no shm leak."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        from repro.datasets.hcp import HCPLikeDataset
+        from repro.service import ServiceClient
+
+        gallery_dir = tmp_path / "gal"
+        assert main(
+            [
+                "gallery", "build", "--dir", str(gallery_dir),
+                "--subjects", "6", "--regions", "24", "--timepoints", "60",
+                "--features", "40", "--seed", "3",
+            ]
+        ) == 0
+
+        src_dir = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src_dir}:{env.get('PYTHONPATH', '')}".rstrip(":")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--dir", str(gallery_dir), "--http", "0", "--window", "0.01",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            port = None
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                line = process.stdout.readline()
+                if not line:
+                    break
+                if line.startswith("serving gallery"):
+                    port = int(line.rsplit(":", 1)[1])
+                    break
+            assert port is not None, "server never announced its port"
+
+            probes = HCPLikeDataset(
+                n_subjects=6, n_regions=24, n_timepoints=60, random_state=3
+            ).generate_session("REST", encoding="RL", day=2)
+            with ServiceClient(port=port) as client:
+                assert client.healthz()["status"] == "ok"
+                response = client.identify(gallery="gal", scans=probes[:2])
+                assert response.ok and response.n_probes == 2
+
+            process.send_signal(signal.SIGINT)
+            output, _ = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:  # pragma: no cover - hung server
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, output
+        assert "shutdown: in-flight batches drained" in output
+        assert "requests served over HTTP: 2" in output
+        assert _shm_segments() == []
 
 
 class TestRuntimeInfoCommand:
