@@ -10,12 +10,15 @@ With ``--backend-trajectory PATH`` it additionally *runs* the backend
 matching benchmark and writes its trajectory record (transport speedup,
 selected backend, precision outcomes) to PATH — the ``BENCH_backend.json``
 artifact the CI smoke job uploads so speedups can be tracked across
-commits.
+commits.  ``--http-trajectory PATH`` does the same for the HTTP serving
+benchmark, writing the wire-overhead ratio per codec (JSON vs binary
+frames) to PATH (``BENCH_http.json`` in CI).
 
 Usage::
 
     PYTHONPATH=src python scripts/check_benchmarks.py
     PYTHONPATH=src python scripts/check_benchmarks.py --backend-trajectory BENCH_backend.json
+    PYTHONPATH=src python scripts/check_benchmarks.py --http-trajectory BENCH_http.json
 """
 
 from __future__ import annotations
@@ -55,12 +58,34 @@ def write_backend_trajectory(path: Path) -> dict:
     return record
 
 
+def write_http_trajectory(path: Path) -> dict:
+    """Run the HTTP serving benchmark and write its trajectory record.
+
+    Runs the acceptance workload (64-subject x 100-region gallery, one
+    pipelined single-probe request per subject over 4 keep-alive clients)
+    under both wire codecs — the only scale at which the ≤5x binary-codec
+    bound is meaningful.  The record carries the wire-overhead ratio per
+    codec and the binary-vs-JSON speedup.
+    """
+    import bench_http_serving as bench
+
+    outcome = bench.run_http_benchmark()
+    record = bench.trajectory_record(outcome)
+    path.write_text(json.dumps(record, indent=2))
+    return record
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--backend-trajectory", metavar="PATH", default=None,
         help="run the backend matching benchmark and write its trajectory "
         "record (speedup + backend name) to PATH",
+    )
+    parser.add_argument(
+        "--http-trajectory", metavar="PATH", default=None,
+        help="run the HTTP serving benchmark and write its trajectory "
+        "record (wire-overhead ratio per codec) to PATH",
     )
     args = parser.parse_args()
 
@@ -98,6 +123,28 @@ def main() -> int:
         )
         if not record["transport"]["bitwise_equal"]:
             print("FAIL backend trajectory: transports disagreed bitwise")
+            return 1
+
+    if args.http_trajectory:
+        record = write_http_trajectory(Path(args.http_trajectory))
+        codecs = record["codecs"]
+        print(
+            "http trajectory: json={json_oh:.1f}x binary={bin_oh:.1f}x "
+            "binary_vs_json={speedup:.1f}x bitwise_equal={equal} -> {path}".format(
+                json_oh=codecs["json"]["overhead"],
+                bin_oh=codecs["binary"]["overhead"],
+                speedup=record["binary_vs_json_speedup"] or float("nan"),
+                equal=record["bitwise_equal"],
+                path=args.http_trajectory,
+            )
+        )
+        # Correctness is the hard gate here; the overhead ratios are
+        # recorded for trajectory tracking (CI boxes are too noisy to pin).
+        if not record["bitwise_equal"]:
+            print("FAIL http trajectory: responses diverged from serial identify")
+            return 1
+        if record["max_http_batch"] <= 1:
+            print("FAIL http trajectory: pipelined HTTP clients did not coalesce")
             return 1
     return 0
 

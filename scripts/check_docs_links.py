@@ -1,0 +1,110 @@
+"""Check relative links in README.md and docs/ (CI lint job).
+
+The docs tree (``docs/protocol.md``, ``docs/architecture.md``,
+``docs/serving.md``) and the README cross-link each other and the source
+tree heavily; a rename silently strands readers.  This script extracts
+every inline markdown link from the checked files and fails when a
+relative target (optionally with a ``#fragment``) does not resolve to an
+existing file or directory, or when a fragment names a heading the target
+markdown file does not contain.
+
+External links (``http(s)://``, ``mailto:``) are deliberately not fetched —
+CI must not depend on the network.
+
+Usage::
+
+    python scripts/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: [text](target) — images share the same syntax.
+_LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Fenced code blocks, where link-like text is code, not a link.
+_FENCE_PATTERN = re.compile(r"^(```|~~~)")
+
+
+def _heading_anchors(markdown: str) -> set:
+    """GitHub-style anchor slugs of every heading in a markdown document."""
+    anchors = set()
+    in_fence = False
+    for line in markdown.splitlines():
+        if _FENCE_PATTERN.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence or not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip()
+        # Strip inline code/links down to their text before slugifying.
+        title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", title)
+        title = title.replace("`", "")
+        slug = re.sub(r"[^\w\- ]", "", title.lower()).strip().replace(" ", "-")
+        anchors.add(slug)
+    return anchors
+
+
+def _links(markdown: str):
+    """Every inline link target outside fenced code blocks."""
+    in_fence = False
+    for line in markdown.splitlines():
+        if _FENCE_PATTERN.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_PATTERN.finditer(line):
+            yield match.group(1)
+
+
+def check_file(path: Path, root: Path) -> list:
+    """Broken-link descriptions for one markdown file."""
+    problems = []
+    markdown = path.read_text(encoding="utf-8")
+    for target in _links(markdown):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        raw, _, fragment = target.partition("#")
+        if not raw:  # same-file anchor
+            if fragment and fragment not in _heading_anchors(markdown):
+                problems.append(f"{path.relative_to(root)}: missing anchor #{fragment}")
+            continue
+        resolved = (path.parent / raw).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(root)}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            anchors = _heading_anchors(resolved.read_text(encoding="utf-8"))
+            if fragment not in anchors:
+                problems.append(
+                    f"{path.relative_to(root)}: missing anchor -> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = [root / "README.md"] + sorted((root / "docs").glob("**/*.md"))
+    files = [path for path in files if path.exists()]
+    if len(files) < 2:
+        print("FAIL: expected README.md and a docs/ tree to check")
+        return 1
+    problems = []
+    for path in files:
+        problems.extend(check_file(path, root))
+    for problem in problems:
+        print(f"FAIL {problem}")
+    checked = ", ".join(str(path.relative_to(root)) for path in files)
+    print(f"checked {len(files)} file(s): {checked}")
+    if problems:
+        return 1
+    print("all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -152,6 +152,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--repeat", type=_positive_int, default=1,
         help="identify the same probes N times (shows warm-cache reuse)",
     )
+    identify_parser.add_argument(
+        "--codec", choices=("json", "binary"), default=None,
+        help="route the identify over an in-process HTTP server using this "
+        "request codec instead of calling in process (responses are "
+        "bit-identical either way; see docs/protocol.md)",
+    )
     _add_backend_arguments(identify_parser)
 
     info_parser_gallery = gallery_sub.add_parser(
@@ -187,6 +193,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--host", default="127.0.0.1", help="bind address of the HTTP server"
+    )
+    serve_parser.add_argument(
+        "--codec", choices=("json", "binary"), default="json",
+        help="request codec advertised in the HTTP banner; the server "
+        "always accepts both Content-Types (see docs/protocol.md)",
     )
     serve_parser.add_argument(
         "--workers", type=_positive_int, default=1,
@@ -442,8 +453,22 @@ def _command_gallery_identify(args) -> int:
         dataset = _gallery_dataset(recipe)
         probes = dataset.generate_session(recipe["task"], encoding="RL", day=2)
         response = None
-        for _ in range(args.repeat):
-            response = service.identify(IdentifyRequest(gallery=name, scans=probes))
+        if args.codec is not None:
+            # Wire mode: the same identify, routed through an ephemeral HTTP
+            # server in the chosen codec — the response is bit-identical to
+            # the in-process path (docs/protocol.md).
+            from repro.service.http import BackgroundHttpServer, ServiceClient
+
+            with BackgroundHttpServer(service, port=0) as background:
+                with ServiceClient(
+                    port=background.port, codec=args.codec
+                ) as wire_client:
+                    for _ in range(args.repeat):
+                        response = wire_client.identify(gallery=name, scans=probes)
+            print(f"identified over HTTP ({args.codec} codec)")
+        else:
+            for _ in range(args.repeat):
+                response = service.identify(IdentifyRequest(gallery=name, scans=probes))
         if not response.ok:
             print(f"identify failed: {response.error}", file=sys.stderr)
             return 1
@@ -517,6 +542,7 @@ def _serve(args) -> int:
         executor=args.executor,
         http_host=args.host,
         http_port=args.http if args.http is not None else 8035,
+        codec=args.codec,
     )
     registry, name = _registry_for(args.dir, config=config)
     service = IdentificationService(registry=registry, config=config)
@@ -616,6 +642,16 @@ def _serve_http(service, name) -> int:
         print(f"serving gallery {name!r} on http://{host}:{port}", flush=True)
         print("endpoints: POST /identify  POST /enroll  GET /stats  GET /healthz",
               flush=True)
+        from repro.service.codec import CONTENT_TYPE_BINARY, CONTENT_TYPE_JSON
+
+        advertised = (
+            CONTENT_TYPE_BINARY if service.config.codec == "binary" else CONTENT_TYPE_JSON
+        )
+        print(
+            f"codecs: {CONTENT_TYPE_JSON} (default)  {CONTENT_TYPE_BINARY}  "
+            f"[advertised: {advertised}]",
+            flush=True,
+        )
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:

@@ -28,6 +28,13 @@ an explicit backend name wins (and must agree with the requested precision);
 fastest backend for the precision (``blas_blocked`` for float64, ``numpy32``
 for float32).  The registry is module-level, so process-pool workers resolve
 backend names shipped inside ``match_shard`` specs without extra plumbing.
+
+These guarantees propagate all the way up the stack: the serving layer and
+its HTTP wire codecs (:mod:`repro.service.codec`) deliver probe arrays to
+this kernel bit-identically to in-process callers, so with the default
+``numpy64`` backend an HTTP identify response is bit-identical to a local
+:meth:`~repro.gallery.reference.ReferenceGallery.identify` — the
+layer-by-layer statement of this contract lives in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

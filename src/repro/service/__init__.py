@@ -18,11 +18,18 @@ service (datasets → gallery → service):
     :class:`IdentificationService` — sync and ``asyncio`` identification,
     with the async path micro-batching concurrent requests into one stacked
     sharded match (bit-identical to serial identifies).
+``codec``
+    The wire codecs of the HTTP transport: the JSON scan form (the
+    bit-identity oracle) and the ``application/x-repro-frames`` binary
+    frame codec (raw little-endian float64 buffers behind a JSON header).
+    Normative spec: ``docs/protocol.md``.
 ``http``
     :class:`HttpServiceServer` / :class:`ServiceClient` — a stdlib-asyncio
     HTTP front end over ``identify_async`` (``POST /identify``,
-    ``POST /enroll``, ``GET /stats``, ``GET /healthz``) whose responses are
-    bit-identical to in-process identifies, plus the blocking client.
+    ``POST /enroll``, ``GET /stats``, ``GET /healthz``) with persistent
+    pipelined keep-alive connections, content-negotiated codecs, and a
+    streaming binary enroll path; responses are bit-identical to in-process
+    identifies under either codec.
 """
 
 from repro.service.config import ServiceConfig
@@ -35,6 +42,7 @@ from repro.service.messages import (
 )
 from repro.service.registry import GalleryRegistry
 from repro.service.service import IdentificationService
+from repro.service.codec import CONTENT_TYPE_BINARY, CONTENT_TYPE_JSON, FrameError
 from repro.service.http import (
     BackgroundHttpServer,
     HttpServiceError,
@@ -43,6 +51,9 @@ from repro.service.http import (
 )
 
 __all__ = [
+    "CONTENT_TYPE_BINARY",
+    "CONTENT_TYPE_JSON",
+    "FrameError",
     "ServiceConfig",
     "EnrollRequest",
     "EnrollResponse",

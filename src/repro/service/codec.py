@@ -1,0 +1,426 @@
+"""Wire codecs of the serving API: JSON (the oracle) and binary frames.
+
+Two request codecs carry scan payloads over HTTP, selected per request by
+``Content-Type`` (see ``docs/protocol.md`` for the normative spec):
+
+``application/json`` (the default, and the bit-identity **oracle**)
+    Scan time series travel as nested lists of JSON numbers.  ``json.dumps``
+    emits the shortest round-tripping repr of every finite double and
+    ``json.loads`` parses it back to the same bits, so the rebuilt arrays
+    are bit-identical to the originals.  The one exception is NaN: Python's
+    lenient JSON spells every NaN as the literal ``NaN``, so NaN payload and
+    sign bits are canonicalized (the serving layer rejects non-finite scan
+    values anyway).
+
+``application/x-repro-frames`` (the binary frame codec)
+    A length-prefixed frame stream: a 4-byte magic (``RPF1``), one JSON
+    header frame (envelope + per-scan metadata + shapes), then one raw
+    little-endian float64 C-order buffer per scan.  Decoding is
+    ``np.frombuffer`` — no per-element parsing, no intermediate text — and
+    preserves every float64 bit pattern including NaN payloads.  This is the
+    hot-path codec: the vectorized kernels consume the decoded buffers
+    directly.
+
+**Equivalence rule (normative):** decoding a scan from either codec yields a
+bit-identical ``ScanRecord``, so identify responses do not depend on the
+request codec.  The binary codec is validated against the JSON oracle by
+``tests/service/test_codec.py`` and ``benchmarks/bench_http_serving.py``.
+
+Error taxonomy: *structural* violations of the frame layout (bad magic,
+length/shape mismatches, truncation, trailing bytes) raise
+:class:`FrameError` — the HTTP server answers them with a structured ``400``
+and closes the connection, because the byte stream can no longer be trusted
+to be request-aligned.  *Semantic* violations (unknown kind, missing fields,
+non-finite time series) raise plain
+:class:`~repro.exceptions.ValidationError` after the body was fully
+consumed — those are ordinary keep-alive ``400`` responses.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.datasets.base import ScanRecord
+from repro.exceptions import ValidationError
+from repro.service.messages import EnrollRequest, IdentifyRequest
+
+#: Content type of the JSON request codec (the default and the oracle).
+CONTENT_TYPE_JSON = "application/json"
+
+#: Content type selecting the binary frame codec.
+CONTENT_TYPE_BINARY = "application/x-repro-frames"
+
+#: First four bytes of every binary frame stream: protocol name + version.
+FRAME_MAGIC = b"RPF1"
+
+#: Scan buffers travel as little-endian float64 regardless of host order.
+FRAME_DTYPE = "<f8"
+
+#: struct format of every frame-length prefix (unsigned 32-bit little-endian).
+_LENGTH_FORMAT = "<I"
+_LENGTH_BYTES = 4
+_MAX_FRAME_LENGTH = 0xFFFFFFFF
+
+
+class FrameError(ValidationError):
+    """A structural violation of the binary frame layout.
+
+    Raised while parsing the frame *structure* (magic, length prefixes,
+    shape/byte-count agreement, truncation, trailing bytes).  The HTTP
+    server maps it to a structured ``400`` document and then closes the
+    connection: once the declared framing cannot be trusted, keeping the
+    connection alive risks parsing payload bytes as the next request line
+    (a desync), so the stream is cleanly terminated instead.
+    """
+
+
+# --------------------------------------------------------------------------- #
+# JSON scan codec (the oracle)
+# --------------------------------------------------------------------------- #
+def scan_to_wire(scan: ScanRecord) -> Dict[str, Any]:
+    """One scan as a JSON-serializable document.
+
+    The time series goes over the wire as nested lists of Python floats;
+    ``json`` emits the shortest round-tripping repr of each double, so the
+    array rebuilt by :func:`scan_from_wire` is bit-identical to the
+    original — the foundation of the HTTP path's bit-identity contract.
+    """
+    return {
+        "subject_id": scan.subject_id,
+        "task": scan.task,
+        "session": scan.session,
+        "timeseries": np.asarray(scan.timeseries, dtype=np.float64).tolist(),
+        "site": scan.site,
+        "performance": None if scan.performance is None else float(scan.performance),
+        "diagnosis": scan.diagnosis,
+    }
+
+
+def scan_from_wire(payload: Any) -> ScanRecord:
+    """Rebuild a :class:`~repro.datasets.base.ScanRecord` from its wire form."""
+    if not isinstance(payload, dict):
+        raise ValidationError("each scan must be a JSON object")
+    missing = [key for key in ("subject_id", "task", "session", "timeseries") if key not in payload]
+    if missing:
+        raise ValidationError(f"scan payload is missing field(s): {missing}")
+    try:
+        timeseries = np.asarray(payload["timeseries"], dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"scan timeseries is not a numeric matrix: {exc}") from None
+    performance = payload.get("performance")
+    return ScanRecord(
+        subject_id=str(payload["subject_id"]),
+        task=str(payload["task"]),
+        session=str(payload["session"]),
+        timeseries=timeseries,
+        site=payload.get("site"),
+        performance=None if performance is None else float(performance),
+        diagnosis=payload.get("diagnosis"),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Binary frame codec: encoding
+# --------------------------------------------------------------------------- #
+def scan_frame_meta(scan: ScanRecord) -> Dict[str, Any]:
+    """The header-frame metadata entry of one scan (everything but the bytes)."""
+    return {
+        "subject_id": scan.subject_id,
+        "task": scan.task,
+        "session": scan.session,
+        "site": scan.site,
+        "performance": None if scan.performance is None else float(scan.performance),
+        "diagnosis": scan.diagnosis,
+        "shape": [int(scan.timeseries.shape[0]), int(scan.timeseries.shape[1])],
+    }
+
+
+def scan_payload(scan: ScanRecord) -> bytes:
+    """The raw frame payload of one scan: little-endian float64, C-order."""
+    return np.ascontiguousarray(scan.timeseries, dtype=FRAME_DTYPE).tobytes()
+
+
+def pack_frame(payload: bytes) -> bytes:
+    """One length-prefixed frame: u32-LE byte count, then the payload."""
+    if len(payload) > _MAX_FRAME_LENGTH:
+        raise ValidationError(
+            f"frame payload of {len(payload)} bytes exceeds the u32 length prefix"
+        )
+    return struct.pack(_LENGTH_FORMAT, len(payload)) + payload
+
+
+def encode_frames(header: Dict[str, Any], payloads: Sequence[bytes]) -> List[bytes]:
+    """Encode a frame stream as a list of buffers (stream-writable in order).
+
+    The first buffer is ``magic + header frame``; each subsequent buffer is
+    one scan frame.  Callers that need one contiguous body can
+    ``b"".join(...)`` the result; callers that stream (the HTTP client's
+    enroll upload) write the buffers one by one and never materialize the
+    whole body.
+    """
+    header_bytes = json.dumps(header).encode("utf-8")
+    buffers = [FRAME_MAGIC + pack_frame(header_bytes)]
+    buffers.extend(pack_frame(payload) for payload in payloads)
+    return buffers
+
+
+def _request_frames(
+    kind: str,
+    request: Union[IdentifyRequest, EnrollRequest],
+    extra: Dict[str, Any],
+) -> List[bytes]:
+    if request.scans is None:
+        raise ValidationError(
+            f"the binary frame codec carries scan payloads only; build the "
+            f"{type(request).__name__} with scans= (pre-built probe matrices "
+            f"are in-process only)"
+        )
+    header = {
+        "kind": kind,
+        "gallery": request.gallery,
+        "request_id": request.request_id,
+        "metadata": dict(request.metadata),
+        "scans": [scan_frame_meta(scan) for scan in request.scans],
+        **extra,
+    }
+    return encode_frames(header, [scan_payload(scan) for scan in request.scans])
+
+
+def encode_identify_frames(request: IdentifyRequest) -> List[bytes]:
+    """The binary-codec HTTP body of an identify request, as stream buffers."""
+    return _request_frames("identify", request, {})
+
+
+def encode_enroll_frames(request: EnrollRequest) -> List[bytes]:
+    """The binary-codec HTTP body of an enroll request, as stream buffers."""
+    return _request_frames("enroll", request, {"create": bool(request.create)})
+
+
+# --------------------------------------------------------------------------- #
+# Binary frame codec: structural decoding
+# --------------------------------------------------------------------------- #
+def check_magic(prefix: bytes) -> None:
+    """Validate the 4-byte stream magic (name + protocol version)."""
+    if prefix != FRAME_MAGIC:
+        raise FrameError(
+            f"bad frame-stream magic {prefix[:4]!r} (expected {FRAME_MAGIC!r}; "
+            "unknown protocol version or not a frame stream)"
+        )
+
+
+def parse_frame_length(prefix: bytes, max_frame_bytes: int, what: str) -> int:
+    """Decode one u32-LE length prefix, enforcing the per-frame byte limit."""
+    if len(prefix) != _LENGTH_BYTES:
+        raise FrameError(f"truncated length prefix of {what}")
+    (length,) = struct.unpack(_LENGTH_FORMAT, prefix)
+    if length > max_frame_bytes:
+        raise FrameError(
+            f"{what} declares {length} bytes, over the {max_frame_bytes}-byte "
+            "per-frame limit"
+        )
+    return length
+
+
+def parse_header(payload: bytes) -> Dict[str, Any]:
+    """Decode the header frame into its JSON object."""
+    try:
+        header = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"header frame is not valid UTF-8 JSON: {exc}") from None
+    if not isinstance(header, dict):
+        raise FrameError("header frame must be a JSON object")
+    return header
+
+
+def expected_scan_frames(header: Dict[str, Any]) -> List[Tuple[Dict[str, Any], int]]:
+    """Per-scan ``(meta, expected_byte_count)`` pairs the header declares.
+
+    Structural only: every scan entry must carry a ``shape`` of two
+    non-negative integers, which fixes the exact byte count of its frame
+    (``rows * cols * 8``).  Semantic scan validation (subject ids, finite
+    values, minimum dimensions) happens later, in
+    :func:`scan_from_frame`.
+    """
+    scans = header.get("scans")
+    if not isinstance(scans, list):
+        raise FrameError("header frame must carry a 'scans' list")
+    expected = []
+    for index, meta in enumerate(scans):
+        if not isinstance(meta, dict):
+            raise FrameError(f"scan {index} metadata must be a JSON object")
+        shape = meta.get("shape")
+        if (
+            not isinstance(shape, list)
+            or len(shape) != 2
+            or not all(isinstance(dim, int) and not isinstance(dim, bool) and dim >= 0
+                       for dim in shape)
+        ):
+            raise FrameError(
+                f"scan {index} must declare 'shape' as two non-negative "
+                f"integers, got {shape!r}"
+            )
+        expected.append((meta, shape[0] * shape[1] * 8))
+    return expected
+
+
+def array_from_payload(payload: bytes, shape: Sequence[int]) -> np.ndarray:
+    """View one scan frame payload as its ``(rows, cols)`` float64 matrix.
+
+    Zero-copy: the array is a read-only view over the received bytes, with
+    every float64 bit pattern preserved exactly as sent.
+    """
+    return np.frombuffer(payload, dtype=FRAME_DTYPE).reshape(int(shape[0]), int(shape[1]))
+
+
+def decode_frames(
+    body: bytes, max_frame_bytes: Optional[int] = None
+) -> Tuple[Dict[str, Any], List[np.ndarray]]:
+    """Structurally decode one contiguous frame stream.
+
+    Returns the header object and one array per scan frame.  Raises
+    :class:`FrameError` on any structural violation: bad magic, truncated
+    or oversized frames, a frame whose length disagrees with its declared
+    shape, a frame count that disagrees with the header, or trailing bytes.
+
+    This is the buffered mirror of the HTTP server's incremental reader
+    (`repro.service.http`), used by tests, the CLI codec round-trip, and
+    anyone holding a complete body.
+    """
+    if max_frame_bytes is None:
+        max_frame_bytes = _MAX_FRAME_LENGTH
+    offset = 0
+    remaining = len(body)
+
+    def take(count: int, what: str) -> bytes:
+        nonlocal offset, remaining
+        if count > remaining:
+            raise FrameError(
+                f"truncated frame stream: {what} needs {count} bytes but only "
+                f"{remaining} remain"
+            )
+        chunk = body[offset:offset + count]
+        offset += count
+        remaining -= count
+        return chunk
+
+    check_magic(take(4, "stream magic"))
+    header_length = parse_frame_length(
+        take(_LENGTH_BYTES, "header frame"), max_frame_bytes, "header frame"
+    )
+    header = parse_header(take(header_length, "header frame payload"))
+    arrays = []
+    for index, (meta, expected_bytes) in enumerate(expected_scan_frames(header)):
+        frame_length = parse_frame_length(
+            take(_LENGTH_BYTES, f"scan frame {index}"), max_frame_bytes, f"scan frame {index}"
+        )
+        if frame_length != expected_bytes:
+            raise FrameError(
+                f"scan frame {index} declares {frame_length} bytes but its "
+                f"shape {meta.get('shape')} implies {expected_bytes}"
+            )
+        arrays.append(array_from_payload(take(frame_length, f"scan frame {index} payload"),
+                                         meta["shape"]))
+    if remaining:
+        raise FrameError(f"{remaining} trailing byte(s) after the last scan frame")
+    return header, arrays
+
+
+# --------------------------------------------------------------------------- #
+# Binary frame codec: semantic decoding
+# --------------------------------------------------------------------------- #
+def scan_from_frame(meta: Dict[str, Any], array: np.ndarray) -> ScanRecord:
+    """Build the :class:`ScanRecord` of one decoded frame (semantic layer).
+
+    Raises :class:`~repro.exceptions.ValidationError` — an ordinary 400, the
+    connection stays usable — when the metadata or the values are invalid
+    (missing identity fields, non-finite time series, degenerate shapes).
+    """
+    missing = [key for key in ("subject_id", "task", "session") if meta.get(key) is None]
+    if missing:
+        raise ValidationError(f"scan metadata is missing field(s): {missing}")
+    performance = meta.get("performance")
+    return ScanRecord(
+        subject_id=str(meta["subject_id"]),
+        task=str(meta["task"]),
+        session=str(meta["session"]),
+        timeseries=array,
+        site=meta.get("site"),
+        performance=None if performance is None else float(performance),
+        diagnosis=meta.get("diagnosis"),
+    )
+
+
+def _decoded_scans(header: Dict[str, Any], arrays: Sequence[np.ndarray]) -> List[ScanRecord]:
+    metas = header.get("scans") or []
+    if not metas:
+        raise ValidationError("the frame stream carries no scans (empty 'scans' list)")
+    return [scan_from_frame(meta, array) for meta, array in zip(metas, arrays)]
+
+
+def _check_kind(header: Dict[str, Any], expected: str) -> None:
+    kind = header.get("kind")
+    if kind != expected:
+        raise ValidationError(
+            f"frame stream has kind {kind!r}; this endpoint expects {expected!r}"
+        )
+
+
+def identify_request_from_frames(
+    header: Dict[str, Any], arrays: Sequence[np.ndarray]
+) -> IdentifyRequest:
+    """Semantic decode of a structurally valid identify frame stream."""
+    _check_kind(header, "identify")
+    if "gallery" not in header:
+        raise ValidationError("an identify frame header needs a 'gallery' field")
+    return IdentifyRequest(
+        gallery=header["gallery"],
+        scans=_decoded_scans(header, arrays),
+        request_id=str(header.get("request_id", "")),
+        metadata=dict(header.get("metadata") or {}),
+    )
+
+
+def enroll_request_from_frames(
+    header: Dict[str, Any], arrays: Sequence[np.ndarray]
+) -> EnrollRequest:
+    """Semantic decode of a structurally valid enroll frame stream."""
+    _check_kind(header, "enroll")
+    if "gallery" not in header:
+        raise ValidationError("an enroll frame header needs a 'gallery' field")
+    return EnrollRequest(
+        gallery=header["gallery"],
+        scans=_decoded_scans(header, arrays),
+        create=bool(header.get("create", False)),
+        request_id=str(header.get("request_id", "")),
+        metadata=dict(header.get("metadata") or {}),
+    )
+
+
+__all__ = [
+    "CONTENT_TYPE_BINARY",
+    "CONTENT_TYPE_JSON",
+    "FRAME_DTYPE",
+    "FRAME_MAGIC",
+    "FrameError",
+    "array_from_payload",
+    "check_magic",
+    "decode_frames",
+    "encode_enroll_frames",
+    "encode_frames",
+    "encode_identify_frames",
+    "enroll_request_from_frames",
+    "expected_scan_frames",
+    "identify_request_from_frames",
+    "pack_frame",
+    "parse_frame_length",
+    "parse_header",
+    "scan_frame_meta",
+    "scan_from_frame",
+    "scan_from_wire",
+    "scan_payload",
+    "scan_to_wire",
+]

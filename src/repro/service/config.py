@@ -80,7 +80,30 @@ class ServiceConfig:
         binds an ephemeral port.
     max_request_bytes:
         Largest HTTP request body accepted; larger declared bodies are
-        refused with ``413`` before the body is read.
+        refused with ``413`` before the body is read.  Bounds buffered JSON
+        bodies and binary identify streams; binary-framed enroll streams
+        are bounded by ``max_stream_bytes`` instead.
+    codec:
+        Default request codec of CLI clients (``serve`` prints it, ``gallery
+        identify --serve-url`` uses it): ``"json"`` (the bit-identity
+        oracle) or ``"binary"`` (the frame codec of
+        :mod:`repro.service.codec`; identical responses, a fraction of the
+        wire bytes).  The server always accepts both — this knob never
+        changes what the server understands.
+    max_frame_bytes:
+        Largest single binary frame (header or scan payload) the server
+        accepts; larger declared frames are a structured ``400``.
+    max_stream_bytes:
+        Largest total binary-framed ``POST /enroll`` body.  The streaming
+        enroll path decodes frame by frame without buffering the raw body,
+        so this bound may sit far above ``max_request_bytes``.
+    pipeline_depth:
+        Most pipelined requests per HTTP connection in flight at once;
+        deeper pipelines wait in the socket (TCP backpressure).
+    http_keep_alive:
+        Whether HTTP connections persist across requests.  ``False`` forces
+        ``Connection: close`` on every response (debugging aid; persistent
+        connections are the performant default).
     """
 
     n_features: int = 100
@@ -104,6 +127,11 @@ class ServiceConfig:
     http_host: str = "127.0.0.1"
     http_port: int = 8035
     max_request_bytes: int = 64 * 1024 * 1024
+    codec: str = "json"
+    max_frame_bytes: int = 16 * 1024 * 1024
+    max_stream_bytes: int = 256 * 1024 * 1024
+    pipeline_depth: int = 8
+    http_keep_alive: bool = True
 
     def __post_init__(self):
         if self.n_features < 1:
@@ -164,6 +192,22 @@ class ServiceConfig:
         if int(self.max_request_bytes) < 1:
             raise ConfigurationError(
                 f"max_request_bytes must be >= 1, got {self.max_request_bytes}"
+            )
+        if self.codec not in ("json", "binary"):
+            raise ConfigurationError(
+                f"codec must be 'json' or 'binary', got {self.codec!r}"
+            )
+        if int(self.max_frame_bytes) < 1:
+            raise ConfigurationError(
+                f"max_frame_bytes must be >= 1, got {self.max_frame_bytes}"
+            )
+        if int(self.max_stream_bytes) < 1:
+            raise ConfigurationError(
+                f"max_stream_bytes must be >= 1, got {self.max_stream_bytes}"
+            )
+        if int(self.pipeline_depth) < 1:
+            raise ConfigurationError(
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth}"
             )
 
     # ------------------------------------------------------------------ #

@@ -1,37 +1,57 @@
 """HTTP front end over the identification service (stdlib only).
 
-:class:`HttpServiceServer` exposes an
+This module is the network seam of the serving stack and the home of its
+transport contracts (normative spec: ``docs/protocol.md``; deployment
+lifecycle: ``docs/serving.md``):
+
+**Routes.** :class:`HttpServiceServer` exposes an
 :class:`~repro.service.service.IdentificationService` over a small
 ``asyncio``-streams HTTP/1.1 server — no third-party web framework, no new
-dependency.  Four routes cover the serving surface:
+dependency: ``POST /identify``, ``POST /enroll``, ``GET /stats``,
+``GET /healthz``.
 
-``POST /identify``
-    Body: an :class:`~repro.service.messages.IdentifyRequest` envelope
-    (``to_dict`` form) plus a ``"scans"`` list in the wire codec below.
-    Response: the :class:`~repro.service.messages.IdentifyResponse`
-    ``to_dict`` document, **bit-identical** to an in-process
-    :meth:`~repro.gallery.reference.ReferenceGallery.identify` of the same
-    probes (JSON floats round-trip exactly: ``json.dumps`` emits the
-    shortest repr of a double and ``json.loads`` parses back the same bits).
-``POST /enroll``
-    Body: an :class:`~repro.service.messages.EnrollRequest` envelope plus
-    ``"scans"``.  Response: the ``EnrollResponse`` document.
-``GET /stats``
-    The :class:`~repro.service.messages.ServiceStats` snapshot.
-``GET /healthz``
-    Liveness: ``{"status": "ok", "galleries": [...]}``.
+**Codec negotiation (contract).** Request bodies are content-negotiated via
+``Content-Type``: ``application/json`` (the default and the bit-identity
+*oracle* — JSON floats round-trip exactly) or ``application/x-repro-frames``
+(the length-prefixed binary frame codec of :mod:`repro.service.codec` —
+raw little-endian float64 buffers behind a small JSON header, decoded with
+``np.frombuffer`` straight into kernel-consumable arrays).  Responses are
+always ``application/json``.  Decoding either codec yields bit-identical
+scans, so identify responses are **bit-identical** to an in-process
+:meth:`~repro.gallery.reference.ReferenceGallery.identify` of the same
+probes regardless of the request codec.
 
-Every connection handler is a coroutine on the server's event loop, and
-identifies flow through :meth:`identify_async` — so concurrent HTTP clients
-are coalesced by the same per-event-loop micro-batcher that serves
-in-process ``asyncio.gather`` load: N network clients awaiting identifies
-against one gallery cost one stacked match, not N.
+**Bit-identity (contract).** Every connection handler is a coroutine on the
+server's event loop and identifies flow through :meth:`identify_async`, so
+concurrent HTTP clients — and requests pipelined on one connection — are
+coalesced by the same per-event-loop micro-batcher that serves in-process
+``asyncio.gather`` load; the stacked match is bit-identical to serial
+identifies (the ``numpy64`` fixed-order kernel, see
+:mod:`repro.runtime.backend`).
 
-Error mapping is structured: a malformed body is a ``400`` with a
-``{"status": "error", "error": {"type", "message"}}`` document, an unknown
-gallery is a ``404``, a body larger than
-``ServiceConfig.max_request_bytes`` is a ``413``, an unknown route a
-``404`` (``405`` for a known path with the wrong method).
+**Persistent pipelined connections.** Connections are keep-alive by
+default.  A client may pipeline requests back-to-back without awaiting
+responses: the server reads ahead (bounded by
+``ServiceConfig.pipeline_depth``), dispatches request handlers
+concurrently — pipelined identifies coalesce into stacked matches — and
+writes responses strictly in request order.
+
+**Streaming enroll.** A binary-framed ``POST /enroll`` body is consumed
+frame by frame as it arrives: each scan frame is bounded by
+``ServiceConfig.max_frame_bytes``, the stream total by
+``ServiceConfig.max_stream_bytes`` (default far above
+``max_request_bytes``, which keeps bounding buffered JSON bodies and binary
+identify streams) — large reference sets upload in chunked frames instead
+of one giant buffered body.
+
+**Structured errors (contract).** Non-2xx responses always carry
+``{"status": "error", "error": {"type", "message"}}``: malformed body →
+``400``, unknown gallery → ``404``, wrong method → ``405``, oversized body →
+``413`` (with a lingering close so a client mid-upload reads the response
+instead of a broken pipe), chunked Transfer-Encoding → ``501``.  Structural
+binary-frame violations (bad magic, truncated/oversized frames, shape
+mismatches) are a ``400`` with type ``FrameError`` followed by a clean
+close — never a connection desync.
 
 Shutdown is graceful: :meth:`HttpServiceServer.shutdown` stops accepting,
 drains every in-flight request (letting pending micro-batches flush), and
@@ -39,9 +59,13 @@ closes idle connections — the CLI's ``serve --http`` mode wires SIGINT /
 SIGTERM to it and calls ``service.close()`` afterwards.
 
 :class:`ServiceClient` is the matching blocking client on stdlib
-``http.client``, used by the tests, the HTTP benchmark, and the CI smoke
-step.  :class:`BackgroundHttpServer` runs a server on a dedicated thread
-with its own event loop for in-process tests and benchmarks.
+``http.client``: it holds **one keep-alive connection** across requests
+(reconnecting only when a resend is provably safe — a non-idempotent POST is
+never blindly retried), speaks either codec, streams binary enroll uploads
+buffer-by-buffer, and can pipeline identify requests over a dedicated
+connection (:meth:`ServiceClient.identify_pipelined`).
+:class:`BackgroundHttpServer` runs a server on a dedicated thread with its
+own event loop for in-process tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -49,12 +73,20 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.datasets.base import ScanRecord
 from repro.exceptions import ReproError, ValidationError
+from repro.service import codec as wire_codec
+from repro.service.codec import (
+    CONTENT_TYPE_BINARY,
+    CONTENT_TYPE_JSON,
+    FrameError,
+    scan_from_wire,
+    scan_to_wire,
+)
 from repro.service.messages import (
     EnrollRequest,
     EnrollResponse,
@@ -103,52 +135,10 @@ class HttpServiceError(ReproError):
 
 
 # --------------------------------------------------------------------------- #
-# Wire codec: scan payloads over JSON
+# JSON envelope codecs (scan codecs live in repro.service.codec)
 # --------------------------------------------------------------------------- #
-def scan_to_wire(scan: ScanRecord) -> Dict[str, Any]:
-    """One scan as a JSON-serializable document.
-
-    The time series goes over the wire as nested lists of Python floats;
-    ``json`` emits the shortest round-tripping repr of each double, so the
-    array rebuilt by :func:`scan_from_wire` is bit-identical to the
-    original — the foundation of the HTTP path's bit-identity contract.
-    """
-    return {
-        "subject_id": scan.subject_id,
-        "task": scan.task,
-        "session": scan.session,
-        "timeseries": np.asarray(scan.timeseries, dtype=np.float64).tolist(),
-        "site": scan.site,
-        "performance": None if scan.performance is None else float(scan.performance),
-        "diagnosis": scan.diagnosis,
-    }
-
-
-def scan_from_wire(payload: Any) -> ScanRecord:
-    """Rebuild a :class:`~repro.datasets.base.ScanRecord` from its wire form."""
-    if not isinstance(payload, dict):
-        raise ValidationError("each scan must be a JSON object")
-    missing = [key for key in ("subject_id", "task", "session", "timeseries") if key not in payload]
-    if missing:
-        raise ValidationError(f"scan payload is missing field(s): {missing}")
-    try:
-        timeseries = np.asarray(payload["timeseries"], dtype=np.float64)
-    except (TypeError, ValueError) as exc:
-        raise ValidationError(f"scan timeseries is not a numeric matrix: {exc}") from None
-    performance = payload.get("performance")
-    return ScanRecord(
-        subject_id=str(payload["subject_id"]),
-        task=str(payload["task"]),
-        session=str(payload["session"]),
-        timeseries=timeseries,
-        site=payload.get("site"),
-        performance=None if performance is None else float(performance),
-        diagnosis=payload.get("diagnosis"),
-    )
-
-
 def identify_request_to_wire(request: IdentifyRequest) -> Dict[str, Any]:
-    """The full HTTP body of an identify request (envelope + scan payload)."""
+    """The full JSON-codec HTTP body of an identify request."""
     if request.scans is None:
         raise ValidationError(
             "the HTTP transport carries scan payloads only; build the "
@@ -161,7 +151,7 @@ def identify_request_to_wire(request: IdentifyRequest) -> Dict[str, Any]:
 
 
 def identify_request_from_wire(payload: Dict[str, Any]) -> IdentifyRequest:
-    """Decode an HTTP identify body into a payload-carrying request."""
+    """Decode a JSON-codec identify body into a payload-carrying request."""
     if not isinstance(payload, dict):
         raise ValidationError("the request body must be a JSON object")
     if "gallery" not in payload:
@@ -178,7 +168,7 @@ def identify_request_from_wire(payload: Dict[str, Any]) -> IdentifyRequest:
 
 
 def enroll_request_to_wire(request: EnrollRequest) -> Dict[str, Any]:
-    """The full HTTP body of an enroll request (envelope + scan payload)."""
+    """The full JSON-codec HTTP body of an enroll request."""
     if request.scans is None:
         raise ValidationError("an HTTP EnrollRequest needs a scans payload")
     document = request.to_dict()
@@ -187,7 +177,7 @@ def enroll_request_to_wire(request: EnrollRequest) -> Dict[str, Any]:
 
 
 def enroll_request_from_wire(payload: Dict[str, Any]) -> EnrollRequest:
-    """Decode an HTTP enroll body into a payload-carrying request."""
+    """Decode a JSON-codec enroll body into a payload-carrying request."""
     if not isinstance(payload, dict):
         raise ValidationError("the request body must be a JSON object")
     if "gallery" not in payload:
@@ -210,15 +200,30 @@ def _error_body(kind: str, message: str) -> Dict[str, Any]:
 
 
 class _HttpRequest:
-    """One parsed inbound request (method, path, headers, raw body)."""
+    """One parsed inbound request.
 
-    __slots__ = ("method", "path", "headers", "body", "keep_alive")
+    ``body`` holds the raw bytes of a buffered (JSON-codec) body; for a
+    binary-framed body the incremental reader already decoded the structure
+    and ``frames`` holds ``(header, arrays)`` instead (semantic decoding
+    into typed messages happens at dispatch, so semantic errors stay
+    keep-alive 400s).
+    """
 
-    def __init__(self, method: str, path: str, headers: Dict[str, str], body: bytes):
+    __slots__ = ("method", "path", "headers", "body", "frames", "keep_alive")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        frames: Optional[Tuple[Dict[str, Any], List[np.ndarray]]] = None,
+    ):
         self.method = method
         self.path = path
         self.headers = headers
         self.body = body
+        self.frames = frames
         self.keep_alive = headers.get("connection", "keep-alive").lower() != "close"
 
 
@@ -239,6 +244,24 @@ class _UnsupportedEncoding(Exception):
     """
 
 
+class _Pending:
+    """One queued response slot of a pipelined connection (written in order)."""
+
+    __slots__ = ("task", "status", "body", "keep_alive", "counted")
+
+    def __init__(self, task=None, status=None, body=None, keep_alive=False, counted=False):
+        self.task = task
+        self.status = status
+        self.body = body
+        self.keep_alive = keep_alive
+        self.counted = counted
+
+    @classmethod
+    def immediate(cls, status: int, body: Dict[str, Any]) -> "_Pending":
+        """A pre-computed (error) response; always closes the connection."""
+        return cls(status=status, body=body, keep_alive=False)
+
+
 class HttpServiceServer:
     """Serve an :class:`IdentificationService` over asyncio HTTP.
 
@@ -251,8 +274,18 @@ class HttpServiceServer:
         Bind address; ``port=0`` binds an ephemeral port (read it back from
         :attr:`port` after :meth:`start`).
     max_request_bytes:
-        Largest accepted request body; larger declared bodies are refused
-        with ``413`` before any byte of the body is read.
+        Largest accepted buffered request body (JSON bodies and binary
+        identify streams); larger declared bodies are refused with ``413``
+        before any byte of the body is read.
+    max_frame_bytes / max_stream_bytes:
+        Binary-codec limits: largest single frame, and largest total
+        ``POST /enroll`` frame stream (the streaming enroll path may exceed
+        ``max_request_bytes`` up to this bound because it never buffers the
+        raw body).
+    pipeline_depth:
+        How many pipelined requests per connection may be in flight at
+        once; further reads wait (TCP backpressure), so a client cannot
+        queue unbounded work.
 
     Lifecycle: ``await start()`` binds the listener, ``await
     serve_forever()`` runs until :meth:`stop` (loop-thread) is called, then
@@ -266,6 +299,9 @@ class HttpServiceServer:
         host: Optional[str] = None,
         port: Optional[int] = None,
         max_request_bytes: Optional[int] = None,
+        max_frame_bytes: Optional[int] = None,
+        max_stream_bytes: Optional[int] = None,
+        pipeline_depth: Optional[int] = None,
     ):
         config = service.config
         self.service = service
@@ -274,16 +310,27 @@ class HttpServiceServer:
         self.max_request_bytes = int(
             max_request_bytes if max_request_bytes is not None else config.max_request_bytes
         )
-        if self.max_request_bytes < 1:
-            raise ValidationError(
-                f"max_request_bytes must be >= 1, got {self.max_request_bytes}"
-            )
+        self.max_frame_bytes = int(
+            max_frame_bytes if max_frame_bytes is not None else config.max_frame_bytes
+        )
+        self.max_stream_bytes = int(
+            max_stream_bytes if max_stream_bytes is not None else config.max_stream_bytes
+        )
+        self.pipeline_depth = int(
+            pipeline_depth if pipeline_depth is not None else config.pipeline_depth
+        )
+        self.keep_alive_enabled = bool(getattr(config, "http_keep_alive", True))
+        for name in ("max_request_bytes", "max_frame_bytes", "max_stream_bytes",
+                     "pipeline_depth"):
+            if getattr(self, name) < 1:
+                raise ValidationError(f"{name} must be >= 1, got {getattr(self, name)}")
         self._server: Optional[asyncio.base_events.Server] = None
         self._stop_event: Optional[asyncio.Event] = None
         self._writers: set = set()
         self._inflight = 0
         self._closing = False
         self._requests_served = 0
+        self._connections_accepted = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -314,9 +361,9 @@ class HttpServiceServer:
     async def shutdown(self) -> None:
         """Stop accepting, drain in-flight requests, close connections.
 
-        Idempotent.  In-flight identifies finish through their pending
-        micro-batches (nothing is cancelled); only then are the remaining
-        keep-alive connections closed.
+        Idempotent.  In-flight requests finish through their pending
+        micro-batches (nothing is cancelled) and their responses are
+        written; only then are the remaining keep-alive connections closed.
         """
         self._closing = True
         server, self._server = self._server, None
@@ -340,60 +387,124 @@ class HttpServiceServer:
 
     @property
     def requests_served(self) -> int:
-        """How many HTTP requests this server has answered."""
+        """How many HTTP responses this server has written."""
         return self._requests_served
 
+    @property
+    def connections_accepted(self) -> int:
+        """How many TCP connections this server has accepted.
+
+        With well-behaved keep-alive clients this grows far slower than
+        :attr:`requests_served` — the observable proof that connections are
+        actually persistent.
+        """
+        return self._connections_accepted
+
     # ------------------------------------------------------------------ #
-    # Connection handling
+    # Connection handling (pipelined: read loop + ordered writer)
     # ------------------------------------------------------------------ #
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._connections_accepted += 1
         self._writers.add(writer)
+        # Responses are written strictly in request order by a dedicated
+        # writer coroutine; the bounded queue is the pipeline-depth
+        # backpressure (reads wait when the client is too far ahead).
+        queue: asyncio.Queue = asyncio.Queue(maxsize=max(1, self.pipeline_depth))
+        write_task = asyncio.create_task(self._write_responses(queue, writer))
+        linger = False
         try:
             while not self._closing:
                 try:
                     request = await self._read_request(reader)
                 except _BadRequestLine as exc:
-                    await self._write_response(
-                        writer, 400, _error_body("MalformedRequest", str(exc)), False
+                    await queue.put(
+                        _Pending.immediate(400, _error_body("MalformedRequest", str(exc)))
                     )
                     break
                 except _OversizedBody as exc:
-                    await self._write_response(
-                        writer, 413, _error_body("PayloadTooLarge", str(exc)), False
-                    )
                     # The client may still be mid-upload; a plain close would
                     # RST the un-read upload away and the 413 with it.
-                    await self._linger_close(reader, writer)
+                    linger = True
+                    await queue.put(
+                        _Pending.immediate(413, _error_body("PayloadTooLarge", str(exc)))
+                    )
+                    break
+                except FrameError as exc:
+                    # The declared framing cannot be trusted any more, so the
+                    # connection closes after the structured 400 — answering
+                    # and terminating cleanly is what keeps a broken frame
+                    # stream from desyncing into the next request.
+                    linger = True
+                    await queue.put(
+                        _Pending.immediate(400, _error_body("FrameError", str(exc)))
+                    )
                     break
                 except _UnsupportedEncoding as exc:
-                    await self._write_response(
-                        writer, 501, _error_body("NotImplemented", str(exc)), False
+                    await queue.put(
+                        _Pending.immediate(501, _error_body("NotImplemented", str(exc)))
                     )
                     break
                 if request is None:
                     break
+                keep_alive = request.keep_alive and self.keep_alive_enabled
                 # In-flight covers the response write too, so a draining
                 # shutdown never closes a connection mid-answer.
                 self._inflight += 1
-                try:
-                    status, body = await self._dispatch(request)
-                    keep_alive = request.keep_alive and not self._closing
-                    await self._write_response(writer, status, body, keep_alive)
-                    self._requests_served += 1
-                finally:
-                    self._inflight -= 1
+                task = asyncio.create_task(self._dispatch(request))
+                await queue.put(_Pending(task=task, keep_alive=keep_alive, counted=True))
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-request; nothing to answer
         finally:
+            await queue.put(None)
+            await write_task
+            if linger:
+                await self._linger_close(reader, writer)
             self._writers.discard(writer)
             writer.close()
 
+    async def _write_responses(self, queue: asyncio.Queue, writer: asyncio.StreamWriter) -> None:
+        """Drain the response queue in order; never dies before the sentinel.
+
+        A broken client socket stops the writing but not the draining —
+        every pending dispatch is still awaited so the in-flight counter
+        (which the graceful shutdown waits on) always reaches zero.
+        """
+        broken = False
+        while True:
+            pending = await queue.get()
+            if pending is None:
+                return
+            try:
+                if pending.task is not None:
+                    try:
+                        status, body = await pending.task
+                    except Exception as exc:  # noqa: BLE001 - belt and braces; _dispatch guards
+                        status, body = 500, _error_body(type(exc).__name__, str(exc))
+                else:
+                    status, body = pending.status, pending.body
+                if not broken:
+                    try:
+                        await self._write_response(
+                            writer, status, body, pending.keep_alive and not self._closing
+                        )
+                        self._requests_served += 1
+                    except (ConnectionError, OSError):
+                        broken = True
+            finally:
+                if pending.counted:
+                    self._inflight -= 1
+
     async def _read_request(self, reader: asyncio.StreamReader) -> Optional[_HttpRequest]:
-        """Parse one request off the stream (``None`` = clean EOF)."""
+        """Parse one request off the stream (``None`` = clean EOF).
+
+        The body is fully consumed before returning — buffered for the JSON
+        codec, decoded frame by frame for the binary codec — so the stream
+        is request-aligned for the next read whatever dispatch decides.
+        """
         try:
             request_line = await reader.readline()
         except (asyncio.LimitOverrunError, ValueError):
@@ -417,7 +528,8 @@ class HttpServiceServer:
         if "transfer-encoding" in headers:
             raise _UnsupportedEncoding(
                 "Transfer-Encoding request bodies are not supported; "
-                "send a Content-Length body"
+                "send a Content-Length body (the binary frame codec streams "
+                "within one Content-Length body)"
             )
         try:
             content_length = int(headers.get("content-length", "0") or "0")
@@ -425,14 +537,79 @@ class HttpServiceServer:
             raise _BadRequestLine("unparseable Content-Length header") from None
         if content_length < 0:
             raise _BadRequestLine("negative Content-Length header")
+        path = target.split("?", 1)[0]
+        content_type = headers.get("content-type", "").partition(";")[0].strip().lower()
+        if content_type == CONTENT_TYPE_BINARY:
+            # The streaming enroll path never buffers the raw body, so its
+            # bound is the (much larger) stream limit, not the buffer limit.
+            limit = self.max_stream_bytes if path == "/enroll" else self.max_request_bytes
+            if content_length > limit:
+                raise _OversizedBody(
+                    f"binary frame stream of {content_length} bytes exceeds "
+                    f"the {limit}-byte limit"
+                )
+            frames = await self._read_framed_body(reader, content_length)
+            return _HttpRequest(method.upper(), path, headers, b"", frames=frames)
         if content_length > self.max_request_bytes:
             raise _OversizedBody(
                 f"request body of {content_length} bytes exceeds the "
                 f"{self.max_request_bytes}-byte limit"
             )
         body = await reader.readexactly(content_length) if content_length else b""
-        path = target.split("?", 1)[0]
         return _HttpRequest(method.upper(), path, headers, body)
+
+    async def _read_framed_body(
+        self, reader: asyncio.StreamReader, content_length: int
+    ) -> Tuple[Dict[str, Any], List[np.ndarray]]:
+        """Incrementally decode one binary frame stream off the wire.
+
+        Structural validation happens as the bytes arrive: magic, header
+        frame, then exactly one frame per declared scan, each checked
+        against its shape-implied byte count and the per-frame limit.  The
+        raw body is never buffered whole — each frame becomes its float64
+        array as soon as it is read (this is the streaming enroll path).
+        Raises :class:`FrameError` on structural violations; the caller
+        answers 400 and closes.
+        """
+        remaining = content_length
+
+        async def take(count: int, what: str) -> bytes:
+            nonlocal remaining
+            if count > remaining:
+                raise FrameError(
+                    f"truncated frame stream: {what} needs {count} bytes but "
+                    f"only {remaining} remain of the declared body"
+                )
+            chunk = await reader.readexactly(count)
+            remaining -= count
+            return chunk
+
+        wire_codec.check_magic(await take(4, "stream magic"))
+        header_length = wire_codec.parse_frame_length(
+            await take(4, "header frame"), self.max_frame_bytes, "header frame"
+        )
+        header = wire_codec.parse_header(await take(header_length, "header frame payload"))
+        arrays: List[np.ndarray] = []
+        for index, (meta, expected_bytes) in enumerate(
+            wire_codec.expected_scan_frames(header)
+        ):
+            frame_length = wire_codec.parse_frame_length(
+                await take(4, f"scan frame {index}"),
+                self.max_frame_bytes,
+                f"scan frame {index}",
+            )
+            if frame_length != expected_bytes:
+                raise FrameError(
+                    f"scan frame {index} declares {frame_length} bytes but its "
+                    f"shape {meta.get('shape')} implies {expected_bytes}"
+                )
+            payload = await take(frame_length, f"scan frame {index} payload")
+            arrays.append(wire_codec.array_from_payload(payload, meta["shape"]))
+        if remaining:
+            raise FrameError(
+                f"{remaining} trailing byte(s) after the last scan frame"
+            )
+        return header, arrays
 
     async def _linger_close(
         self,
@@ -442,12 +619,12 @@ class HttpServiceServer:
     ) -> None:
         """Half-close, then discard the client's remaining upload until EOF.
 
-        A refused request (413) is answered while the client may still be
-        writing megabytes of body; closing the socket outright makes the
-        kernel RST the connection and the client sees a broken pipe instead
-        of the response.  Shutting down only our write side and draining the
-        upload (time-bounded) lets the client finish sending and read the
-        413.
+        A refused request (413, or a structurally broken frame stream) is
+        answered while the client may still be writing megabytes of body;
+        closing the socket outright makes the kernel RST the connection and
+        the client sees a broken pipe instead of the response.  Shutting
+        down only our write side and draining the upload (time-bounded)
+        lets the client finish sending and read the answer.
         """
         try:
             if writer.can_write_eof():
@@ -515,8 +692,10 @@ class HttpServiceServer:
 
     async def _handle_identify(self, request: _HttpRequest) -> Tuple[int, Dict[str, Any]]:
         try:
-            payload = self._decode_json(request)
-            message = identify_request_from_wire(payload)
+            if request.frames is not None:
+                message = wire_codec.identify_request_from_frames(*request.frames)
+            else:
+                message = identify_request_from_wire(self._decode_json(request))
         except ReproError as exc:
             return 400, _error_body(type(exc).__name__, str(exc))
         if message.gallery not in self.service.registry:
@@ -528,8 +707,10 @@ class HttpServiceServer:
 
     async def _handle_enroll(self, request: _HttpRequest) -> Tuple[int, Dict[str, Any]]:
         try:
-            payload = self._decode_json(request)
-            message = enroll_request_from_wire(payload)
+            if request.frames is not None:
+                message = wire_codec.enroll_request_from_frames(*request.frames)
+            else:
+                message = enroll_request_from_wire(self._decode_json(request))
         except ReproError as exc:
             return 400, _error_body(type(exc).__name__, str(exc))
         if not message.create and message.gallery not in self.service.registry:
@@ -557,9 +738,18 @@ class BackgroundHttpServer:
         host: Optional[str] = None,
         port: Optional[int] = None,
         max_request_bytes: Optional[int] = None,
+        max_frame_bytes: Optional[int] = None,
+        max_stream_bytes: Optional[int] = None,
+        pipeline_depth: Optional[int] = None,
     ):
         self.server = HttpServiceServer(
-            service, host=host, port=port, max_request_bytes=max_request_bytes
+            service,
+            host=host,
+            port=port,
+            max_request_bytes=max_request_bytes,
+            max_frame_bytes=max_frame_bytes,
+            max_stream_bytes=max_stream_bytes,
+            pipeline_depth=pipeline_depth,
         )
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -623,28 +813,78 @@ class BackgroundHttpServer:
 class ServiceClient:
     """Blocking HTTP client of the serving API (stdlib ``http.client``).
 
-    One client owns one keep-alive connection; it is **not** thread-safe —
-    use one client per thread (each holding its own connection is also what
-    makes concurrent clients coalesce server-side).
+    One client owns **one persistent keep-alive connection**, reused across
+    requests; it reconnects only when a resend is provably safe — a send
+    that failed before the server could have read a whole request, or a GET
+    — so a non-idempotent POST (enroll!) is never blindly retried.  It is
+    **not** thread-safe: use one client per thread (each holding its own
+    connection is also what makes concurrent clients coalesce server-side).
+
+    Parameters
+    ----------
+    host / port / timeout:
+        Where to connect and the per-operation socket timeout.
+    codec:
+        Request codec: ``"json"`` (the default and the bit-identity oracle)
+        or ``"binary"`` (the frame codec — identical responses, a fraction
+        of the wire cost; enroll uploads stream buffer-by-buffer).
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8035, timeout: float = 60.0):
+    CODECS = ("json", "binary")
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8035,
+        timeout: float = 60.0,
+        codec: str = "json",
+    ):
         import http.client
 
+        if codec not in self.CODECS:
+            raise ValidationError(f"codec must be one of {self.CODECS}, got {codec!r}")
         self.host = host
         self.port = int(port)
+        self.timeout = float(timeout)
+        self.codec = codec
+        self.connections_opened = 0
         self._conn = http.client.HTTPConnection(host, self.port, timeout=timeout)
 
     # ------------------------------------------------------------------ #
     # Transport
     # ------------------------------------------------------------------ #
-    def _request(self, method: str, path: str, payload: Optional[Dict[str, Any]] = None):
+    def _send(self, method: str, path: str, body, headers: Dict[str, str]) -> None:
+        """Issue one request on the persistent connection (dial if needed)."""
+        if self._conn.sock is None:
+            self.connections_opened += 1
+        self._conn.request(method, path, body=body, headers=headers)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        frames: Optional[Sequence[bytes]] = None,
+    ):
         import http.client
 
-        body = None if payload is None else json.dumps(payload).encode("utf-8")
-        headers = {} if body is None else {"Content-Type": "application/json"}
+        if frames is not None:
+            # Binary codec: the frame buffers are handed to http.client as a
+            # re-iterable sequence, so the upload streams buffer-by-buffer
+            # (never one giant joined body) and a safe resend re-streams it.
+            body: Any = list(frames)
+            headers = {
+                "Content-Type": CONTENT_TYPE_BINARY,
+                "Content-Length": str(sum(len(buffer) for buffer in body)),
+            }
+        elif payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers = {"Content-Type": CONTENT_TYPE_JSON}
+        else:
+            body = None
+            headers = {}
         try:
-            self._conn.request(method, path, body=body, headers=headers)
+            self._send(method, path, body, headers)
         except (ConnectionError, OSError):
             # The send failed: either the server closed an idle keep-alive
             # connection, or it refused mid-upload (413 lingering close).
@@ -660,7 +900,7 @@ class ServiceClient:
                     response = None
             if response is None:
                 self._conn.close()
-                self._conn.request(method, path, body=body, headers=headers)
+                self._send(method, path, body, headers)
                 response = self._conn.getresponse()
                 data = response.read()
         else:
@@ -675,7 +915,7 @@ class ServiceClient:
                 self._conn.close()
                 if method != "GET":
                     raise
-                self._conn.request(method, path, body=body, headers=headers)
+                self._send(method, path, body, headers)
                 response = self._conn.getresponse()
                 data = response.read()
         if response.will_close:
@@ -693,6 +933,12 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
     # API surface
     # ------------------------------------------------------------------ #
+    def _identify_body(self, request: IdentifyRequest):
+        """``(payload, frames)`` of one identify request in this client's codec."""
+        if self.codec == "binary":
+            return None, wire_codec.encode_identify_frames(request)
+        return identify_request_to_wire(request), None
+
     def identify(
         self,
         request: Optional[IdentifyRequest] = None,
@@ -710,8 +956,104 @@ class ServiceClient:
             request = IdentifyRequest(
                 gallery=gallery, scans=list(scans), metadata=dict(metadata or {})
             )
-        document = self._request("POST", "/identify", identify_request_to_wire(request))
+        payload, frames = self._identify_body(request)
+        document = self._request("POST", "/identify", payload=payload, frames=frames)
         return IdentifyResponse.from_dict(document)
+
+    def identify_pipelined(
+        self, requests: Sequence[IdentifyRequest]
+    ) -> List[IdentifyResponse]:
+        """Pipeline many identifies on one dedicated connection.
+
+        All requests are written back-to-back (a sender thread keeps the
+        upload flowing while responses are read, so deep pipelines cannot
+        deadlock on socket buffers) and the responses — which the server
+        writes strictly in request order — are read in order.  Pipelined
+        identifies dispatch concurrently server-side, so they coalesce into
+        stacked micro-batches exactly like concurrent clients.
+
+        Uses a fresh connection per call (the persistent ``identify()``
+        connection cannot interleave); raises :class:`HttpServiceError` on
+        the first non-2xx response.
+        """
+        import socket
+
+        if not requests:
+            return []
+        chunks: List[bytes] = []
+        for request in requests:
+            payload, frames = self._identify_body(request)
+            if frames is None:
+                frames = [json.dumps(payload).encode("utf-8")]
+                content_type = CONTENT_TYPE_JSON
+            else:
+                content_type = CONTENT_TYPE_BINARY
+            length = sum(len(buffer) for buffer in frames)
+            chunks.append(
+                (
+                    f"POST /identify HTTP/1.1\r\n"
+                    f"Host: {self.host}:{self.port}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {length}\r\n"
+                    "Connection: keep-alive\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+            )
+            chunks.extend(frames)
+
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        self.connections_opened += 1
+        send_error: List[BaseException] = []
+
+        def pump() -> None:
+            try:
+                for chunk in chunks:
+                    sock.sendall(chunk)
+            except OSError as exc:  # reader side surfaces the failure
+                send_error.append(exc)
+
+        sender = threading.Thread(target=pump, name="repro-pipeline-send", daemon=True)
+        sender.start()
+        responses: List[IdentifyResponse] = []
+        try:
+            stream = sock.makefile("rb")
+            try:
+                for _ in requests:
+                    status, document = self._read_pipelined_response(stream)
+                    if status >= 400:
+                        raise HttpServiceError(status, document)
+                    responses.append(IdentifyResponse.from_dict(document))
+            finally:
+                stream.close()
+        finally:
+            sender.join(timeout=self.timeout)
+            sock.close()
+        if send_error and len(responses) < len(requests):
+            raise ConnectionError(f"pipelined send failed: {send_error[0]}")
+        return responses
+
+    @staticmethod
+    def _read_pipelined_response(stream) -> Tuple[int, Dict[str, Any]]:
+        """Parse one HTTP/1.1 response off a buffered socket stream."""
+        status_line = stream.readline()
+        if not status_line:
+            raise ConnectionError("server closed the pipelined connection early")
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise ConnectionError(f"malformed pipelined status line: {status_line!r}")
+        status = int(parts[1])
+        content_length = 0
+        while True:
+            line = stream.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        data = stream.read(content_length) if content_length else b""
+        if len(data) != content_length:
+            raise ConnectionError("pipelined response body was truncated")
+        return status, json.loads(data.decode("utf-8"))
 
     def enroll(
         self,
@@ -721,14 +1063,25 @@ class ServiceClient:
         scans: Optional[Sequence[ScanRecord]] = None,
         create: bool = False,
     ) -> EnrollResponse:
-        """POST one enroll request; returns the typed response message."""
+        """POST one enroll request; returns the typed response message.
+
+        With ``codec="binary"`` the reference set streams as length-prefixed
+        frames — the server decodes scan by scan and accepts streams up to
+        ``ServiceConfig.max_stream_bytes``, so large enrollments are not
+        limited by the buffered-body cap (``max_request_bytes``).
+        """
         if request is None:
             if gallery is None or scans is None:
                 raise ValidationError(
                     "enroll() needs an EnrollRequest or gallery= and scans="
                 )
             request = EnrollRequest(gallery=gallery, scans=list(scans), create=create)
-        document = self._request("POST", "/enroll", enroll_request_to_wire(request))
+        if self.codec == "binary":
+            document = self._request(
+                "POST", "/enroll", frames=wire_codec.encode_enroll_frames(request)
+            )
+        else:
+            document = self._request("POST", "/enroll", payload=enroll_request_to_wire(request))
         return EnrollResponse.from_dict(document)
 
     def stats(self) -> ServiceStats:
@@ -752,6 +1105,9 @@ class ServiceClient:
 
 __all__ = [
     "BackgroundHttpServer",
+    "CONTENT_TYPE_BINARY",
+    "CONTENT_TYPE_JSON",
+    "FrameError",
     "HttpServiceError",
     "HttpServiceServer",
     "ServiceClient",

@@ -7,6 +7,18 @@ breaking callers.  Like :class:`~repro.runtime.results.RunResult`, each
 message JSON-round-trips through ``to_dict``/``from_dict``; heavyweight
 payloads (scan records, group matrices, match results) ride along in-process
 only and are dropped from the serialized form.
+
+**Relation to the wire (contract).** These messages are codec-agnostic: the
+``to_dict`` envelope (``request_id``, ``gallery``, ``metadata``, counts) is
+what both HTTP codecs serialize, and scan payloads travel as either nested
+JSON lists (:func:`repro.service.codec.scan_to_wire`, the bit-identity
+oracle) or raw float64 frames (:func:`repro.service.codec.encode_frames`).
+Decoding either wire form reconstructs :class:`IdentifyRequest` /
+:class:`EnrollRequest` objects whose scan arrays are bit-identical to the
+sender's, which is what makes HTTP identify responses bit-identical to
+in-process calls — the normative spec is ``docs/protocol.md``.  Responses
+always serialize as the plain JSON ``to_dict`` form regardless of the
+request codec.
 """
 
 from __future__ import annotations

@@ -1,0 +1,282 @@
+"""Tests for the wire codecs (`repro.service.codec`).
+
+The normative contract under test (docs/protocol.md): decoding a scan from
+either codec yields bit-identical float64 arrays — including subnormals,
+signed zeros, and (for the raw frame layer) NaN payload bits — and every
+malformed binary frame stream maps to a *structural* :class:`FrameError`
+(a 400 that closes the connection) while semantic problems raise plain
+:class:`ValidationError` (a keep-alive 400).  Nothing here may desync: a
+broken stream must always produce a typed error, never a silent misparse.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import ScanRecord
+from repro.exceptions import ValidationError
+from repro.service import codec
+from repro.service.codec import (
+    FRAME_MAGIC,
+    FrameError,
+    array_from_payload,
+    decode_frames,
+    encode_enroll_frames,
+    encode_frames,
+    encode_identify_frames,
+    enroll_request_from_frames,
+    identify_request_from_frames,
+    pack_frame,
+    scan_from_wire,
+    scan_to_wire,
+)
+from repro.service.messages import EnrollRequest, IdentifyRequest
+
+
+def _scan(timeseries, subject="s01", task="REST", session="REST1_RL"):
+    return ScanRecord(
+        subject_id=subject, task=task, session=session,
+        timeseries=np.asarray(timeseries, dtype=np.float64),
+    )
+
+
+def _bits(array):
+    """The raw uint64 bit patterns of a float64 array (NaN-safe compare)."""
+    return np.ascontiguousarray(array, dtype=np.float64).view(np.uint64)
+
+
+#: Finite float64 torture values: shortest-repr edge cases, subnormals,
+#: signed zeros, extremes.  (Non-finite values cannot live in a ScanRecord
+#: — the validation layer rejects them — so they are exercised at the raw
+#: frame layer and as structured 400s instead.)
+FINITE_TORTURE = [
+    0.0, -0.0, 0.1, 2.0 / 3.0, 1e-308, 5e-324, -5e-324,
+    np.finfo(np.float64).tiny, -np.finfo(np.float64).tiny,
+    np.finfo(np.float64).max, np.finfo(np.float64).min,
+    np.nextafter(0.0, 1.0), np.nextafter(1.0, 2.0), -1.5e-323,
+]
+
+
+class TestRawFramePayloads:
+    """The raw frame layer preserves every float64 bit pattern."""
+
+    def test_every_bit_pattern_round_trips(self):
+        special = np.array(
+            [
+                float("nan"), -float("nan"), float("inf"), -float("inf"),
+                0.0, -0.0, 5e-324, -5e-324, 1e-308,
+            ],
+            dtype=np.float64,
+        ).reshape(3, 3)
+        # Forge distinct NaN payload bits on top (quiet/signalling-style).
+        patterns = special.view(np.uint64).copy()
+        patterns[0] = 0x7FF8000000000001  # NaN with a payload bit set
+        patterns[1] = 0xFFF0000000000123  # negative NaN, different payload
+        forged = patterns.view(np.float64).reshape(3, 3)
+        restored = array_from_payload(
+            np.ascontiguousarray(forged).tobytes(), (3, 3)
+        )
+        assert np.array_equal(_bits(restored), _bits(forged))
+
+    def test_fortran_ordered_input_is_reencoded_c_order(self):
+        matrix = np.asfortranarray(np.arange(12, dtype=np.float64).reshape(3, 4))
+        scan = _scan(matrix)
+        restored = array_from_payload(codec.scan_payload(scan), (3, 4))
+        assert np.array_equal(restored, matrix)
+
+    def test_decoded_arrays_are_read_only_views(self):
+        restored = array_from_payload(np.zeros((2, 2)).tobytes(), (2, 2))
+        with pytest.raises(ValueError):
+            restored[0, 0] = 1.0
+
+
+class TestJsonCodec:
+    def test_finite_torture_values_round_trip_bit_exact(self):
+        rows = [FINITE_TORTURE, list(reversed(FINITE_TORTURE))]
+        scan = _scan(rows)
+        restored = scan_from_wire(json.loads(json.dumps(scan_to_wire(scan))))
+        assert np.array_equal(_bits(restored.timeseries), _bits(scan.timeseries))
+
+    def test_random_matrices_round_trip_bit_exact(self, rng):
+        for _ in range(5):
+            scan = _scan(rng.standard_normal((7, 11)) * 10.0 ** rng.integers(-300, 300))
+            restored = scan_from_wire(json.loads(json.dumps(scan_to_wire(scan))))
+            assert np.array_equal(_bits(restored.timeseries), _bits(scan.timeseries))
+
+    def test_non_finite_timeseries_is_a_validation_error(self):
+        # NaN/inf cannot round-trip JSON bit-exactly (Python canonicalizes
+        # the literal) — the contract instead maps them to the structured
+        # 400: ScanRecord validation rejects non-finite values.
+        for bad in (float("nan"), float("inf"), -float("inf")):
+            with pytest.raises(ValidationError):
+                scan_from_wire(
+                    {
+                        "subject_id": "s1", "task": "REST", "session": "REST1_RL",
+                        "timeseries": [[bad, 0.1], [0.2, 0.3]],
+                    }
+                )
+
+
+class TestBinaryRequestRoundTrip:
+    def test_identify_round_trips_bit_exact(self, rng):
+        scans = [
+            _scan(rng.standard_normal((6, 9)), subject=f"s{i:02d}") for i in range(4)
+        ]
+        scans.append(_scan([FINITE_TORTURE, FINITE_TORTURE[::-1]], subject="s99"))
+        request = IdentifyRequest(
+            gallery="hcp", scans=scans, metadata={"trace": "t-7"}
+        )
+        header, arrays = decode_frames(b"".join(encode_identify_frames(request)))
+        restored = identify_request_from_frames(header, arrays)
+        assert restored.gallery == "hcp"
+        assert restored.request_id == request.request_id
+        assert restored.metadata == {"trace": "t-7"}
+        assert len(restored.scans) == len(scans)
+        for original, decoded in zip(scans, restored.scans):
+            assert decoded.subject_id == original.subject_id
+            assert decoded.task == original.task
+            assert decoded.session == original.session
+            assert np.array_equal(_bits(decoded.timeseries), _bits(original.timeseries))
+
+    def test_enroll_round_trips_with_create_flag(self, rng):
+        request = EnrollRequest(
+            gallery="fresh", scans=[_scan(rng.standard_normal((5, 8)))], create=True
+        )
+        header, arrays = decode_frames(b"".join(encode_enroll_frames(request)))
+        restored = enroll_request_from_frames(header, arrays)
+        assert restored.create is True
+        assert restored.gallery == "fresh"
+
+    def test_kind_mismatch_is_semantic_not_structural(self, rng):
+        request = IdentifyRequest(gallery="hcp", scans=[_scan(rng.standard_normal((4, 6)))])
+        header, arrays = decode_frames(b"".join(encode_identify_frames(request)))
+        with pytest.raises(ValidationError) as excinfo:
+            enroll_request_from_frames(header, arrays)
+        assert not isinstance(excinfo.value, FrameError)
+
+    def test_empty_scans_is_semantic_not_structural(self):
+        body = b"".join(encode_frames({"kind": "identify", "gallery": "g", "scans": []}, []))
+        header, arrays = decode_frames(body)  # structurally fine
+        with pytest.raises(ValidationError) as excinfo:
+            identify_request_from_frames(header, arrays)
+        assert not isinstance(excinfo.value, FrameError)
+
+    def test_non_finite_frame_values_are_semantic_errors(self):
+        # Structurally a NaN payload is fine (bits are preserved); building
+        # the ScanRecord rejects it -> ordinary 400, connection keeps alive.
+        header = {
+            "kind": "identify", "gallery": "g",
+            "scans": [{"subject_id": "s1", "task": "REST", "session": "R1",
+                       "shape": [2, 2]}],
+        }
+        payload = np.array([[np.nan, 0.1], [0.2, 0.3]]).tobytes()
+        body = b"".join(encode_frames(header, [payload]))
+        decoded_header, arrays = decode_frames(body)
+        with pytest.raises(ValidationError) as excinfo:
+            identify_request_from_frames(decoded_header, arrays)
+        assert not isinstance(excinfo.value, FrameError)
+
+
+class TestStructuralErrors:
+    def _valid_body(self, rng=None):
+        values = (
+            rng.standard_normal((3, 5))
+            if rng is not None
+            else np.arange(15, dtype=np.float64).reshape(3, 5)
+        )
+        request = IdentifyRequest(gallery="hcp", scans=[_scan(values)])
+        return b"".join(encode_identify_frames(request))
+
+    def test_bad_magic(self):
+        body = b"XXXX" + self._valid_body()[4:]
+        with pytest.raises(FrameError):
+            decode_frames(body)
+
+    def test_truncation_at_every_boundary(self):
+        body = self._valid_body()
+        # Cutting the stream anywhere must be a typed FrameError, never a
+        # misparse: probe a spread of prefixes including every frame edge.
+        for cut in sorted({0, 1, 3, 4, 7, 8, len(body) // 2, len(body) - 1}):
+            with pytest.raises(FrameError):
+                decode_frames(body[:cut])
+
+    def test_trailing_bytes(self):
+        with pytest.raises(FrameError, match="trailing"):
+            decode_frames(self._valid_body() + b"\x00")
+
+    def test_oversized_frame_is_rejected_by_the_limit(self):
+        with pytest.raises(FrameError, match="per-frame limit"):
+            decode_frames(self._valid_body(), max_frame_bytes=16)
+
+    def test_header_not_json(self):
+        body = FRAME_MAGIC + pack_frame(b"\xff\xfenot json")
+        with pytest.raises(FrameError):
+            decode_frames(body)
+
+    def test_header_not_an_object(self):
+        body = FRAME_MAGIC + pack_frame(b"[1, 2]")
+        with pytest.raises(FrameError):
+            decode_frames(body)
+
+    def test_missing_scans_list(self):
+        body = b"".join([FRAME_MAGIC + pack_frame(json.dumps({"kind": "identify"}).encode())])
+        with pytest.raises(FrameError, match="scans"):
+            decode_frames(body)
+
+    @pytest.mark.parametrize(
+        "shape", [None, [2], [2, 3, 4], [2, -1], [2, 2.5], [True, 4], ["2", "3"]]
+    )
+    def test_malformed_shapes(self, shape):
+        header = {"kind": "identify", "gallery": "g",
+                  "scans": [{"subject_id": "s", "task": "T", "session": "S",
+                             "shape": shape}]}
+        body = b"".join(encode_frames(header, [b""]))
+        with pytest.raises(FrameError, match="shape"):
+            decode_frames(body)
+
+    def test_length_prefix_disagreeing_with_shape(self):
+        header = {"kind": "identify", "gallery": "g",
+                  "scans": [{"subject_id": "s", "task": "T", "session": "S",
+                             "shape": [2, 2]}]}
+        body = b"".join(encode_frames(header, [b"\x00" * 24]))  # 24 != 2*2*8
+        with pytest.raises(FrameError, match="implies"):
+            decode_frames(body)
+
+    def test_corrupted_length_prefix_cannot_desync(self):
+        body = bytearray(self._valid_body())
+        # Inflate the header-frame length prefix beyond the body.
+        struct.pack_into("<I", body, 4, 0xFFFFFF)
+        with pytest.raises(FrameError):
+            decode_frames(bytes(body), max_frame_bytes=1 << 30)
+
+    def test_random_mutations_never_misparse_silently(self, rng):
+        """Deterministic fuzz: flip bytes anywhere; the decoder must either
+        still structurally accept the stream or raise a typed FrameError —
+        never any other exception, never hang on alignment."""
+        body = self._valid_body(rng)
+        for _ in range(200):
+            mutated = bytearray(body)
+            for _ in range(int(rng.integers(1, 4))):
+                mutated[int(rng.integers(0, len(mutated)))] = int(rng.integers(0, 256))
+            try:
+                header, arrays = decode_frames(bytes(mutated))
+            except FrameError:
+                continue
+            # Structurally accepted: the semantic layer must also contain
+            # any damage inside typed validation errors.
+            try:
+                identify_request_from_frames(header, arrays)
+            except ValidationError:
+                continue
+
+    def test_pack_frame_rejects_over_u32_payloads(self):
+        class FakeBytes(bytes):
+            def __len__(self):
+                return 0x1_0000_0000
+
+        with pytest.raises(ValidationError):
+            pack_frame(FakeBytes())

@@ -27,6 +27,7 @@ from repro.service import (
     ServiceClient,
     ServiceConfig,
 )
+from repro.service.codec import CONTENT_TYPE_BINARY
 from repro.service.http import (
     identify_request_to_wire,
     scan_from_wire,
@@ -254,6 +255,126 @@ class TestHttpErrorMapping:
         with pytest.raises(HttpServiceError) as excinfo:
             client._request("POST", "/stats", {})
         assert excinfo.value.status == 405
+
+
+class TestBinaryCodecOverHttp:
+    def test_binary_identify_is_bit_identical_to_in_process(
+        self, http_service, server, sessions
+    ):
+        _, probe_scans = sessions
+        serial = http_service.registry.get("hcp").identify(probe_scans)
+        with ServiceClient(port=server.port, codec="binary") as binary_client:
+            response = binary_client.identify(gallery="hcp", scans=probe_scans)
+        assert response.ok
+        assert response.predicted_subject_ids == serial.predicted_subject_ids
+        assert np.array_equal(np.asarray(response.margins), serial.margin())
+
+    def test_binary_enroll_streams_past_the_buffered_body_limit(
+        self, http_service, sessions
+    ):
+        """A frame-streamed enroll may exceed max_request_bytes (the server
+        decodes scan by scan up to max_stream_bytes); the same upload as
+        one buffered JSON body is refused with 413."""
+        reference_scans, probe_scans = sessions
+        with BackgroundHttpServer(
+            http_service, port=0, max_request_bytes=1024
+        ) as tiny_server:
+            with ServiceClient(port=tiny_server.port) as json_client:
+                with pytest.raises(HttpServiceError) as excinfo:
+                    json_client.enroll(
+                        gallery="streamed", scans=reference_scans, create=True
+                    )
+                assert excinfo.value.status == 413
+            with ServiceClient(port=tiny_server.port, codec="binary") as bin_client:
+                enroll = bin_client.enroll(
+                    gallery="streamed", scans=reference_scans, create=True
+                )
+                assert enroll.ok and enroll.created
+                assert enroll.n_subjects == len(reference_scans)
+                assert "streamed" in bin_client.healthz()["galleries"]
+        # The streamed gallery serves identifies like any other (the tiny
+        # buffered-body limit above only capped /identify stream size).
+        response = http_service.identify(
+            IdentifyRequest(gallery="streamed", scans=probe_scans[:2])
+        )
+        assert response.ok and response.n_probes == 2
+
+    def test_structural_frame_error_is_structured_400_then_close(self, server):
+        """A broken frame stream must get the FrameError document and a
+        clean close — never a desync into the next request."""
+        import socket
+
+        body = b"XXXX" + b"\x00" * 32  # bad magic, then junk
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10) as sock:
+            sock.sendall(
+                (
+                    f"POST /identify HTTP/1.1\r\n"
+                    f"Host: localhost\r\n"
+                    f"Content-Type: {CONTENT_TYPE_BINARY}\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break  # server closed after answering: no desync window
+                chunks.append(chunk)
+        raw = b"".join(chunks)
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        assert b"400" in head.split(b"\r\n", 1)[0]
+        assert b"Connection: close" in head
+        document = json.loads(payload)
+        assert document["status"] == "error"
+        assert document["error"]["type"] == "FrameError"
+
+    def test_oversized_binary_identify_stream_is_413(self, http_service, sessions):
+        with BackgroundHttpServer(
+            http_service, port=0, max_request_bytes=1024
+        ) as tiny_server:
+            with ServiceClient(port=tiny_server.port, codec="binary") as bin_client:
+                with pytest.raises(HttpServiceError) as excinfo:
+                    bin_client.identify(gallery="hcp", scans=sessions[1][:1])
+                assert excinfo.value.status == 413
+
+
+class TestPipelinedConnections:
+    @pytest.mark.parametrize("codec", ["json", "binary"])
+    def test_pipelined_identifies_keep_order_and_coalesce(
+        self, server, sessions, codec
+    ):
+        _, probe_scans = sessions
+        requests = [
+            IdentifyRequest(gallery="hcp", scans=[scan]) for scan in probe_scans[:6]
+        ]
+        with ServiceClient(port=server.port, codec=codec) as pipelined_client:
+            responses = pipelined_client.identify_pipelined(requests)
+        assert [response.request_id for response in responses] == [
+            request.request_id for request in requests
+        ]
+        assert all(response.ok for response in responses)
+        # Pipelined requests on ONE connection coalesce like concurrent
+        # clients do: they dispatch concurrently into the micro-batcher.
+        assert max(response.batch_size for response in responses) >= 2
+
+    def test_pipelined_error_carries_the_structured_document(self, server, sessions):
+        requests = [IdentifyRequest(gallery="missing", scans=sessions[1][:1])]
+        with ServiceClient(port=server.port) as pipelined_client:
+            with pytest.raises(HttpServiceError) as excinfo:
+                pipelined_client.identify_pipelined(requests)
+        assert excinfo.value.status == 404
+        assert excinfo.value.payload["error"]["type"] == "UnknownGallery"
+
+    def test_client_reuses_one_keep_alive_connection(self, server, sessions):
+        before = server.server.connections_accepted
+        with ServiceClient(port=server.port) as reuse_client:
+            reuse_client.healthz()
+            reuse_client.identify(gallery="hcp", scans=sessions[1][:1])
+            reuse_client.identify(gallery="hcp", scans=sessions[1][:1])
+            reuse_client.stats()
+            assert reuse_client.connections_opened == 1
+        assert server.server.connections_accepted == before + 1
 
 
 class TestLifecycle:

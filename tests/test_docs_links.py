@@ -1,0 +1,34 @@
+"""The docs tree exists, is linked from the README, and has no broken links.
+
+Mirrors the CI lint-job step (``scripts/check_docs_links.py``) so a broken
+relative link fails locally in the tier-1 suite, not only in CI.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_docs_tree_exists():
+    for name in ("protocol.md", "architecture.md", "serving.md"):
+        assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} is missing"
+
+
+def test_readme_links_into_docs():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for name in ("docs/protocol.md", "docs/architecture.md", "docs/serving.md"):
+        assert name in readme, f"README.md does not link {name}"
+
+
+def test_all_relative_links_resolve():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_docs_links.py")],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, f"link check failed:\n{result.stdout}{result.stderr}"
