@@ -146,11 +146,12 @@ def run_http_benchmark(
         )
 
     asyncio.run(run_inprocess())  # warm-up: probe signatures cached
-    inprocess_s = float("inf")
+    inprocess_samples = []
     for _ in range(repeats):
         start = time.perf_counter()
         asyncio.run(run_inprocess())
-        inprocess_s = min(inprocess_s, time.perf_counter() - start)
+        inprocess_samples.append(time.perf_counter() - start)
+    inprocess_s = min(inprocess_samples)
 
     n_clients = min(clients, len(request_scans))
     slices = [request_scans[i::n_clients] for i in range(n_clients)]
@@ -203,13 +204,13 @@ def run_http_benchmark(
                 return responses, elapsed
 
             for codec in codecs:
-                http_s = float("inf")
+                samples = []
                 bitwise_equal = True
                 max_http_batch = 0
                 run_http_round(codec)  # warm-up: connections established, codec hot
                 for _ in range(repeats):
                     responses, elapsed = run_http_round(codec)
-                    http_s = min(http_s, elapsed)
+                    samples.append(elapsed)
                     bitwise_equal = bitwise_equal and _bitwise_equal(
                         serial_results, responses
                     )
@@ -217,12 +218,18 @@ def run_http_benchmark(
                         max_http_batch,
                         max(response.batch_size for response in responses),
                     )
+                http_s = min(samples)
                 per_codec[codec] = {
                     "http_s": http_s,
                     "overhead": http_s / inprocess_s if inprocess_s > 0 else float("inf"),
                     "bitwise_equal": bool(bitwise_equal),
                     "max_http_batch": max_http_batch,
                     "per_request_ms": 1e3 * http_s / len(request_scans),
+                    # Round-latency percentiles over the timed repeats, so
+                    # the trajectory record tracks tail behaviour (p99) next
+                    # to the best-case floor (http_s).
+                    "p50_ms": float(1e3 * np.percentile(samples, 50)),
+                    "p99_ms": float(1e3 * np.percentile(samples, 99)),
                 }
     finally:
         service.close()
@@ -234,6 +241,8 @@ def run_http_benchmark(
         "n_requests": len(request_scans),
         "n_clients": n_clients,
         "inprocess_s": inprocess_s,
+        "inprocess_p50_ms": float(1e3 * np.percentile(inprocess_samples, 50)),
+        "inprocess_p99_ms": float(1e3 * np.percentile(inprocess_samples, 99)),
         "codecs": per_codec,
         "bitwise_equal": all(entry["bitwise_equal"] for entry in per_codec.values()),
         "max_http_batch": max(
@@ -265,6 +274,8 @@ def trajectory_record(outcome: dict) -> dict:
             "n_clients": outcome["n_clients"],
         },
         "inprocess_s": outcome["inprocess_s"],
+        "inprocess_p50_ms": outcome["inprocess_p50_ms"],
+        "inprocess_p99_ms": outcome["inprocess_p99_ms"],
         "codecs": outcome["codecs"],
         "binary_vs_json_speedup": speedup,
         "bitwise_equal": outcome["bitwise_equal"],
@@ -362,7 +373,8 @@ def main() -> int:
         print(
             f"http/{codec:<6} (warm)     : {entry['http_s']:.4f} s "
             f"({entry['per_request_ms']:.1f} ms/request, "
-            f"{entry['overhead']:.1f}x overhead)"
+            f"{entry['overhead']:.1f}x overhead, "
+            f"p50 {entry['p50_ms']:.1f} ms / p99 {entry['p99_ms']:.1f} ms)"
         )
     record = trajectory_record(outcome)
     if record["binary_vs_json_speedup"] is not None:

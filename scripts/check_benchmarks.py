@@ -12,13 +12,18 @@ selected backend, precision outcomes) to PATH — the ``BENCH_backend.json``
 artifact the CI smoke job uploads so speedups can be tracked across
 commits.  ``--http-trajectory PATH`` does the same for the HTTP serving
 benchmark, writing the wire-overhead ratio per codec (JSON vs binary
-frames) to PATH (``BENCH_http.json`` in CI).
+frames) to PATH (``BENCH_http.json`` in CI).  ``--index-trajectory PATH``
+runs the candidate-pruning index benchmark and writes its per-size
+speedups, p50/p99 latencies, and top-1 agreement verdict to PATH
+(``BENCH_index.json`` in CI); top-1 agreement is the hard gate, the
+speedups are recorded for trajectory tracking.
 
 Usage::
 
     PYTHONPATH=src python scripts/check_benchmarks.py
     PYTHONPATH=src python scripts/check_benchmarks.py --backend-trajectory BENCH_backend.json
     PYTHONPATH=src python scripts/check_benchmarks.py --http-trajectory BENCH_http.json
+    PYTHONPATH=src python scripts/check_benchmarks.py --index-trajectory BENCH_index.json
 """
 
 from __future__ import annotations
@@ -37,7 +42,16 @@ REQUIRED_BENCHMARKS = {
     "bench_service_batching",
     "bench_backend_matching",
     "bench_http_serving",
+    "bench_index_pruning",
 }
+
+
+def _benchmarks_on_path() -> Path:
+    """Make ``benchmarks/`` importable (idempotent); returns the directory."""
+    benchmarks_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+    if str(benchmarks_dir) not in sys.path:
+        sys.path.insert(0, str(benchmarks_dir))
+    return benchmarks_dir
 
 
 def write_backend_trajectory(path: Path) -> dict:
@@ -49,6 +63,7 @@ def write_backend_trajectory(path: Path) -> dict:
     the one-time segment publish).  The record carries the transport speedup
     and the selected backend name.
     """
+    _benchmarks_on_path()
     import bench_backend_matching as bench
 
     transport = bench.run_transport_benchmark()
@@ -67,6 +82,7 @@ def write_http_trajectory(path: Path) -> dict:
     bound is meaningful.  The record carries the wire-overhead ratio per
     codec and the binary-vs-JSON speedup.
     """
+    _benchmarks_on_path()
     import bench_http_serving as bench
 
     outcome = bench.run_http_benchmark()
@@ -75,22 +91,34 @@ def write_http_trajectory(path: Path) -> dict:
     return record
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--backend-trajectory", metavar="PATH", default=None,
-        help="run the backend matching benchmark and write its trajectory "
-        "record (speedup + backend name) to PATH",
-    )
-    parser.add_argument(
-        "--http-trajectory", metavar="PATH", default=None,
-        help="run the HTTP serving benchmark and write its trajectory "
-        "record (wire-overhead ratio per codec) to PATH",
-    )
-    args = parser.parse_args()
+def write_index_trajectory(path: Path, sizes=None) -> dict:
+    """Run the index pruning benchmark and write its trajectory record.
 
-    benchmarks_dir = Path(__file__).resolve().parent.parent / "benchmarks"
-    sys.path.insert(0, str(benchmarks_dir))
+    Runs the acceptance trajectory (1k / 10k / 100k gallery columns) by
+    default; ``sizes`` overrides it for smoke runs.  The record carries the
+    per-size p50/p99 latencies and speedups plus the top-1 agreement
+    verdict — agreement is the hard gate, the speedups are trajectory data
+    (CI boxes are too noisy to pin a ratio here; the pytest-benchmark test
+    owns the >= 5x bound).
+    """
+    _benchmarks_on_path()
+    import bench_index_pruning as bench
+
+    kwargs = {} if sizes is None else {"sizes": tuple(sizes)}
+    outcome = bench.run_pruning_benchmark(**kwargs)
+    record = bench.trajectory_record(outcome)
+    path.write_text(json.dumps(record, indent=2))
+    return record
+
+
+def run_import_checks() -> int:
+    """Import every ``benchmarks/bench_*.py`` module; 0 when all succeed.
+
+    Imports resolve against the benchmarks directory (mirroring how pytest
+    resolves their ``conftest`` import), so this must run in a process that
+    has not already bound ``conftest`` to something else.
+    """
+    benchmarks_dir = _benchmarks_on_path()
     failures = []
     modules = sorted(path.stem for path in benchmarks_dir.glob("bench_*.py"))
     missing = REQUIRED_BENCHMARKS - set(modules)
@@ -106,7 +134,35 @@ def main() -> int:
             failures.append((module_name, exc))
             print(f"FAIL {module_name}: {type(exc).__name__}: {exc}")
     print(f"{len(modules) - len(failures)}/{len(modules)} benchmark modules import cleanly")
-    if failures:
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend-trajectory", metavar="PATH", default=None,
+        help="run the backend matching benchmark and write its trajectory "
+        "record (speedup + backend name) to PATH",
+    )
+    parser.add_argument(
+        "--http-trajectory", metavar="PATH", default=None,
+        help="run the HTTP serving benchmark and write its trajectory "
+        "record (wire-overhead ratio per codec) to PATH",
+    )
+    parser.add_argument(
+        "--index-trajectory", metavar="PATH", default=None,
+        help="run the candidate-pruning index benchmark and write its "
+        "trajectory record (per-size speedups, p50/p99, top-1 agreement) "
+        "to PATH",
+    )
+    parser.add_argument(
+        "--index-sizes", metavar="N,N,...", default=None,
+        help="override the gallery sizes of --index-trajectory "
+        "(comma-separated; default: the 1k/10k/100k acceptance trajectory)",
+    )
+    args = parser.parse_args(argv)
+
+    if run_import_checks() != 0:
         return 1
 
     if args.backend_trajectory:
@@ -145,6 +201,29 @@ def main() -> int:
             return 1
         if record["max_http_batch"] <= 1:
             print("FAIL http trajectory: pipelined HTTP clients did not coalesce")
+            return 1
+
+    if args.index_trajectory:
+        sizes = None
+        if args.index_sizes:
+            sizes = [int(token) for token in args.index_sizes.split(",") if token]
+        record = write_index_trajectory(Path(args.index_trajectory), sizes=sizes)
+        largest = max(record["entries"], key=lambda entry: entry["n_columns"])
+        print(
+            "index trajectory: speedup_at_max={speedup:.1f}x "
+            "(at {columns} columns, ratio {ratio:.3f}) "
+            "top1_agreement={agreement} -> {path}".format(
+                speedup=record["speedup_at_max"],
+                columns=largest["n_columns"],
+                ratio=largest["pruning_ratio"],
+                agreement=record["top1_agreement"],
+                path=args.index_trajectory,
+            )
+        )
+        # Exactness is the hard gate; the speedup is trajectory data (the
+        # pytest-benchmark test owns the >= 5x acceptance bound).
+        if not record["top1_agreement"]:
+            print("FAIL index trajectory: pruned matching diverged from full scan")
             return 1
     return 0
 

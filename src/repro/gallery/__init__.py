@@ -14,6 +14,11 @@ service-shaped workflow:
     :class:`ReferenceGallery` — the fitted, persistent, incrementally
     growable gallery object serving repeated ``identify`` queries (the
     ``gallery`` artifact kind holds its reduced signature matrix).
+``index``
+    :class:`PruningIndex` — the sublinear candidate-pruning tier (the
+    ``index`` artifact kind holds its sketch): coarse sketched scoring of
+    every column, exact re-ranking of the per-probe top-C survivors, with
+    top-1/top-2 exactness guaranteed by an admissible bound.
 """
 
 from repro.gallery.factors import (
@@ -22,6 +27,7 @@ from repro.gallery.factors import (
     fit_principal_features_cached,
     leverage_cache_key,
 )
+from repro.gallery.index import DEFAULT_INDEX_RANK, FILL_VALUE, PruningIndex
 from repro.gallery.matching import (
     match_against_gallery,
     match_normalized,
@@ -47,4 +53,8 @@ __all__ = [
     "similarity_kernel",
     # reference
     "ReferenceGallery",
+    # index
+    "DEFAULT_INDEX_RANK",
+    "FILL_VALUE",
+    "PruningIndex",
 ]

@@ -41,7 +41,8 @@ from repro.gallery.factors import (
     fit_principal_features_cached,
     leverage_cache_key,
 )
-from repro.gallery.matching import match_against_gallery
+from repro.gallery.index import DEFAULT_INDEX_RANK, PruningIndex
+from repro.gallery.matching import match_against_gallery, normalize_columns
 from repro.linalg.leverage import PrincipalFeaturesSubspace
 from repro.runtime.batch import build_group_matrix_batched
 from repro.runtime.cache import ArtifactCache, get_default_cache
@@ -95,6 +96,12 @@ class ReferenceGallery:
     metadata:
         Free-form JSON-serializable dict persisted alongside the gallery
         (the CLI stores its dataset recipe here).
+    index_rank / index_top_c:
+        When ``index_rank`` is set, a :class:`~repro.gallery.index.PruningIndex`
+        is fitted alongside the gallery (and *re*-fitted on every
+        enroll-driven refit, so it can never serve stale candidates) for
+        the serving layer's opt-in ``precision="indexed"`` tier.
+        ``index_top_c`` overrides the per-probe candidate budget.
 
     Attributes
     ----------
@@ -105,6 +112,9 @@ class ReferenceGallery:
     refit_count_:
         How many times the leverage fit actually ran for this object
         (enrollments that change nothing do not bump it).
+    index_:
+        The fitted :class:`~repro.gallery.index.PruningIndex`, or ``None``
+        when no index tier was requested.
     """
 
     def __init__(
@@ -120,6 +130,8 @@ class ReferenceGallery:
         runner=None,
         backend: Optional[str] = None,
         metadata: Optional[Dict[str, Any]] = None,
+        index_rank: Optional[int] = None,
+        index_top_c: Optional[int] = None,
     ):
         check_positive_int(n_features, name="n_features")
         if n_features > reference.n_features:
@@ -153,6 +165,13 @@ class ReferenceGallery:
         self.signatures_: Optional[np.ndarray] = None
         self._leverage_key: Optional[str] = None
         self._fingerprint: Optional[str] = None
+        if index_rank is not None:
+            check_positive_int(index_rank, name="index_rank")
+        if index_top_c is not None:
+            check_positive_int(index_top_c, name="index_top_c")
+        self.index_rank = None if index_rank is None else int(index_rank)
+        self.index_top_c = None if index_top_c is None else int(index_top_c)
+        self.index_: Optional[PruningIndex] = None
         self._fit()
 
     # ------------------------------------------------------------------ #
@@ -172,6 +191,8 @@ class ReferenceGallery:
         runner=None,
         backend: Optional[str] = None,
         metadata: Optional[Dict[str, Any]] = None,
+        index_rank: Optional[int] = None,
+        index_top_c: Optional[int] = None,
     ) -> "ReferenceGallery":
         """Build and fit a gallery from reference scans.
 
@@ -195,6 +216,8 @@ class ReferenceGallery:
             runner=runner,
             backend=backend,
             metadata=metadata,
+            index_rank=index_rank,
+            index_top_c=index_top_c,
         )
 
     # ------------------------------------------------------------------ #
@@ -232,6 +255,58 @@ class ReferenceGallery:
         )
         self._fingerprint = self._gallery_key(data)
         self.refit_count_ += 1
+        # Any refit invalidates a previously fitted pruning index: the
+        # signature matrix (and therefore the sketch) changed.  Rebuild it
+        # here rather than lazily, so a stale index can never be observed.
+        if self.index_rank is not None or self.index_ is not None:
+            self._fit_index()
+
+    def _fit_index(self) -> None:
+        """(Re-)fit the pruning index over the current signature matrix."""
+        rank = self.index_rank
+        if rank is None:
+            rank = (
+                self.index_.rank if self.index_ is not None else DEFAULT_INDEX_RANK
+            )
+        normalized, _ = normalize_columns(self.signatures_)
+        self.index_ = PruningIndex.fit(
+            normalized,
+            rank=rank,
+            top_c=self.index_top_c,
+            cache=self.cache if self._cacheable else None,
+            fingerprint=self.fingerprint,
+        )
+
+    def ensure_index(
+        self, rank: Optional[int] = None, top_c: Optional[int] = None
+    ) -> PruningIndex:
+        """The pruning index, fitted (or re-fitted) if absent or stale.
+
+        ``rank``/``top_c`` update the gallery's index parameters when
+        given; a fitted index whose fingerprint still matches the gallery
+        is returned as-is.
+        """
+        if rank is not None:
+            check_positive_int(rank, name="rank")
+            if self.index_rank != int(rank):
+                self.index_rank = int(rank)
+                self.index_ = None
+        if top_c is not None:
+            check_positive_int(top_c, name="top_c")
+            if self.index_top_c != int(top_c):
+                self.index_top_c = int(top_c)
+                self.index_ = None
+        stale = (
+            self.index_ is None
+            or self.index_.sketch_.shape[1] != self.n_subjects
+            or (
+                self.index_.fingerprint is not None
+                and self.index_.fingerprint != self.fingerprint
+            )
+        )
+        if stale:
+            self._fit_index()
+        return self.index_
 
     @property
     def _cacheable(self) -> bool:
@@ -334,6 +409,11 @@ class ReferenceGallery:
         )
         if new_key != self._leverage_key:
             self._fit()
+        elif self.index_ is not None or self.index_rank is not None:
+            # Content-keyed leverage keys change on every real append, so
+            # this branch is defensive: even if the fit were skipped, the
+            # index must track the new column set.
+            self._fit_index()
         return len(new_scans)
 
     def _scan_keys(self) -> List[tuple]:
@@ -404,19 +484,22 @@ class ReferenceGallery:
         signatures: np.ndarray,
         selected_indices: np.ndarray,
         scores: np.ndarray,
+        index_arrays: Optional[Sequence[np.ndarray]] = None,
     ) -> str:
         """Digest over *every* persisted array plus the fit parameters.
 
         This is what :meth:`load` verifies — unlike :attr:`fingerprint` it
-        also covers the derived arrays (signatures, indices, scores), so a
-        corrupted or tampered archive cannot load silently.
+        also covers the derived arrays (signatures, indices, scores, and
+        the pruning-index arrays when one is persisted), so a corrupted or
+        tampered archive cannot load silently.  Archives without an index
+        hash exactly as before, keeping pre-index archives loadable.
         """
+        parts = [reference, signatures, selected_indices, scores]
+        if index_arrays is not None:
+            parts.extend(index_arrays)
         return self.cache.key(
             "gallery-archive",
-            reference,
-            signatures,
-            selected_indices,
-            scores,
+            *parts,
             n_features=self.n_features,
             rank=-1 if self.rank is None else int(self.rank),
             method=str(self.method),
@@ -427,13 +510,30 @@ class ReferenceGallery:
         """Persist the fitted gallery into ``directory`` (created if needed)."""
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        np.savez_compressed(
-            directory / _ARRAYS_FILE,
-            reference=self.reference.data,
-            signatures=self.signatures_,
-            selected_indices=self.selector_.selected_indices_,
-            leverage_scores=self.selector_.scores_,
-        )
+        arrays = {
+            "reference": self.reference.data,
+            "signatures": self.signatures_,
+            "selected_indices": self.selector_.selected_indices_,
+            "leverage_scores": self.selector_.scores_,
+        }
+        index_meta = None
+        index_arrays = None
+        if self.index_ is not None:
+            index_arrays = (
+                self.index_.projection_,
+                self.index_.sketch_,
+                self.index_.residual_,
+            )
+            arrays["index_projection"] = self.index_.projection_
+            arrays["index_sketch"] = self.index_.sketch_
+            arrays["index_residual"] = self.index_.residual_
+            index_meta = {
+                "rank": self.index_.rank,
+                "top_c": self.index_.top_c,
+                "method": self.index_.method,
+                "seed": self.index_.seed,
+            }
+        np.savez_compressed(directory / _ARRAYS_FILE, **arrays)
         meta = {
             "format_version": _FORMAT_VERSION,
             "n_features": self.n_features,
@@ -446,11 +546,13 @@ class ReferenceGallery:
             "tasks": self.reference.tasks,
             "sessions": self.reference.sessions,
             "fingerprint": self.fingerprint,
+            "index": index_meta,
             "integrity": self._integrity_digest(
                 self.reference.data,
                 self.signatures_,
                 self.selector_.selected_indices_,
                 self.selector_.scores_,
+                index_arrays=index_arrays,
             ),
             "metadata": self.metadata,
         }
@@ -488,6 +590,24 @@ class ReferenceGallery:
             signatures = archive["signatures"]
             selected_indices = archive["selected_indices"]
             leverage_scores_arr = archive["leverage_scores"]
+            index_meta = meta.get("index")
+            index_arrays = None
+            if index_meta is not None:
+                missing = [
+                    name
+                    for name in ("index_projection", "index_sketch", "index_residual")
+                    if name not in archive.files
+                ]
+                if missing:
+                    raise ValidationError(
+                        "saved gallery failed its integrity check "
+                        f"(index arrays {missing} are missing from the archive)"
+                    )
+                index_arrays = (
+                    archive["index_projection"],
+                    archive["index_sketch"],
+                    archive["index_residual"],
+                )
 
         gallery = cls.__new__(cls)
         gallery.n_features = int(meta["n_features"])
@@ -520,9 +640,13 @@ class ReferenceGallery:
         gallery.signatures_ = signatures
         gallery.refit_count_ = 0
         gallery._fingerprint = None
+        gallery.index_ = None
+        gallery.index_rank = None
+        gallery.index_top_c = None
 
         integrity = gallery._integrity_digest(
-            reference_data, signatures, selected_indices, leverage_scores_arr
+            reference_data, signatures, selected_indices, leverage_scores_arr,
+            index_arrays=index_arrays,
         )
         if meta.get("integrity") != integrity:
             raise ValidationError(
@@ -530,6 +654,19 @@ class ReferenceGallery:
                 "(the archive was modified or saved by incompatible parameters)"
             )
         fingerprint = gallery.fingerprint
+        if index_meta is not None:
+            gallery.index_rank = int(index_meta["rank"])
+            gallery.index_top_c = (
+                int(index_meta["top_c"]) if index_meta.get("top_c") is not None else None
+            )
+            gallery.index_ = PruningIndex(
+                *index_arrays,
+                rank=int(index_meta["rank"]),
+                top_c=index_meta.get("top_c"),
+                method=index_meta.get("method", "projection"),
+                seed=int(index_meta.get("seed", 0)),
+                fingerprint=fingerprint,
+            )
         # Prime the cache so post-load enrollment and sibling galleries start
         # warm instead of refactorizing.  Uncacheable fits (randomized SVD
         # without an integer seed) must not be primed: their keys cannot
@@ -566,9 +703,10 @@ class ReferenceGallery:
             "backend": self.backend,
             "refit_count": self.refit_count_,
             "fingerprint": self.fingerprint,
+            "index": None if self.index_ is None else self.index_.describe(),
             "cache": {
                 kind: self.cache.stats(kind).as_dict()
-                for kind in ("gallery", "leverage", "svd", "group_matrix")
+                for kind in ("gallery", "leverage", "svd", "group_matrix", "index")
             },
         }
 

@@ -80,7 +80,8 @@ def runtime_info(cache=None, runner=None) -> Dict[str, Any]:
         Optional :class:`~repro.runtime.runner.ExperimentRunner` whose worker
         configuration should be reported; defaults to a fresh default runner.
     """
-    from repro.runtime.backend import backend_registry_info
+    from repro.gallery.index import DEFAULT_INDEX_RANK, default_top_c
+    from repro.runtime.backend import INDEXED_PRECISION, backend_registry_info
     from repro.runtime.cache import get_default_cache
     from repro.runtime.runner import ExperimentRunner
 
@@ -89,6 +90,11 @@ def runtime_info(cache=None, runner=None) -> Dict[str, Any]:
     return {
         "numpy_version": np.__version__,
         "backends": backend_registry_info(),
+        "index": {
+            "precision": INDEXED_PRECISION,
+            "default_rank": DEFAULT_INDEX_RANK,
+            "default_top_c": default_top_c(DEFAULT_INDEX_RANK),
+        },
         "cache": {
             "memory_items": len(cache),
             "max_memory_items": cache.max_memory_items,
@@ -127,6 +133,14 @@ def format_runtime_info(info: Dict[str, Any]) -> str:
             for backend in backends
         )
         lines.append(f"matching backends   : {rendered}")
+    index = info.get("index")
+    if index:
+        lines.append(
+            "pruning index       : "
+            f"precision={index['precision']!r} "
+            f"default_rank={index['default_rank']} "
+            f"default_top_c={index['default_top_c']} (opt-in)"
+        )
     cache = info["cache"]
     total = cache["total"]
     lines.append(

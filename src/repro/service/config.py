@@ -17,7 +17,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.exceptions import ConfigurationError
-from repro.runtime.backend import PRECISIONS, resolve_backend
+from repro.gallery.index import DEFAULT_INDEX_RANK
+from repro.runtime.backend import INDEXED_PRECISION, PRECISIONS, resolve_backend
 from repro.runtime.cache import (
     DEFAULT_MAX_MEMORY_BYTES as _DEFAULT_MAX_MEMORY_BYTES,
     DEFAULT_MAX_MEMORY_ITEMS as _DEFAULT_MAX_MEMORY_ITEMS,
@@ -104,6 +105,16 @@ class ServiceConfig:
         Whether HTTP connections persist across requests.  ``False`` forces
         ``Connection: close`` on every response (debugging aid; persistent
         connections are the performant default).
+    index_enabled / index_rank / index_top_c:
+        The candidate-pruning index tier
+        (:class:`~repro.gallery.index.PruningIndex`).  Serving routes
+        identifies through the index only when ``precision="indexed"``
+        (strictly opt-in — the default path never changes bits);
+        ``index_enabled=True`` additionally fits the index at gallery build
+        time so the ``index`` artifact is warm before the precision flips.
+        ``index_rank`` is the sketch rank (``None`` = the gallery's default)
+        and ``index_top_c`` the per-probe candidate budget handed to the
+        exact re-ranking kernel (``None`` = ``max(64, 4 * rank)``).
     """
 
     n_features: int = 100
@@ -132,6 +143,9 @@ class ServiceConfig:
     max_stream_bytes: int = 256 * 1024 * 1024
     pipeline_depth: int = 8
     http_keep_alive: bool = True
+    index_enabled: bool = False
+    index_rank: Optional[int] = None
+    index_top_c: Optional[int] = None
 
     def __post_init__(self):
         if self.n_features < 1:
@@ -152,9 +166,18 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"shard_size must be >= 1 or None, got {self.shard_size}"
             )
-        if self.precision not in PRECISIONS:
+        if self.precision not in PRECISIONS + (INDEXED_PRECISION,):
             raise ConfigurationError(
-                f"precision must be one of {PRECISIONS}, got {self.precision!r}"
+                "precision must be one of "
+                f"{PRECISIONS + (INDEXED_PRECISION,)}, got {self.precision!r}"
+            )
+        if self.index_rank is not None and int(self.index_rank) < 1:
+            raise ConfigurationError(
+                f"index_rank must be >= 1 or None, got {self.index_rank}"
+            )
+        if self.index_top_c is not None and int(self.index_top_c) < 1:
+            raise ConfigurationError(
+                f"index_top_c must be >= 1 or None, got {self.index_top_c}"
             )
         # Resolve eagerly so an unknown backend or a backend/precision
         # mismatch fails at construction, not at serving time.
@@ -252,9 +275,19 @@ class ServiceConfig:
         """The matching-backend name the backend/precision policy selects."""
         return resolve_backend(self.backend, self.precision).name
 
+    @property
+    def index_active(self) -> bool:
+        """Whether this deployment fits (and may serve through) a pruning index.
+
+        ``precision="indexed"`` implies it; ``index_enabled=True`` fits the
+        index at build time without routing identifies through it (useful for
+        pre-building the ``index`` artifact before flipping the precision).
+        """
+        return self.index_enabled or self.precision == INDEXED_PRECISION
+
     def gallery_kwargs(self) -> Dict[str, Any]:
         """Constructor kwargs for a :class:`~repro.gallery.reference.ReferenceGallery`."""
-        return {
+        kwargs = {
             "n_features": self.n_features,
             "rank": self.rank,
             "fisher": self.fisher,
@@ -263,6 +296,12 @@ class ServiceConfig:
             "shard_size": self.shard_size,
             "backend": self.resolved_backend(),
         }
+        if self.index_active:
+            kwargs["index_rank"] = (
+                self.index_rank if self.index_rank is not None else DEFAULT_INDEX_RANK
+            )
+            kwargs["index_top_c"] = self.index_top_c
+        return kwargs
 
     def replace(self, **overrides: Any) -> "ServiceConfig":
         """A copy of this config with the given fields replaced (re-validated)."""

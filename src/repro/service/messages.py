@@ -327,6 +327,13 @@ class ServiceStats:
         fresh, never-warm batcher) per burst.
     galleries:
         Per-gallery identify-request counters.
+    pruning:
+        Per-gallery candidate-pruning counters, present only for galleries
+        served through the indexed tier (``precision="indexed"``):
+        ``candidates_scanned`` (columns the exact kernel re-ranked),
+        ``columns_considered`` (columns a full scan would have touched),
+        ``full_scans_avoided`` (their difference) and the derived
+        ``pruning_ratio``.
     cache_kinds:
         Per-artifact-kind cache counters (hits/misses/disk hits), so an
         operator can verify the service is actually running warm.
@@ -342,6 +349,7 @@ class ServiceStats:
     errors: int = 0
     batchers: int = 0
     galleries: Dict[str, int] = field(default_factory=dict)
+    pruning: Dict[str, Dict[str, float]] = field(default_factory=dict)
     cache_kinds: Dict[str, Dict[str, float]] = field(default_factory=dict)
     cache_dir: Optional[str] = None
 
@@ -364,6 +372,9 @@ class ServiceStats:
             "errors": int(self.errors),
             "batchers": int(self.batchers),
             "galleries": dict(self.galleries),
+            "pruning": {
+                name: dict(counters) for name, counters in self.pruning.items()
+            },
             "cache_kinds": {
                 kind: dict(stats) for kind, stats in self.cache_kinds.items()
             },
@@ -382,6 +393,10 @@ class ServiceStats:
             errors=int(payload.get("errors", 0)),
             batchers=int(payload.get("batchers", 0)),
             galleries=dict(payload.get("galleries", {})),
+            pruning={
+                name: dict(counters)
+                for name, counters in payload.get("pruning", {}).items()
+            },
             cache_kinds={
                 kind: dict(stats)
                 for kind, stats in payload.get("cache_kinds", {}).items()
@@ -400,6 +415,14 @@ class ServiceStats:
             f"micro-batchers      : {self.batchers} event loop(s)",
             f"disk cache tier     : {self.cache_dir or '(memory only)'}",
         ]
+        for name in sorted(self.pruning):
+            counters = self.pruning[name]
+            lines.append(
+                f"  - pruning[{name}]: "
+                f"scanned={counters.get('candidates_scanned', 0):.0f} "
+                f"avoided={counters.get('full_scans_avoided', 0):.0f} "
+                f"ratio={counters.get('pruning_ratio', 0.0):.3f}"
+            )
         for kind in sorted(self.cache_kinds):
             stats = self.cache_kinds[kind]
             lines.append(
