@@ -16,7 +16,11 @@ frames) to PATH (``BENCH_http.json`` in CI).  ``--index-trajectory PATH``
 runs the candidate-pruning index benchmark and writes its per-size
 speedups, p50/p99 latencies, and top-1 agreement verdict to PATH
 (``BENCH_index.json`` in CI); top-1 agreement is the hard gate, the
-speedups are recorded for trajectory tracking.
+speedups are recorded for trajectory tracking.  ``--router-trajectory
+PATH`` runs the gallery-router scaling benchmark and writes the 4-vs-1
+worker aggregate throughput plus the routed bit-identity verdict (IPC and
+both HTTP codecs) to PATH (``BENCH_router.json`` in CI); bit-identity is
+the hard gate, the speedup is recorded for trajectory tracking.
 
 Usage::
 
@@ -24,6 +28,7 @@ Usage::
     PYTHONPATH=src python scripts/check_benchmarks.py --backend-trajectory BENCH_backend.json
     PYTHONPATH=src python scripts/check_benchmarks.py --http-trajectory BENCH_http.json
     PYTHONPATH=src python scripts/check_benchmarks.py --index-trajectory BENCH_index.json
+    PYTHONPATH=src python scripts/check_benchmarks.py --router-trajectory BENCH_router.json
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ REQUIRED_BENCHMARKS = {
     "bench_backend_matching",
     "bench_http_serving",
     "bench_index_pruning",
+    "bench_router_scaling",
 }
 
 
@@ -111,6 +117,35 @@ def write_index_trajectory(path: Path, sizes=None) -> dict:
     return record
 
 
+def write_router_trajectory(
+    path: Path, galleries=None, subjects=None, requests=None
+) -> dict:
+    """Run the gallery-router scaling benchmark and write its trajectory.
+
+    Runs the acceptance workload (16 galleries of 96 subjects over a
+    4-gallery-per-worker residency cap, 4 workers vs 1) by default; the
+    keyword overrides shrink it for smoke runs.  The record carries the
+    aggregate warm-throughput speedup and the routed bit-identity verdict
+    (IPC transport plus both HTTP codecs) — bit-identity is the hard gate,
+    the speedup is trajectory data (CI boxes are too noisy to pin a ratio
+    here; the pytest-benchmark test owns the >= 2x acceptance bound).
+    """
+    _benchmarks_on_path()
+    import bench_router_scaling as bench
+
+    kwargs = {}
+    if galleries is not None:
+        kwargs["n_galleries"] = int(galleries)
+    if subjects is not None:
+        kwargs["n_subjects"] = int(subjects)
+    if requests is not None:
+        kwargs["requests_per_gallery"] = int(requests)
+    outcome = bench.run_router_benchmark(**kwargs)
+    record = bench.trajectory_record(outcome)
+    path.write_text(json.dumps(record, indent=2))
+    return record
+
+
 def run_import_checks() -> int:
     """Import every ``benchmarks/bench_*.py`` module; 0 when all succeed.
 
@@ -159,6 +194,24 @@ def main(argv=None) -> int:
         "--index-sizes", metavar="N,N,...", default=None,
         help="override the gallery sizes of --index-trajectory "
         "(comma-separated; default: the 1k/10k/100k acceptance trajectory)",
+    )
+    parser.add_argument(
+        "--router-trajectory", metavar="PATH", default=None,
+        help="run the gallery-router scaling benchmark and write its "
+        "trajectory record (4-vs-1 worker throughput, routed bit-identity) "
+        "to PATH",
+    )
+    parser.add_argument(
+        "--router-galleries", metavar="N", type=int, default=None,
+        help="override the gallery count of --router-trajectory (smoke runs)",
+    )
+    parser.add_argument(
+        "--router-subjects", metavar="N", type=int, default=None,
+        help="override the subjects per gallery of --router-trajectory",
+    )
+    parser.add_argument(
+        "--router-requests", metavar="N", type=int, default=None,
+        help="override the requests per gallery of --router-trajectory",
     )
     args = parser.parse_args(argv)
 
@@ -224,6 +277,30 @@ def main(argv=None) -> int:
         # pytest-benchmark test owns the >= 5x acceptance bound).
         if not record["top1_agreement"]:
             print("FAIL index trajectory: pruned matching diverged from full scan")
+            return 1
+
+    if args.router_trajectory:
+        record = write_router_trajectory(
+            Path(args.router_trajectory),
+            galleries=args.router_galleries,
+            subjects=args.router_subjects,
+            requests=args.router_requests,
+        )
+        print(
+            "router trajectory: speedup={speedup:.2f}x "
+            "({workers} workers vs 1) bitwise_equal={equal} "
+            "http_codecs={codecs} -> {path}".format(
+                speedup=record["speedup"],
+                workers=record["fleet_workers"],
+                equal=record["bitwise_equal"],
+                codecs=record["http_codecs"],
+                path=args.router_trajectory,
+            )
+        )
+        # Bit-identity is the hard gate; the speedup is trajectory data
+        # (the pytest-benchmark test owns the >= 2x acceptance bound).
+        if not record["bitwise_equal"]:
+            print("FAIL router trajectory: routed responses diverged from single-process serving")
             return 1
     return 0
 

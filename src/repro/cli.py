@@ -221,6 +221,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--executor", choices=("thread", "process"), default="thread",
         help="worker pool kind for sharded matching",
     )
+    serve_parser.add_argument(
+        "--router-workers", type=int, default=0, metavar="N",
+        help="routed mode: partition galleries across N service worker "
+        "processes via a consistent-hash ring (0 = single-process serving); "
+        "the gallery root is the parent of --dir",
+    )
     _add_backend_arguments(serve_parser)
 
     info_parser = subparsers.add_parser(
@@ -229,6 +235,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     info_parser.add_argument("--workers", type=_positive_int, default=1)
     info_parser.add_argument("--executor", choices=("thread", "process"), default="thread")
+    info_parser.add_argument(
+        "--router-workers", type=int, default=0, metavar="N",
+        help="report the gallery-router fleet shape for N workers",
+    )
+    info_parser.add_argument(
+        "--ring-replicas", type=_positive_int, default=64,
+        help="virtual nodes per worker on the consistent-hash ring",
+    )
     return parser
 
 
@@ -355,7 +369,16 @@ def _command_demo(args) -> int:
 
 def _command_runtime_info(args) -> int:
     runner = ExperimentRunner(max_workers=args.workers, executor=args.executor)
-    print(format_runtime_info(runtime_info(cache=get_default_cache(), runner=runner)))
+    print(
+        format_runtime_info(
+            runtime_info(
+                cache=get_default_cache(),
+                runner=runner,
+                router_workers=args.router_workers,
+                ring_replicas=args.ring_replicas,
+            )
+        )
+    )
     return 0
 
 
@@ -591,7 +614,32 @@ def _serve(args) -> int:
         http_host=args.host,
         http_port=args.http if args.http is not None else 8035,
         codec=args.codec,
+        router_workers=max(0, args.router_workers),
     )
+    if config.router_workers > 0:
+        # Routed mode: one GalleryRouter over the parent of --dir; every
+        # gallery under that root is servable, dispatched by name across
+        # the worker fleet.
+        from repro.exceptions import ValidationError
+        from repro.service import GalleryRouter
+
+        directory = Path(args.dir)
+        root = directory.parent if str(directory.parent) else Path(".")
+        name = directory.name
+        router = GalleryRouter(root, config=config)
+        try:
+            if name not in router.registry:
+                raise ValidationError(
+                    f"no saved gallery named {name!r} under {root} "
+                    "(routed serving loads from disk; build it first)"
+                )
+            if args.http is not None:
+                return _serve_http(router, name)
+            return _serve_rounds(router, name, args)
+        finally:
+            # Drains every worker (each releases its own pool and /dev/shm
+            # segments before the router joins it).
+            router.close()
     registry, name = _registry_for(args.dir, config=config)
     service = IdentificationService(registry=registry, config=config)
     # Everything below must release the runner pool and /dev/shm segments on
@@ -617,8 +665,20 @@ def _serve_rounds(service, name, args) -> int:
 
     from repro.service import IdentifyRequest
 
-    gallery = service.registry.get(name)
-    recipe = gallery.metadata.get("dataset")
+    routed = not hasattr(service.registry, "get")
+    if routed:
+        # The router never loads galleries in this process; the persisted
+        # metadata on disk carries the dataset recipe.
+        import json as _json
+
+        meta_path = Path(service.root) / name / "gallery.json"
+        saved = _json.loads(meta_path.read_text())
+        recipe = (saved.get("metadata") or {}).get("dataset")
+        backend_label = service.config.backend or "numpy64 (default)"
+    else:
+        gallery = service.registry.get(name)
+        recipe = gallery.metadata.get("dataset")
+        backend_label = gallery.backend
     if not recipe:
         print("gallery carries no dataset recipe; cannot synthesize probes",
               file=sys.stderr)
@@ -646,7 +706,7 @@ def _serve_rounds(service, name, args) -> int:
         return last, service.stats()
 
     responses, stats = asyncio.run(serve_rounds())
-    if stats.batchers != 1:
+    if stats.batchers != 1 and not routed:
         print(
             f"warning: {stats.batchers} micro-batchers were live after "
             f"{args.rounds} rounds (expected 1: warm rounds should reuse "
@@ -667,7 +727,7 @@ def _serve_rounds(service, name, args) -> int:
     n_probes = sum(response.n_probes for response in responses if response.ok)
     if n_probes:
         print(f"identification accuracy : {100.0 * n_correct / n_probes:.1f} %")
-    print(f"matching backend        : {gallery.backend}")
+    print(f"matching backend        : {backend_label}")
     print()
     for line in stats.summary_lines():
         print(line)
@@ -681,7 +741,8 @@ def _serve_http(service, name) -> int:
 
     from repro.service.http import HttpServiceServer
 
-    service.registry.get(name)  # fail fast on a missing/corrupt gallery
+    if hasattr(service.registry, "get"):
+        service.registry.get(name)  # fail fast on a missing/corrupt gallery
 
     async def run_server():
         server = HttpServiceServer(service)
@@ -700,6 +761,23 @@ def _serve_http(service, name) -> int:
             f"[advertised: {advertised}]",
             flush=True,
         )
+        workers = getattr(service, "workers", None)
+        if workers is not None:
+            # Routed mode: surface the fleet shape and who holds what.
+            health = service.healthz()
+            print(
+                f"router: {len(workers)} worker process(es), "
+                f"ring size {service.ring_size} "
+                f"({service.config.ring_replicas} virtual nodes per worker)",
+                flush=True,
+            )
+            for worker_name in workers:
+                entry = health["workers"].get(worker_name, {})
+                resident = ", ".join(entry.get("resident") or ()) or "(none resident)"
+                print(
+                    f"  - {worker_name} (pid {entry.get('pid')}): {resident}",
+                    flush=True,
+                )
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:

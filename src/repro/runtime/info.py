@@ -68,7 +68,9 @@ def detect_blas_threading() -> Dict[str, Any]:
     return info
 
 
-def runtime_info(cache=None, runner=None) -> Dict[str, Any]:
+def runtime_info(
+    cache=None, runner=None, router_workers: int = 0, ring_replicas: int = 64
+) -> Dict[str, Any]:
     """Aggregate runtime diagnostics: cache stats, worker config, BLAS threading.
 
     Parameters
@@ -79,6 +81,9 @@ def runtime_info(cache=None, runner=None) -> Dict[str, Any]:
     runner:
         Optional :class:`~repro.runtime.runner.ExperimentRunner` whose worker
         configuration should be reported; defaults to a fresh default runner.
+    router_workers / ring_replicas:
+        Gallery-router fleet shape to report on (``serve --router-workers``);
+        0 workers means single-process serving, no router.
     """
     from repro.gallery.index import DEFAULT_INDEX_RANK, default_top_c
     from repro.runtime.backend import INDEXED_PRECISION, backend_registry_info
@@ -103,6 +108,12 @@ def runtime_info(cache=None, runner=None) -> Dict[str, Any]:
             "by_kind": cache.stats_by_kind(),
         },
         "workers": runner.worker_config(),
+        "router": {
+            "workers": int(router_workers),
+            "ring_replicas": int(ring_replicas),
+            "ring_size": int(router_workers) * int(ring_replicas),
+            "mode": "routed" if int(router_workers) > 0 else "single-process",
+        },
         "blas": detect_blas_threading(),
     }
 
@@ -141,6 +152,20 @@ def format_runtime_info(info: Dict[str, Any]) -> str:
             f"default_rank={index['default_rank']} "
             f"default_top_c={index['default_top_c']} (opt-in)"
         )
+    router = info.get("router")
+    if router:
+        if router["workers"] > 0:
+            lines.append(
+                "gallery router      : "
+                f"{router['workers']} worker process(es), "
+                f"ring size {router['ring_size']} "
+                f"({router['ring_replicas']} virtual nodes per worker)"
+            )
+        else:
+            lines.append(
+                "gallery router      : (single process; "
+                "serve --router-workers N to scale out)"
+            )
     cache = info["cache"]
     total = cache["total"]
     lines.append(

@@ -30,6 +30,13 @@ service (datasets → gallery → service):
     pipelined keep-alive connections, content-negotiated codecs, and a
     streaming binary enroll path; responses are bit-identical to in-process
     identifies under either codec.
+``router`` / ``worker``
+    :class:`GalleryRouter` + the worker process entrypoint — multi-process
+    scale-out: gallery names partitioned across service worker processes by
+    a consistent-hash ring (:class:`HashRing`), per-worker TTL/LRU
+    residency over the shared root, aggregated stats with respawn
+    carry-forward, and routed responses bit-identical to single-process
+    serving.
 """
 
 from repro.service.config import ServiceConfig
@@ -49,6 +56,7 @@ from repro.service.http import (
     HttpServiceServer,
     ServiceClient,
 )
+from repro.service.router import GalleryRouter, HashRing
 
 __all__ = [
     "CONTENT_TYPE_BINARY",
@@ -66,4 +74,6 @@ __all__ = [
     "HttpServiceError",
     "HttpServiceServer",
     "ServiceClient",
+    "GalleryRouter",
+    "HashRing",
 ]

@@ -105,6 +105,16 @@ class ServiceConfig:
         Whether HTTP connections persist across requests.  ``False`` forces
         ``Connection: close`` on every response (debugging aid; persistent
         connections are the performant default).
+    router_workers / ring_replicas:
+        Multi-process scale-out (:class:`~repro.service.router.GalleryRouter`).
+        ``router_workers=0`` (the default) serves single-process;
+        ``router_workers=N`` partitions gallery names across N service
+        worker processes via a consistent-hash ring with ``ring_replicas``
+        virtual nodes per worker (more replicas = smoother spread, slower
+        ring rebuilds).  Each worker runs its own
+        :class:`~repro.service.service.IdentificationService` over the
+        shared disk root, with the TTL/LRU residency policy applied per
+        worker.
     index_enabled / index_rank / index_top_c:
         The candidate-pruning index tier
         (:class:`~repro.gallery.index.PruningIndex`).  Serving routes
@@ -143,6 +153,8 @@ class ServiceConfig:
     max_stream_bytes: int = 256 * 1024 * 1024
     pipeline_depth: int = 8
     http_keep_alive: bool = True
+    router_workers: int = 0
+    ring_replicas: int = 64
     index_enabled: bool = False
     index_rank: Optional[int] = None
     index_top_c: Optional[int] = None
@@ -231,6 +243,15 @@ class ServiceConfig:
         if int(self.pipeline_depth) < 1:
             raise ConfigurationError(
                 f"pipeline_depth must be >= 1, got {self.pipeline_depth}"
+            )
+        if int(self.router_workers) < 0:
+            raise ConfigurationError(
+                f"router_workers must be >= 0 (0 = single-process), "
+                f"got {self.router_workers}"
+            )
+        if int(self.ring_replicas) < 1:
+            raise ConfigurationError(
+                f"ring_replicas must be >= 1, got {self.ring_replicas}"
             )
 
     # ------------------------------------------------------------------ #

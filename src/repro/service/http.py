@@ -105,6 +105,7 @@ _REASONS = {
     413: "Payload Too Large",
     500: "Internal Server Error",
     501: "Not Implemented",
+    503: "Service Unavailable",
 }
 
 #: Routes and the methods they accept (anything else is 404/405).
@@ -671,10 +672,17 @@ class HttpServiceServer:
                 f"{request.path} accepts {'/'.join(methods)}, not {request.method}",
             )
         try:
+            loop = asyncio.get_running_loop()
             if request.path == "/healthz":
-                return 200, {"status": "ok", "galleries": self.service.registry.names()}
+                # Off the event loop: a routed service pings every worker
+                # (and respawns dead ones) to answer this.
+                document = await loop.run_in_executor(None, self.service.healthz)
+                status = 200 if document.get("status") == "ok" else 503
+                return status, document
             if request.path == "/stats":
-                return 200, self.service.stats().to_dict()
+                # Off the event loop: a routed service polls every worker.
+                stats = await loop.run_in_executor(None, self.service.stats)
+                return 200, stats.to_dict()
             if request.path == "/identify":
                 return await self._handle_identify(request)
             return await self._handle_enroll(request)

@@ -339,6 +339,11 @@ class ServiceStats:
         operator can verify the service is actually running warm.
     cache_dir:
         Location of the on-disk cache tier (``None`` = memory only).
+    router:
+        Routed-mode topology summary
+        (:meth:`~repro.service.router.GalleryRouter.stats` fills it in):
+        worker count, live workers, ring size, respawns, and per-worker
+        request counters.  ``None`` for a single-process service.
     """
 
     requests: int = 0
@@ -352,6 +357,7 @@ class ServiceStats:
     pruning: Dict[str, Dict[str, float]] = field(default_factory=dict)
     cache_kinds: Dict[str, Dict[str, float]] = field(default_factory=dict)
     cache_dir: Optional[str] = None
+    router: Optional[Dict[str, Any]] = None
 
     @property
     def mean_batch_size(self) -> float:
@@ -379,6 +385,7 @@ class ServiceStats:
                 kind: dict(stats) for kind, stats in self.cache_kinds.items()
             },
             "cache_dir": self.cache_dir,
+            "router": None if self.router is None else dict(self.router),
         }
 
     @classmethod
@@ -402,6 +409,11 @@ class ServiceStats:
                 for kind, stats in payload.get("cache_kinds", {}).items()
             },
             cache_dir=payload.get("cache_dir"),
+            router=(
+                dict(payload["router"])
+                if payload.get("router") is not None
+                else None
+            ),
         )
 
     def summary_lines(self) -> List[str]:
@@ -415,6 +427,13 @@ class ServiceStats:
             f"micro-batchers      : {self.batchers} event loop(s)",
             f"disk cache tier     : {self.cache_dir or '(memory only)'}",
         ]
+        if self.router is not None:
+            lines.append(
+                f"router              : {self.router.get('alive_workers', 0)}/"
+                f"{self.router.get('workers', 0)} workers alive, "
+                f"ring size {self.router.get('ring_size', 0)}, "
+                f"{self.router.get('respawns', 0)} respawn(s)"
+            )
         for name in sorted(self.pruning):
             counters = self.pruning[name]
             lines.append(

@@ -1,0 +1,726 @@
+"""Gallery router: consistent-hash scale-out across service worker processes.
+
+One :class:`~repro.service.service.IdentificationService` is one process and
+one GIL.  :class:`GalleryRouter` turns the servable process into a servable
+fleet: gallery names are partitioned across a pool of worker processes
+(:mod:`repro.service.worker`) by a consistent-hash ring, every worker runs
+its own service over the **shared** gallery root with the TTL/LRU residency
+policy applied per worker, and the router exposes the same facade the HTTP
+front end already serves (``identify`` / ``identify_async`` / ``enroll`` /
+``stats`` / ``healthz`` / ``close`` plus a name-only ``registry`` view) — so
+``serve --router-workers N`` swaps the single service for a fleet without
+touching the HTTP layer's routes or codecs.
+
+**Placement** (:class:`HashRing`).  Each worker contributes
+``ring_replicas`` virtual nodes at ``sha256(worker#replica)`` positions; a
+gallery name maps to the first node clockwise of ``sha256(name)``.
+Placement is deterministic across processes and restarts, the spread over
+many names is balanced, and adding or removing one worker remaps only the
+arc segments it owns — about ``1/N`` of the names, never a full reshuffle.
+
+**Correctness.**  Requests travel to workers over the length-prefixed IPC
+transport of :mod:`repro.service.worker`, which reuses the HTTP binary frame
+codec — scan float64 bit patterns survive the hop exactly, and the worker
+serves them through the same sync ``identify`` path as a single-process
+deployment.  Routed identify responses are therefore bit-identical to
+single-process serving under either HTTP codec (pinned by
+``benchmarks/bench_router_scaling.py``).
+
+**Writes.**  Enroll takes a per-gallery single-writer lock at the router:
+concurrent enrolls against one gallery serialize, identifies against other
+galleries keep flowing to their own workers.  Workers persist a successful
+enroll to the shared root before acknowledging, so the write survives any
+later crash of that worker.
+
+**Failure handling.**  A worker crash is detected on its next IPC operation
+(or proactively by ``healthz``): the router reaps the process, sweeps any
+``/dev/shm`` segments the dead pid left behind, folds the worker's
+last-polled stats snapshot into a carried accumulator (so aggregate counters
+never double-count or go backwards across respawns — counters accrued since
+the last poll die with the process), and respawns a fresh worker that lazily
+reloads its shard from disk.  Identify is read-only and is retried once on
+the respawned worker; a mid-enroll crash is **never** blindly retried (the
+write may have persisted) and surfaces as an error response instead.
+
+Shutdown (:meth:`GalleryRouter.close`) drains workers one by one: waiting
+out in-flight requests, sending ``shutdown``, and joining each process —
+which releases that worker's runner pool and shared-memory segments — before
+the router's own sockets close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import multiprocessing
+import socket
+import struct
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.exceptions import ValidationError
+from repro.runtime.shm import SEGMENT_PREFIX
+from repro.service.codec import (
+    FrameError,
+    encode_enroll_frames,
+    encode_frames,
+    encode_identify_frames,
+)
+from repro.service.config import ServiceConfig
+from repro.service.messages import (
+    EnrollRequest,
+    EnrollResponse,
+    IdentifyRequest,
+    IdentifyResponse,
+    ServiceStats,
+)
+from repro.service.registry import _GALLERY_META_FILE
+from repro.service.worker import recv_message, send_message, worker_main
+
+PathLike = Union[str, Path]
+
+#: Where POSIX shared-memory segments surface on Linux (the crash sweep
+#: removes a dead worker's ``repro-shm-<pid>-*`` entries from here).
+_SHM_DIR = Path("/dev/shm")
+
+
+# --------------------------------------------------------------------------- #
+# Consistent-hash ring
+# --------------------------------------------------------------------------- #
+class HashRing:
+    """A consistent-hash ring with virtual nodes.
+
+    Placement is a pure function of the member and key strings (sha256), so
+    every router process — and every restart — routes a gallery name to the
+    same worker.  ``replicas`` virtual nodes per member smooth the spread;
+    adding or removing a member only remaps the ring arcs its virtual nodes
+    own (≈ ``1/N`` of the key space), which is what keeps per-worker gallery
+    residency warm across fleet resizes.
+    """
+
+    def __init__(self, members: Sequence[str] = (), replicas: int = 64):
+        if int(replicas) < 1:
+            raise ValidationError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._members: set = set()
+        self._points: List[tuple] = []
+        for member in members:
+            self.add(member)
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+        )
+
+    @property
+    def members(self) -> List[str]:
+        """Sorted member names currently on the ring."""
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        """Number of virtual nodes (``members * replicas``)."""
+        return len(self._points)
+
+    def add(self, member: str) -> None:
+        """Add a member (idempotent); inserts its virtual nodes."""
+        if not isinstance(member, str) or not member:
+            raise ValidationError("ring member must be a non-empty string")
+        if member in self._members:
+            return
+        self._members.add(member)
+        for replica in range(self.replicas):
+            bisect.insort(self._points, (self._hash(f"{member}#{replica}"), member))
+
+    def remove(self, member: str) -> None:
+        """Remove a member and its virtual nodes (idempotent)."""
+        if member not in self._members:
+            return
+        self._members.discard(member)
+        self._points = [point for point in self._points if point[1] != member]
+
+    def lookup(self, key: str) -> str:
+        """The member owning ``key``: first virtual node clockwise of its hash."""
+        if not self._points:
+            raise ValidationError("the hash ring has no members")
+        # (h,) sorts before any (h, member), so bisect_left finds the first
+        # virtual node at or clockwise of the key's position.
+        index = bisect.bisect_left(self._points, (self._hash(str(key)),))
+        return self._points[index % len(self._points)][1]
+
+
+# --------------------------------------------------------------------------- #
+# Worker handles
+# --------------------------------------------------------------------------- #
+class _WorkerDied(Exception):
+    """An IPC operation failed because the worker process or channel died."""
+
+
+class _WorkerHandle:
+    """One live worker incarnation: process + data/control channels."""
+
+    __slots__ = (
+        "name", "process", "pid", "data_sock", "control_sock",
+        "data_lock", "control_lock", "alive",
+    )
+
+    def __init__(self, name, process, data_sock, control_sock):
+        self.name = name
+        self.process = process
+        self.pid = process.pid
+        self.data_sock = data_sock
+        self.control_sock = control_sock
+        self.data_lock = threading.Lock()
+        self.control_lock = threading.Lock()
+        self.alive = True
+
+
+#: ServiceStats counter fields that simply sum across workers.
+_SUM_FIELDS = ("requests", "probes", "batches", "coalesced_batches", "errors", "batchers")
+
+#: Derived ratios recomputed after merging (summing them would be wrong).
+_DERIVED_KEYS = ("pruning_ratio", "hit_rate", "mean_batch_size")
+
+
+def _empty_accumulator() -> Dict[str, Any]:
+    acc: Dict[str, Any] = {field: 0 for field in _SUM_FIELDS}
+    acc["max_batch_size"] = 0
+    acc["galleries"] = {}
+    acc["pruning"] = {}
+    acc["cache_kinds"] = {}
+    return acc
+
+
+def _merge_record(acc: Dict[str, Any], record: Optional[Dict[str, Any]]) -> None:
+    """Fold one worker stats document (``ServiceStats.to_dict``) into ``acc``."""
+    if not record:
+        return
+    for field in _SUM_FIELDS:
+        acc[field] += int(record.get(field, 0))
+    acc["max_batch_size"] = max(acc["max_batch_size"], int(record.get("max_batch_size", 0)))
+    for name, count in (record.get("galleries") or {}).items():
+        acc["galleries"][name] = acc["galleries"].get(name, 0) + int(count)
+    for group in ("pruning", "cache_kinds"):
+        for name, counters in (record.get(group) or {}).items():
+            entry = acc[group].setdefault(name, {})
+            for key, value in counters.items():
+                if key in _DERIVED_KEYS:
+                    continue
+                entry[key] = entry.get(key, 0) + value
+
+
+class _RouterGalleryView:
+    """Name-only registry surface over the shared gallery root.
+
+    The HTTP front end only asks its service's registry two questions —
+    ``names()`` and membership — and in routed mode the shared root on disk
+    is the source of truth (workers persist every create/enroll before
+    acknowledging), so this view answers both from the filesystem without
+    talking to any worker.
+    """
+
+    def __init__(self, root: Path):
+        self._root = Path(root)
+
+    def names(self) -> List[str]:
+        if not self._root.exists():
+            return []
+        return sorted(
+            path.name
+            for path in self._root.iterdir()
+            if path.is_dir() and (path / _GALLERY_META_FILE).exists()
+        )
+
+    def __contains__(self, name: str) -> bool:
+        if not isinstance(name, str) or not name or "/" in name or "\\" in name:
+            return False
+        if name in (".", ".."):
+            return False
+        return (self._root / name / _GALLERY_META_FILE).exists()
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+
+# --------------------------------------------------------------------------- #
+# The router
+# --------------------------------------------------------------------------- #
+class GalleryRouter:
+    """Route identify/enroll traffic across a fleet of worker processes.
+
+    Parameters
+    ----------
+    root:
+        Shared gallery root directory (each worker's registry loads lazily
+        from it; workers persist writes back into it).
+    config:
+        Deployment knobs.  ``router_workers`` sets the fleet size when
+        ``workers`` is not given; ``ring_replicas`` sets the virtual-node
+        count; everything else (batching, residency, cache, backend) is
+        applied per worker.  The config handed to workers always has
+        ``router_workers=0`` — a worker is a plain single-process service.
+    workers:
+        Explicit fleet size override (>= 1).
+    control_timeout_s:
+        Socket timeout of control-channel operations (ping/stats); a worker
+        that cannot answer within it is treated as dead and respawned.
+    """
+
+    def __init__(
+        self,
+        root: PathLike,
+        config: Optional[ServiceConfig] = None,
+        workers: Optional[int] = None,
+        control_timeout_s: float = 30.0,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        count = int(workers if workers is not None else self.config.router_workers)
+        if count < 1:
+            raise ValidationError(
+                f"GalleryRouter needs at least one worker, got {count} "
+                "(set router_workers >= 1 or pass workers=)"
+            )
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.control_timeout_s = float(control_timeout_s)
+        self.registry = _RouterGalleryView(self.root)
+        self._max_message_bytes = int(self.config.max_stream_bytes)
+        self._worker_config = self.config.replace(router_workers=0).to_dict()
+        # fork keeps spawn latency negligible and inherits the already-built
+        # socketpair ends; spawns are serialized under the router lock so a
+        # child can never inherit a sibling's not-yet-closed worker-side fd.
+        self._mp = multiprocessing.get_context("fork")
+        self._ring = HashRing(
+            [f"worker-{index}" for index in range(count)],
+            replicas=self.config.ring_replicas,
+        )
+        self._lock = threading.RLock()
+        self._close_lock = threading.Lock()
+        self._writer_locks: Dict[str, threading.Lock] = {}
+        #: Totals of every dead worker incarnation (their last-polled stats
+        #: snapshots), so aggregate stats never double-count a respawn.
+        self._carried = _empty_accumulator()
+        #: Per-worker last successful stats poll of the *current* incarnation.
+        self._last_stats: Dict[str, Dict[str, Any]] = {}
+        self._respawns = 0
+        self._closed = False
+        self._handles: Dict[str, _WorkerHandle] = {}
+        with self._lock:
+            for name in self._ring.members:
+                self._handles[name] = self._spawn(name)
+
+    # ------------------------------------------------------------------ #
+    # Worker lifecycle
+    # ------------------------------------------------------------------ #
+    def _spawn(self, name: str) -> _WorkerHandle:
+        """Fork one worker (caller holds the router lock)."""
+        data_router, data_worker = socket.socketpair()
+        control_router, control_worker = socket.socketpair()
+        process = self._mp.Process(
+            target=worker_main,
+            args=(data_worker, control_worker, self._worker_config, str(self.root), name),
+            name=f"repro-router-{name}",
+            daemon=True,
+        )
+        process.start()
+        # The parent's copies of the worker-side ends must close immediately:
+        # the worker process must be the only holder, so its death surfaces
+        # as EOF/EPIPE on the router's ends.
+        data_worker.close()
+        control_worker.close()
+        return _WorkerHandle(name, process, data_router, control_router)
+
+    def _handle_for(self, name: str) -> _WorkerHandle:
+        """The live handle of ``name``; respawns a silently-dead worker."""
+        with self._lock:
+            handle = self._handles[name]
+            if handle.alive and handle.process.is_alive():
+                return handle
+        self._on_worker_death(handle)
+        with self._lock:
+            return self._handles[name]
+
+    def _on_worker_death(self, handle: _WorkerHandle) -> None:
+        """Reap, account, sweep, and respawn one dead incarnation (idempotent)."""
+        with self._lock:
+            if self._handles.get(handle.name) is not handle or not handle.alive:
+                return  # another thread already replaced this incarnation
+            handle.alive = False
+            if self._closed:
+                return  # close() owns the remaining cleanup
+            # Counters of the dead incarnation: its last polled snapshot is
+            # folded exactly once; anything accrued after that poll died
+            # with the process and is honestly lost, never re-counted.
+            _merge_record(self._carried, self._last_stats.pop(handle.name, None))
+            self._respawns += 1
+            self._reap(handle)
+            self._handles[handle.name] = self._spawn(handle.name)
+
+    def _reap(self, handle: _WorkerHandle) -> None:
+        """Close channels, join (escalating to kill), sweep leaked segments."""
+        for sock in (handle.data_sock, handle.control_sock):
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        process = handle.process
+        process.join(timeout=10.0)
+        if process.is_alive():  # pragma: no cover - wedged worker
+            process.terminate()
+            process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - unkillable worker
+            process.kill()
+            process.join(timeout=5.0)
+        self._sweep_segments(handle.pid)
+
+    @staticmethod
+    def _sweep_segments(pid: Optional[int]) -> int:
+        """Unlink ``/dev/shm`` segments a killed worker pid left behind.
+
+        A cleanly-draining worker releases its own segments before exiting;
+        this sweep covers SIGKILL (no finalizers ran in the worker).  Segment
+        names embed the creating pid, so the sweep can never touch another
+        process's segments.
+        """
+        if pid is None or not _SHM_DIR.exists():
+            return 0
+        swept = 0
+        for path in _SHM_DIR.glob(f"{SEGMENT_PREFIX}-{int(pid)}-*"):
+            try:
+                path.unlink()
+                swept += 1
+            except OSError:  # pragma: no cover - raced with another cleaner
+                pass
+        return swept
+
+    # ------------------------------------------------------------------ #
+    # IPC calls
+    # ------------------------------------------------------------------ #
+    def _data_call(
+        self, handle: _WorkerHandle, buffers: Sequence[bytes]
+    ) -> Dict[str, Any]:
+        """One request/reply on the data channel (serialized per worker)."""
+        body = b"".join(buffers)
+        with handle.data_lock:
+            if not handle.alive:
+                raise _WorkerDied("worker is marked dead")
+            try:
+                handle.data_sock.sendall(struct.pack("<I", len(body)) + body)
+                message = recv_message(handle.data_sock, self._max_message_bytes)
+            except (OSError, FrameError) as exc:
+                raise _WorkerDied(str(exc)) from exc
+        if message is None:
+            raise _WorkerDied("worker closed the data channel")
+        return message[0]
+
+    def _control_call(self, handle: _WorkerHandle, op: str) -> Dict[str, Any]:
+        """One request/reply on the control channel (time-bounded)."""
+        with handle.control_lock:
+            if not handle.alive:
+                raise _WorkerDied("worker is marked dead")
+            try:
+                handle.control_sock.settimeout(self.control_timeout_s)
+                send_message(handle.control_sock, {"kind": op, "scans": []})
+                message = recv_message(handle.control_sock, self._max_message_bytes)
+            except (OSError, FrameError, socket.timeout) as exc:
+                raise _WorkerDied(str(exc)) from exc
+        if message is None:
+            raise _WorkerDied("worker closed the control channel")
+        return message[0]
+
+    @staticmethod
+    def _document(reply: Dict[str, Any]) -> Dict[str, Any]:
+        """Unwrap a worker reply; op-level failures raise.
+
+        Request-level errors (unknown gallery, bad payload) come back inside
+        the response document with ``status="error"`` exactly as a
+        single-process service would return them; ``ok=False`` here means
+        the *operation* failed (codec violation, unexpected worker bug).
+        """
+        if not reply.get("ok", False):
+            raise ValidationError(f"worker operation failed: {reply.get('error')}")
+        document = reply.get("document")
+        return document if isinstance(document, dict) else {}
+
+    # ------------------------------------------------------------------ #
+    # Serving facade (the surface HttpServiceServer consumes)
+    # ------------------------------------------------------------------ #
+    def route(self, gallery: str) -> str:
+        """The worker name the ring assigns to ``gallery``."""
+        return self._ring.lookup(gallery)
+
+    def identify(self, request: IdentifyRequest) -> IdentifyResponse:
+        """Serve one identify on the owning worker (retried once on crash).
+
+        Identify is read-only, so a crash mid-request is safe to retry: the
+        dead worker is respawned (lazily reloading its shard from disk) and
+        the request is re-sent exactly once.
+        """
+        self._check_open()
+        buffers = encode_identify_frames(request)
+        last_error = "no live worker"
+        for _attempt in range(2):
+            handle = self._handle_for(self._ring.lookup(request.gallery))
+            try:
+                reply = self._data_call(handle, buffers)
+            except _WorkerDied as exc:
+                last_error = str(exc)
+                self._on_worker_death(handle)
+                continue
+            return IdentifyResponse.from_dict(self._document(reply))
+        return IdentifyResponse(
+            request_id=request.request_id,
+            gallery=request.gallery,
+            status="error",
+            metadata=dict(request.metadata),
+            error=f"WorkerCrashed: {last_error}",
+        )
+
+    async def identify_async(self, request: IdentifyRequest) -> IdentifyResponse:
+        """Async facade: run the routed identify off the event loop.
+
+        Concurrent HTTP requests targeting different workers proceed in
+        parallel (the blocking socket I/O releases the GIL); requests to the
+        same worker serialize on its data channel.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.identify, request)
+
+    def identify_many(
+        self, requests: Sequence[IdentifyRequest]
+    ) -> List[IdentifyResponse]:
+        """Serve many identifies concurrently across the fleet (input order)."""
+        requests = list(requests)
+        if not requests:
+            return []
+        if len(requests) == 1:
+            return [self.identify(requests[0])]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(
+            max_workers=min(len(requests), max(2, len(self._ring.members)))
+        ) as pool:
+            return list(pool.map(self.identify, requests))
+
+    def enroll(self, request: EnrollRequest) -> EnrollResponse:
+        """Enroll on the owning worker under the gallery's single-writer lock.
+
+        Concurrent enrolls against one gallery serialize here (the worker's
+        serve lock makes them safe; the router lock makes them *ordered*);
+        identifies and enrolls against other galleries are untouched.  A
+        crash mid-enroll is never retried — the worker persists before
+        acknowledging, so the write may already be on disk and a blind
+        resend could enroll the scans twice.
+        """
+        self._check_open()
+        buffers = encode_enroll_frames(request)
+        with self._writer_lock(request.gallery):
+            handle = self._handle_for(self._ring.lookup(request.gallery))
+            try:
+                reply = self._data_call(handle, buffers)
+            except _WorkerDied as exc:
+                self._on_worker_death(handle)
+                return EnrollResponse(
+                    request_id=request.request_id,
+                    gallery=request.gallery,
+                    status="error",
+                    error=(
+                        f"WorkerCrashed: worker died mid-enroll ({exc}); not "
+                        "retried — check the gallery state before resending"
+                    ),
+                )
+        return EnrollResponse.from_dict(self._document(reply))
+
+    def _writer_lock(self, gallery: str) -> threading.Lock:
+        with self._lock:
+            lock = self._writer_locks.get(gallery)
+            if lock is None:
+                lock = self._writer_locks.setdefault(gallery, threading.Lock())
+            return lock
+
+    # ------------------------------------------------------------------ #
+    # Health / stats
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> Dict[str, Any]:
+        """Ping every worker; respawn the dead; report per-worker state.
+
+        ``status`` is ``"ok"`` when every worker answered (including ones
+        that had to be respawned first — their entry carries
+        ``respawned: true``) and ``"degraded"`` if any worker could not be
+        brought back.
+        """
+        self._check_open()
+        workers: Dict[str, Any] = {}
+        for name in self._ring.members:
+            respawns_before = self._respawns
+            document = None
+            for _attempt in range(2):
+                handle = self._handle_for(name)
+                try:
+                    document = self._document(self._control_call(handle, "ping"))
+                    break
+                except _WorkerDied:
+                    self._on_worker_death(handle)
+            workers[name] = {
+                "alive": document is not None,
+                "respawned": self._respawns > respawns_before,
+                "pid": None if document is None else document.get("pid"),
+                "resident": [] if document is None else list(document.get("resident", [])),
+            }
+        status = "ok" if all(entry["alive"] for entry in workers.values()) else "degraded"
+        return {"status": status, "galleries": self.registry.names(), "workers": workers}
+
+    def stats(self) -> ServiceStats:
+        """Aggregate serving counters across the fleet.
+
+        Per-worker snapshots are summed with the carried accumulator of
+        every dead incarnation; each successful poll refreshes the snapshot
+        that would be carried if that worker crashed next, so a respawn can
+        neither double-count a worker nor drop previously-reported totals.
+        """
+        self._check_open()
+        records: Dict[str, Dict[str, Any]] = {}
+        for name in self._ring.members:
+            for _attempt in range(2):
+                handle = self._handle_for(name)
+                try:
+                    record = self._document(self._control_call(handle, "stats"))
+                except _WorkerDied:
+                    self._on_worker_death(handle)
+                    continue
+                records[name] = record
+                with self._lock:
+                    self._last_stats[name] = record
+                break
+        return self._merged_stats(records)
+
+    def _merged_stats(self, records: Dict[str, Dict[str, Any]]) -> ServiceStats:
+        with self._lock:
+            acc = _empty_accumulator()
+            _merge_record(acc, self._carried)
+            respawns = self._respawns
+            alive = sum(
+                1
+                for handle in self._handles.values()
+                if handle.alive and handle.process.is_alive()
+            )
+        for record in records.values():
+            _merge_record(acc, record)
+        pruning = {
+            name: {
+                **entry,
+                "pruning_ratio": (
+                    1.0 - entry.get("candidates_scanned", 0) / entry["columns_considered"]
+                    if entry.get("columns_considered")
+                    else 0.0
+                ),
+            }
+            for name, entry in acc["pruning"].items()
+        }
+        cache_kinds = {}
+        for kind, entry in acc["cache_kinds"].items():
+            lookups = entry.get("hits", 0) + entry.get("misses", 0)
+            cache_kinds[kind] = {
+                **entry,
+                "hit_rate": (entry.get("hits", 0) / lookups) if lookups else 0.0,
+            }
+        cache_dir = next(
+            (
+                record["cache_dir"]
+                for record in records.values()
+                if record.get("cache_dir") is not None
+            ),
+            None,
+        )
+        stats = ServiceStats(
+            requests=acc["requests"],
+            probes=acc["probes"],
+            batches=acc["batches"],
+            coalesced_batches=acc["coalesced_batches"],
+            max_batch_size=acc["max_batch_size"],
+            errors=acc["errors"],
+            batchers=acc["batchers"],
+            galleries=dict(acc["galleries"]),
+            pruning=pruning,
+            cache_kinds=cache_kinds,
+            cache_dir=cache_dir,
+        )
+        stats.router = {
+            "workers": len(self._ring.members),
+            "alive_workers": alive,
+            "ring_size": len(self._ring),
+            "ring_replicas": self.config.ring_replicas,
+            "respawns": respawns,
+            "per_worker": {
+                name: int(record.get("requests", 0))
+                for name, record in records.items()
+            },
+        }
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValidationError("the router is closed")
+
+    @property
+    def workers(self) -> List[str]:
+        """Sorted worker names on the ring."""
+        return self._ring.members
+
+    @property
+    def ring_size(self) -> int:
+        """Number of virtual nodes on the ring (``workers * ring_replicas``)."""
+        return len(self._ring)
+
+    @property
+    def respawns(self) -> int:
+        """How many worker incarnations have been replaced after a crash."""
+        with self._lock:
+            return self._respawns
+
+    def close(self) -> None:
+        """Drain and stop every worker (idempotent).
+
+        New requests are rejected first; then each worker is drained in
+        turn — its in-flight request finishes (the data lock serializes),
+        the ``shutdown`` op is acknowledged, and the process is joined,
+        which releases that worker's runner pool and ``/dev/shm`` segments
+        before the router's own channel ends close.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        with self._lock:
+            handles = list(self._handles.values())
+        for handle in handles:
+            with handle.data_lock, handle.control_lock:
+                if handle.alive and handle.process.is_alive():
+                    try:
+                        body = b"".join(encode_frames({"kind": "shutdown", "scans": []}, []))
+                        handle.data_sock.sendall(struct.pack("<I", len(body)) + body)
+                        recv_message(handle.data_sock, self._max_message_bytes)
+                    except (OSError, FrameError):
+                        pass  # already dying; the reap below handles it
+                handle.alive = False
+                self._reap(handle)
+
+    def __enter__(self) -> "GalleryRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GalleryRouter(root={str(self.root)!r}, "
+            f"workers={self._ring.members}, closed={self._closed})"
+        )
+
+
+__all__ = ["GalleryRouter", "HashRing"]

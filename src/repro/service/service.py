@@ -254,6 +254,16 @@ class IdentificationService:
         )
         return snapshot
 
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness document served at ``GET /healthz``.
+
+        A single-process service is healthy whenever it can answer at all;
+        the routed deployment (:class:`~repro.service.router.GalleryRouter`)
+        overrides this with per-worker health checks and may report
+        ``status="degraded"``.
+        """
+        return {"status": "ok", "galleries": self.registry.names()}
+
     # ------------------------------------------------------------------ #
     # Batch execution
     # ------------------------------------------------------------------ #

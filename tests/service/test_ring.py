@@ -1,0 +1,170 @@
+"""Property tests for the gallery router's consistent-hash ring.
+
+The ring (:class:`repro.service.router.HashRing`) is the placement function
+of the routed fleet, so its guarantees are pinned as properties rather than
+examples: placement is a pure function of the strings involved (deterministic
+across processes and insertion orders), the spread over many names is
+balanced, and resizing the fleet by one worker remaps only that worker's
+share of the key space — never a full reshuffle.
+"""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.service.router import HashRing
+
+# Member/key alphabets stay printable-ASCII like real worker and gallery
+# names; the hash itself is byte-level so wider alphabets add nothing.
+_names = st.text(alphabet=string.ascii_lowercase + string.digits + "-_", min_size=1, max_size=24)
+_member_lists = st.lists(_names, min_size=1, max_size=8, unique=True)
+_key_lists = st.lists(_names, min_size=1, max_size=64, unique=True)
+
+
+def _keys(n: int) -> list:
+    return [f"gallery-{index:05d}" for index in range(n)]
+
+
+class TestDeterminism:
+    @given(members=_member_lists, keys=_key_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_lookup_is_deterministic_and_order_independent(self, members, keys):
+        """Two rings over the same member set agree on every key, regardless
+        of the order members were added in."""
+        forward = HashRing(members)
+        backward = HashRing(list(reversed(members)))
+        for key in keys:
+            owner = forward.lookup(key)
+            assert owner in members
+            assert backward.lookup(key) == owner
+            assert forward.lookup(key) == owner  # stable across repeat calls
+
+    @given(members=_member_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_ring_shape(self, members):
+        ring = HashRing(members, replicas=16)
+        assert ring.members == sorted(members)
+        assert len(ring) == 16 * len(members)
+
+    def test_rebuilt_ring_routes_identically(self):
+        """Placement survives a restart: a fresh ring with the same members
+        is byte-for-byte the same placement function."""
+        members = [f"worker-{index}" for index in range(4)]
+        first = HashRing(members)
+        second = HashRing(members)
+        assert [first.lookup(key) for key in _keys(500)] == [
+            second.lookup(key) for key in _keys(500)
+        ]
+
+
+class TestMembershipChanges:
+    @given(members=_member_lists, keys=_key_lists, new=_names)
+    @settings(max_examples=60, deadline=None)
+    def test_adding_a_member_only_remaps_onto_it(self, members, keys, new):
+        """Every key either keeps its owner or moves to the new member —
+        no key ever moves between two pre-existing members."""
+        if new in members:
+            return
+        ring = HashRing(members)
+        before = {key: ring.lookup(key) for key in keys}
+        ring.add(new)
+        for key in keys:
+            after = ring.lookup(key)
+            assert after == before[key] or after == new
+
+    @given(members=st.lists(_names, min_size=2, max_size=8, unique=True), keys=_key_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_removing_a_member_only_remaps_its_own_keys(self, members, keys):
+        """Keys owned by surviving members never move when one member leaves."""
+        ring = HashRing(members)
+        removed = members[0]
+        before = {key: ring.lookup(key) for key in keys}
+        ring.remove(removed)
+        for key in keys:
+            after = ring.lookup(key)
+            if before[key] == removed:
+                assert after != removed
+            else:
+                assert after == before[key]
+
+    @given(members=_member_lists, keys=_key_lists, extra=_names)
+    @settings(max_examples=40, deadline=None)
+    def test_add_then_remove_restores_placement(self, members, keys, extra):
+        if extra in members:
+            return
+        ring = HashRing(members)
+        before = {key: ring.lookup(key) for key in keys}
+        ring.add(extra)
+        ring.remove(extra)
+        assert {key: ring.lookup(key) for key in keys} == before
+
+    def test_add_and_remove_are_idempotent(self):
+        ring = HashRing(["a", "b"])
+        ring.add("a")
+        assert len(ring) == 2 * ring.replicas
+        ring.remove("missing")
+        ring.remove("b")
+        ring.remove("b")
+        assert ring.members == ["a"]
+
+
+class TestBalanceAndRemapFraction:
+    """Statistical bounds at the fleet shapes the router actually runs.
+
+    sha256 placement is deterministic, so these are fixed (non-flaky)
+    measurements; the bounds leave slack for virtual-node variance.
+    """
+
+    def test_spread_is_balanced_at_the_acceptance_fleet(self):
+        """4 workers x 64 replicas over 4000 names: every worker owns a
+        share within 2x of fair in either direction."""
+        ring = HashRing([f"worker-{index}" for index in range(4)], replicas=64)
+        counts = {member: 0 for member in ring.members}
+        keys = _keys(4000)
+        for key in keys:
+            counts[ring.lookup(key)] += 1
+        fair = len(keys) / len(counts)
+        for member, count in counts.items():
+            assert fair / 2 <= count <= fair * 2, (member, counts)
+
+    @pytest.mark.parametrize("n_workers", [2, 4, 8])
+    def test_remap_fraction_is_about_one_over_n_on_add(self, n_workers):
+        """Growing the fleet by one remaps ~1/(N+1) of the keys (within 2x),
+        not the ~1 - 1/N a naive ``hash % N`` would remap."""
+        members = [f"worker-{index}" for index in range(n_workers)]
+        ring = HashRing(members)
+        keys = _keys(4000)
+        before = {key: ring.lookup(key) for key in keys}
+        ring.add(f"worker-{n_workers}")
+        moved = sum(1 for key in keys if ring.lookup(key) != before[key])
+        expected = len(keys) / (n_workers + 1)
+        assert moved <= 2 * expected, (moved, expected)
+        assert moved > 0  # the new worker does take real ownership
+
+    @pytest.mark.parametrize("n_workers", [2, 4, 8])
+    def test_remap_fraction_is_about_one_over_n_on_remove(self, n_workers):
+        members = [f"worker-{index}" for index in range(n_workers)]
+        ring = HashRing(members)
+        keys = _keys(4000)
+        before = {key: ring.lookup(key) for key in keys}
+        ring.remove(members[-1])
+        moved = sum(1 for key in keys if ring.lookup(key) != before[key])
+        expected = len(keys) / n_workers
+        assert moved <= 2 * expected, (moved, expected)
+
+
+class TestValidation:
+    def test_empty_ring_rejects_lookup(self):
+        with pytest.raises(ValidationError):
+            HashRing([]).lookup("anything")
+
+    def test_invalid_members_and_replicas_are_rejected(self):
+        with pytest.raises(ValidationError):
+            HashRing([""])
+        with pytest.raises(ValidationError):
+            HashRing(["ok"], replicas=0)

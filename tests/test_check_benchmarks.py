@@ -1,9 +1,11 @@
 """The benchmark check script stays wired to the modules CI smoke-runs.
 
 Mirrors the CI benchmark-smoke steps (``scripts/check_benchmarks.py``) at
-test scale: every benchmark module must import, and the ``--index-trajectory``
+test scale: every benchmark module must import, the ``--index-trajectory``
 flag must run the pruning benchmark, write a well-formed ``BENCH_index.json``
-record, and hard-gate on top-1 agreement.
+record, and hard-gate on top-1 agreement, and the ``--router-trajectory``
+flag must run the router scaling benchmark, write ``BENCH_router.json``,
+and hard-gate on routed bit-identity.
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ def test_required_benchmarks_exist(check_benchmarks):
     for name in check_benchmarks.REQUIRED_BENCHMARKS:
         assert (benchmarks_dir / f"{name}.py").is_file(), f"{name}.py is missing"
     assert "bench_index_pruning" in check_benchmarks.REQUIRED_BENCHMARKS
+    assert "bench_router_scaling" in check_benchmarks.REQUIRED_BENCHMARKS
 
 
 def test_index_trajectory_flag_writes_record(check_benchmarks, tmp_path, capsys, monkeypatch):
@@ -83,3 +86,65 @@ def test_index_trajectory_gates_on_agreement(check_benchmarks, tmp_path, capsys,
     exit_code = check_benchmarks.main(["--index-trajectory", str(tmp_path / "b.json")])
     assert exit_code == 1
     assert "FAIL index trajectory" in capsys.readouterr().out
+
+
+def test_router_trajectory_flag_writes_record(
+    check_benchmarks, tmp_path, capsys, monkeypatch
+):
+    """``--router-trajectory`` runs the routed fleet and writes the record.
+
+    The workload overrides shrink it to test scale (real forked workers,
+    real IPC); the record shape is the one CI uploads as
+    ``BENCH_router.json``.  Bit-identity must hold at any scale — the
+    speedup is recorded, not gated (the pytest-benchmark test owns the
+    >= 2x acceptance bound at acceptance scale).
+    """
+    monkeypatch.setattr(check_benchmarks, "run_import_checks", lambda: 0)
+    path = tmp_path / "BENCH_router.json"
+    exit_code = check_benchmarks.main(
+        [
+            "--router-trajectory", str(path),
+            "--router-galleries", "4",
+            "--router-subjects", "8",
+            "--router-requests", "2",
+        ]
+    )
+    output = capsys.readouterr().out
+    assert exit_code == 0, output
+    assert "router trajectory:" in output
+    record = json.loads(path.read_text())
+    assert record["benchmark"] == "router_scaling"
+    assert record["workload"]["n_galleries"] == 4
+    assert record["fleet_workers"] == 4
+    assert record["bitwise_equal"] is True
+    assert record["http_codecs"] == {"json": True, "binary": True}
+    assert record["speedup"] > 0
+    fleets = record["fleets"]
+    assert set(fleets) == {"1", "4"}
+    for entry in fleets.values():
+        assert entry["throughput_rps"] > 0
+        assert entry["respawns"] == 0
+
+
+def test_router_trajectory_gates_on_bit_identity(
+    check_benchmarks, tmp_path, capsys, monkeypatch
+):
+    """A routed response diverging from single-process serving must fail
+    the check even with a stellar speedup."""
+    def broken(path, galleries=None, subjects=None, requests=None):
+        record = {
+            "benchmark": "router_scaling",
+            "fleets": {},
+            "fleet_workers": 4,
+            "speedup": 100.0,
+            "bitwise_equal": False,
+            "http_codecs": {"json": True, "binary": False},
+        }
+        path.write_text(json.dumps(record))
+        return record
+
+    monkeypatch.setattr(check_benchmarks, "run_import_checks", lambda: 0)
+    monkeypatch.setattr(check_benchmarks, "write_router_trajectory", broken)
+    exit_code = check_benchmarks.main(["--router-trajectory", str(tmp_path / "b.json")])
+    assert exit_code == 1
+    assert "FAIL router trajectory" in capsys.readouterr().out

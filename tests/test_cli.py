@@ -291,6 +291,134 @@ class TestServeHttpCommand:
         assert _shm_segments() == []
 
 
+class TestRoutedServeCommand:
+    """`serve --router-workers N`: the CLI front end of the gallery router."""
+
+    def _build(self, tmp_path, capsys):
+        gallery_dir = tmp_path / "routed-gal"
+        assert main(
+            [
+                "gallery", "build", "--dir", str(gallery_dir),
+                "--subjects", "6", "--regions", "24", "--timepoints", "60",
+                "--features", "40", "--seed", "4",
+            ]
+        ) == 0
+        capsys.readouterr()
+        return gallery_dir
+
+    def test_serve_rounds_routed_reports_fleet_and_accuracy(self, tmp_path, capsys):
+        gallery_dir = self._build(tmp_path, capsys)
+        assert main(
+            [
+                "serve", "--dir", str(gallery_dir),
+                "--requests", "2", "--rounds", "2", "--router-workers", "2",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "round 2 (warm)" in output
+        assert "identification accuracy" in output
+        # Aggregated stats carry the fleet line: all workers alive, no respawns.
+        assert "router              : 2/2 workers alive" in output
+        assert "0 respawn(s)" in output
+        assert _shm_segments() == []
+
+    def test_serve_routed_missing_gallery_exits_1(self, tmp_path, capsys):
+        assert main(
+            ["serve", "--dir", str(tmp_path / "absent"), "--router-workers", "2"]
+        ) == 1
+        assert "no saved gallery" in capsys.readouterr().err
+        assert _shm_segments() == []
+
+    @pytest.mark.integration
+    def test_routed_http_serves_heals_and_drains_on_sigint(self, tmp_path):
+        """End-to-end routed mode: banner shows the fleet, `gallery info`
+        still works against the same directory while the server is live,
+        /stats aggregates the router block, SIGINT drains every worker."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        from repro.datasets.hcp import HCPLikeDataset
+        from repro.service import ServiceClient
+
+        gallery_dir = tmp_path / "gal"
+        assert main(
+            [
+                "gallery", "build", "--dir", str(gallery_dir),
+                "--subjects", "6", "--regions", "24", "--timepoints", "60",
+                "--features", "40", "--seed", "3",
+            ]
+        ) == 0
+
+        src_dir = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src_dir}:{env.get('PYTHONPATH', '')}".rstrip(":")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--dir", str(gallery_dir), "--http", "0", "--window", "0.01",
+                "--router-workers", "2",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            # Own session: forked workers share the server's process group,
+            # so the failure path below can reap the whole fleet at once
+            # (the workers also hold the stdout pipe open — a plain
+            # ``process.kill()`` would leave ``communicate()`` hanging).
+            start_new_session=True,
+        )
+        try:
+            port = None
+            banner = []
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                line = process.stdout.readline()
+                if not line:
+                    break
+                banner.append(line)
+                if line.startswith("serving gallery"):
+                    port = int(line.rsplit(":", 1)[1])
+                if line.startswith("  - worker-1"):
+                    break
+            assert port is not None, "server never announced its port"
+            banner_text = "".join(banner)
+            assert "router: 2 worker process(es)" in banner_text
+            assert "worker-0 (pid " in banner_text
+
+            probes = HCPLikeDataset(
+                n_subjects=6, n_regions=24, n_timepoints=60, random_state=3
+            ).generate_session("REST", encoding="RL", day=2)
+            with ServiceClient(port=port) as client:
+                health = client.healthz()
+                assert health["status"] == "ok"
+                assert set(health["workers"]) == {"worker-0", "worker-1"}
+                response = client.identify(gallery="gal", scans=probes[:2])
+                assert response.ok and response.n_probes == 2
+                stats = client.stats()
+                assert stats.requests == 1
+                assert stats.router["workers"] == 2
+                assert stats.router["respawns"] == 0
+            # The gallery directory stays a plain saved gallery: `gallery
+            # info` reads it directly, routed server or not.
+            assert main(["gallery", "info", "--dir", str(gallery_dir)]) == 0
+
+            process.send_signal(signal.SIGINT)
+            output, _ = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:  # pragma: no cover - hung server
+                os.killpg(process.pid, signal.SIGKILL)
+                process.communicate()
+        assert process.returncode == 0, output
+        assert "shutdown: in-flight batches drained" in output
+        assert "requests served over HTTP: 3" in output  # healthz + identify + stats
+        assert "router              : " in output
+        assert _shm_segments() == []
+
+
 class TestRuntimeInfoCommand:
     def test_runtime_info_prints_cache_workers_and_blas(self, capsys):
         assert main(["runtime-info"]) == 0
@@ -304,6 +432,20 @@ class TestRuntimeInfoCommand:
         output = capsys.readouterr().out
         assert "max_workers=5" in output
         assert "executor=process" in output
+
+    def test_runtime_info_reports_single_process_router_by_default(self, capsys):
+        assert main(["runtime-info"]) == 0
+        output = capsys.readouterr().out
+        assert "gallery router      : (single process" in output
+
+    def test_runtime_info_reflects_router_flags(self, capsys):
+        assert main(
+            ["runtime-info", "--router-workers", "3", "--ring-replicas", "32"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "3 worker process(es)" in output
+        assert "ring size 96" in output
+        assert "32 virtual nodes per worker" in output
 
 
 class TestParser:
