@@ -21,6 +21,14 @@ PATH`` runs the gallery-router scaling benchmark and writes the 4-vs-1
 worker aggregate throughput plus the routed bit-identity verdict (IPC and
 both HTTP codecs) to PATH (``BENCH_router.json`` in CI); bit-identity is
 the hard gate, the speedup is recorded for trajectory tracking.
+``--chaos-trajectory PATH`` runs the chaos-churn serving benchmark — the
+phased fault schedule (worker crash, hang, corrupted/truncated IPC
+frames, disk-cache I/O errors) under concurrent identify + enroll churn —
+and writes per-phase outcomes, p50/p99 latency, and every hard-gate
+verdict to PATH (``BENCH_chaos.json`` in CI); all of its gates
+(bit-identity to the fault-free replay, bounded error rate, observable
+respawns/timeouts/disk errors, bounded hung-worker failover, zero leaked
+segments or worker processes) are hard gates.
 
 Usage::
 
@@ -29,6 +37,7 @@ Usage::
     PYTHONPATH=src python scripts/check_benchmarks.py --http-trajectory BENCH_http.json
     PYTHONPATH=src python scripts/check_benchmarks.py --index-trajectory BENCH_index.json
     PYTHONPATH=src python scripts/check_benchmarks.py --router-trajectory BENCH_router.json
+    PYTHONPATH=src python scripts/check_benchmarks.py --chaos-trajectory BENCH_chaos.json
 """
 
 from __future__ import annotations
@@ -49,6 +58,7 @@ REQUIRED_BENCHMARKS = {
     "bench_http_serving",
     "bench_index_pruning",
     "bench_router_scaling",
+    "bench_chaos_serving",
 }
 
 
@@ -146,6 +156,34 @@ def write_router_trajectory(
     return record
 
 
+def write_chaos_trajectory(
+    path: Path, galleries=None, subjects=None, requests=None
+) -> dict:
+    """Run the chaos-churn serving benchmark and write its trajectory.
+
+    Runs the full phased fault schedule (crash → hang → corrupt →
+    truncate → cache-I/O) at the acceptance workload by default; the
+    keyword overrides shrink it for smoke runs.  The record carries
+    per-phase outcomes, aggregate p50/p99 latency, and — unlike the other
+    trajectories — a ``gate_failures`` list in which *every* entry is a
+    hard failure: correctness under faults has no soft mode.
+    """
+    _benchmarks_on_path()
+    import bench_chaos_serving as bench
+
+    kwargs = {}
+    if galleries is not None:
+        kwargs["n_galleries"] = int(galleries)
+    if subjects is not None:
+        kwargs["n_subjects"] = int(subjects)
+    if requests is not None:
+        kwargs["requests_per_gallery"] = int(requests)
+    outcome = bench.run_chaos_benchmark(**kwargs)
+    record = bench.trajectory_record(outcome)
+    path.write_text(json.dumps(record, indent=2))
+    return record
+
+
 def run_import_checks() -> int:
     """Import every ``benchmarks/bench_*.py`` module; 0 when all succeed.
 
@@ -212,6 +250,25 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--router-requests", metavar="N", type=int, default=None,
         help="override the requests per gallery of --router-trajectory",
+    )
+    parser.add_argument(
+        "--chaos-trajectory", metavar="PATH", default=None,
+        help="run the chaos-churn serving benchmark (phased fault schedule "
+        "under concurrent identify + enroll churn) and write its trajectory "
+        "record (per-phase outcomes, p50/p99, hard-gate verdicts) to PATH",
+    )
+    parser.add_argument(
+        "--chaos-galleries", metavar="N", type=int, default=None,
+        help="override the gallery count of --chaos-trajectory (smoke runs)",
+    )
+    parser.add_argument(
+        "--chaos-subjects", metavar="N", type=int, default=None,
+        help="override the subjects per gallery of --chaos-trajectory",
+    )
+    parser.add_argument(
+        "--chaos-requests", metavar="N", type=int, default=None,
+        help="override the identify requests per gallery per phase of "
+        "--chaos-trajectory (>= 4 so every fault rule fires)",
     )
     args = parser.parse_args(argv)
 
@@ -301,6 +358,36 @@ def main(argv=None) -> int:
         # (the pytest-benchmark test owns the >= 2x acceptance bound).
         if not record["bitwise_equal"]:
             print("FAIL router trajectory: routed responses diverged from single-process serving")
+            return 1
+
+    if args.chaos_trajectory:
+        record = write_chaos_trajectory(
+            Path(args.chaos_trajectory),
+            galleries=args.chaos_galleries,
+            subjects=args.chaos_subjects,
+            requests=args.chaos_requests,
+        )
+        totals = record["totals"]
+        print(
+            "chaos trajectory: {ok}/{requests} bit-identical, "
+            "error_rate={rate:.3f}, respawns={respawns}, "
+            "timeouts={timeouts}, disk_errors={disk}, "
+            "p50={p50:.1f}ms p99={p99:.1f}ms -> {path}".format(
+                ok=totals["ok"],
+                requests=totals["requests"],
+                rate=record["error_rate"],
+                respawns=totals["respawns"],
+                timeouts=totals["worker_timeouts"],
+                disk=totals["disk_errors"],
+                p50=record["latency"]["p50_ms"],
+                p99=record["latency"]["p99_ms"],
+                path=args.chaos_trajectory,
+            )
+        )
+        # Every chaos gate is hard: correctness under faults has no soft mode.
+        if record["gate_failures"]:
+            for failure in record["gate_failures"]:
+                print(f"FAIL chaos trajectory: {failure}")
             return 1
     return 0
 

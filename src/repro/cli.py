@@ -227,6 +227,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "processes via a consistent-hash ring (0 = single-process serving); "
         "the gallery root is the parent of --dir",
     )
+    serve_parser.add_argument(
+        "--request-deadline", type=float, default=None, metavar="SECONDS",
+        help="routed mode: deadline on every router->worker read; a worker "
+        "that does not reply in time is reaped and respawned (default 30)",
+    )
+    serve_parser.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="JSON fault-injection plan for chaos/soak testing (see "
+        "docs/serving.md for the format); faults fire deterministically "
+        "from the plan's seeded schedule",
+    )
     _add_backend_arguments(serve_parser)
 
     info_parser = subparsers.add_parser(
@@ -602,8 +613,26 @@ def _command_serve(args) -> int:
 
 
 def _serve(args) -> int:
+    import json as _json
+
     from repro.service import IdentificationService, ServiceConfig
 
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = _json.loads(Path(args.fault_plan).read_text())
+        except OSError as exc:
+            print(f"serve failed: cannot read fault plan: {exc}", file=sys.stderr)
+            return 1
+        except _json.JSONDecodeError as exc:
+            print(
+                f"serve failed: fault plan {args.fault_plan} is not valid JSON: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+    overrides = {}
+    if args.request_deadline is not None:
+        overrides["request_deadline_s"] = args.request_deadline
     config = ServiceConfig(
         max_batch_size=args.max_batch,
         batch_window_s=args.window,
@@ -615,7 +644,12 @@ def _serve(args) -> int:
         http_port=args.http if args.http is not None else 8035,
         codec=args.codec,
         router_workers=max(0, args.router_workers),
+        fault_plan=fault_plan,
+        **overrides,
     )
+    if fault_plan is not None:
+        rules = len(fault_plan.get("rules", []))
+        print(f"fault injection: {rules} rule(s) loaded from {args.fault_plan}")
     if config.router_workers > 0:
         # Routed mode: one GalleryRouter over the parent of --dir; every
         # gallery under that root is servable, dispatched by name across

@@ -24,6 +24,11 @@ The runtime layer makes heavy multi-experiment workloads cheap to run:
 ``info``
     Environment introspection behind the ``repro-attack runtime-info``
     command (cache stats, worker config, BLAS threading).
+``faults``
+    Deterministic, seeded fault injection (:class:`FaultPlan`): named
+    injection sites across the serving stack — worker crash/hang/slow
+    replies, IPC frame truncation/corruption, disk-cache I/O errors,
+    dropped HTTP connections — for chaos and soak testing.
 """
 
 from repro.runtime.backend import (
@@ -46,6 +51,14 @@ from repro.runtime.cache import (
     default_cache_dir,
     get_default_cache,
     set_default_cache,
+)
+from repro.runtime.faults import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    install_plan,
+    maybe_fire,
 )
 from repro.runtime.info import detect_blas_threading, format_runtime_info, runtime_info
 from repro.runtime.results import (
@@ -84,6 +97,13 @@ __all__ = [
     "default_cache_dir",
     "get_default_cache",
     "set_default_cache",
+    # faults
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "install_plan",
+    "maybe_fire",
     # runner
     "PAPER_EXPERIMENTS",
     "ExperimentRunner",

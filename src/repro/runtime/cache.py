@@ -20,6 +20,7 @@ import os
 import tempfile
 import threading
 import weakref
+import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -28,6 +29,7 @@ from typing import Any, Callable, Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.runtime.faults import maybe_fire
 
 PathLike = Union[str, Path]
 
@@ -83,6 +85,7 @@ class CacheStats:
     puts: int = 0
     evictions: int = 0
     disk_hits: int = 0
+    disk_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -104,6 +107,7 @@ class CacheStats:
             "puts": self.puts,
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
+            "disk_errors": self.disk_errors,
             "hit_rate": self.hit_rate,
         }
 
@@ -113,6 +117,7 @@ class CacheStats:
         self.puts += other.puts
         self.evictions += other.evictions
         self.disk_hits += other.disk_hits
+        self.disk_errors += other.disk_errors
 
 
 class ArtifactCache:
@@ -284,21 +289,44 @@ class ArtifactCache:
 
     def _read_disk(self, kind: str, key: str) -> Optional[np.ndarray]:
         path = self._disk_path(kind, key)
-        if path is None or not path.exists():
+        if path is None:
             return None
-        with np.load(path) as archive:
-            return archive["artifact"]
+        try:
+            if maybe_fire("cache.read_error") is not None:
+                raise OSError(f"injected cache.read_error ({kind})")
+            if not path.exists():
+                return None
+            with np.load(path) as archive:
+                return archive["artifact"]
+        except (OSError, ValueError, zipfile.BadZipFile):
+            # The disk tier is best-effort: an unreadable (or corrupt, or
+            # injected-faulty) archive degrades to a miss, and the artifact
+            # recomputes bit-identically from its content-keyed inputs — a
+            # flaky disk can cost latency, never correctness.
+            self._stats_for(kind).disk_errors += 1
+            return None
 
     def _write_disk(self, kind: str, key: str, value: Any) -> None:
         path = self._disk_path(kind, key)
         if path is None or not isinstance(value, np.ndarray):
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
         # Per-process temp name + atomic rename, so concurrent pool workers
         # writing the same key never observe a partially written archive.
         tmp = path.parent / f"{path.stem}.{os.getpid()}.tmp.npz"
-        np.savez_compressed(tmp, artifact=value)
-        tmp.replace(path)
+        try:
+            if maybe_fire("cache.write_error") is not None:
+                raise OSError(f"injected cache.write_error ({kind})")
+            path.parent.mkdir(parents=True, exist_ok=True)
+            np.savez_compressed(tmp, artifact=value)
+            tmp.replace(path)
+        except OSError:
+            # A failed write only costs the next process a recompute; the
+            # memory tier already holds the value for this one.
+            self._stats_for(kind).disk_errors += 1
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - unreachable tmp
+                pass
 
 
 def _secure_cache_dir(directory: Path) -> None:

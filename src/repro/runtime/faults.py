@@ -1,0 +1,303 @@
+"""Deterministic, seeded fault-injection plane for the serving stack.
+
+Every failure behavior the serving layers promise — identify retried once on
+a worker crash, hung workers reaped on a deadline, mid-enroll crashes never
+blindly retried, disk-cache errors degrading to recomputes — needs a way to
+*manufacture* the failure on demand, deterministically, in-process and in
+forked workers alike.  :class:`FaultPlan` is that switchboard: a list of
+:class:`FaultRule` entries, each naming one injection **site** (a failure
+the stack knows how to produce) and a schedule of when it fires.
+
+**Sites.**  Each hook in the stack asks ``plan.should_fire(site)`` exactly
+once per opportunity; a site's invocation counter therefore counts real
+events (worker replies, disk reads, HTTP requests), and a rule's schedule is
+expressed in those events:
+
+========================  ====================================================
+``worker.crash``          worker process dies (``os._exit``) instead of
+                          replying — no cleanup, like a SIGKILL
+``worker.hang``           worker sleeps ``delay_s`` before replying (stuck,
+                          not dead — only a deadline can tell the difference)
+``worker.slow_reply``     worker delays its reply by ``delay_s``
+``ipc.truncate_frame``    worker sends a reply frame cut mid-buffer, short of
+                          its declared length
+``ipc.corrupt_frame``     worker sends a length-aligned reply with corrupted
+                          frame bytes
+``cache.read_error``      artifact-cache disk-tier read raises ``OSError``
+``cache.write_error``     artifact-cache disk-tier write raises ``OSError``
+``http.drop_connection``  HTTP server aborts the TCP connection instead of
+                          answering
+========================  ====================================================
+
+**Determinism.**  A rule fires at invocation indices ``start``,
+``start + every``, ``start + 2*every``, … up to ``limit`` firings, optionally
+gated by a Bernoulli draw from a :class:`random.Random` seeded from
+``(plan seed, rule index, site)`` — so two plans built from the same spec
+fire at exactly the same events.  Plans are plain-data and JSON-round-trip
+(:meth:`FaultPlan.to_dict` / :meth:`FaultPlan.from_dict`), which is how a
+plan rides on :class:`~repro.service.config.ServiceConfig` through the fork
+into router workers.
+
+**Activation.**  Constructing an
+:class:`~repro.service.service.IdentificationService` whose config carries a
+``fault_plan`` installs the plan process-wide (:func:`install_plan`), so
+hooks in layers that never see the config — the artifact cache's disk tier —
+find it via :func:`active_plan` / :func:`maybe_fire`.  Without an installed
+plan every hook is a dictionary lookup returning ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+
+#: Every injection site a hook in the stack implements.  ``should_fire``
+#: rejects unknown sites so a typo in a plan fails loudly, not silently.
+FAULT_SITES: Tuple[str, ...] = (
+    "worker.crash",
+    "worker.hang",
+    "worker.slow_reply",
+    "ipc.truncate_frame",
+    "ipc.corrupt_frame",
+    "cache.read_error",
+    "cache.write_error",
+    "http.drop_connection",
+)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled fault: a site plus when (and how often) it fires.
+
+    Parameters
+    ----------
+    site:
+        Injection point, one of :data:`FAULT_SITES`.
+    start:
+        First eligible invocation index of the site (0-based).
+    every:
+        Fire on every ``every``-th eligible invocation from ``start`` on.
+    limit:
+        Most firings of this rule (``None`` = unbounded).
+    probability:
+        Bernoulli gate on each otherwise-eligible invocation, drawn from the
+        rule's seeded RNG (1.0 = deterministic firing).
+    delay_s:
+        Sleep duration for ``worker.hang`` / ``worker.slow_reply``; a hang
+        of 0.0 defaults to effectively-forever (an hour).
+    """
+
+    site: str
+    start: int = 0
+    every: int = 1
+    limit: Optional[int] = 1
+    probability: float = 1.0
+    delay_s: float = 0.0
+
+    def __post_init__(self):
+        if self.site not in FAULT_SITES:
+            raise ConfigurationError(
+                f"unknown fault site {self.site!r}; known sites: {list(FAULT_SITES)}"
+            )
+        if int(self.start) < 0:
+            raise ConfigurationError(f"start must be >= 0, got {self.start}")
+        if int(self.every) < 1:
+            raise ConfigurationError(f"every must be >= 1, got {self.every}")
+        if self.limit is not None and int(self.limit) < 1:
+            raise ConfigurationError(
+                f"limit must be >= 1 or None, got {self.limit}"
+            )
+        if not 0.0 <= float(self.probability) <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if float(self.delay_s) < 0:
+            raise ConfigurationError(f"delay_s must be >= 0, got {self.delay_s}")
+
+
+class FaultPlan:
+    """A deterministic schedule of injected faults (thread-safe).
+
+    Parameters
+    ----------
+    rules:
+        :class:`FaultRule` instances or their dict specs.
+    seed:
+        Seeds each rule's Bernoulli RNG; irrelevant while every rule keeps
+        ``probability=1.0``.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Union[FaultRule, Dict[str, Any]]] = (),
+        seed: int = 0,
+    ):
+        self.seed = int(seed)
+        self.rules: Tuple[FaultRule, ...] = tuple(
+            rule if isinstance(rule, FaultRule) else FaultRule(**rule)
+            for rule in rules
+        )
+        self._lock = threading.Lock()
+        self._invocations: Dict[str, int] = {}
+        self._fired = [0] * len(self.rules)
+        self._rngs = [
+            random.Random(f"{self.seed}:{index}:{rule.site}")
+            for index, rule in enumerate(self.rules)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # The hook surface
+    # ------------------------------------------------------------------ #
+    def should_fire(self, site: str) -> Optional[FaultRule]:
+        """Count one invocation of ``site``; the matching rule if one fires.
+
+        Each hook calls this exactly once per real opportunity, so rule
+        schedules are phrased in observable events (replies sent, disk reads,
+        HTTP requests) and replaying the same workload replays the faults.
+        """
+        if site not in FAULT_SITES:
+            raise ConfigurationError(
+                f"unknown fault site {site!r}; known sites: {list(FAULT_SITES)}"
+            )
+        with self._lock:
+            index = self._invocations.get(site, 0)
+            self._invocations[site] = index + 1
+            for rule_index, rule in enumerate(self.rules):
+                if rule.site != site or index < rule.start:
+                    continue
+                if (index - rule.start) % rule.every:
+                    continue
+                if rule.limit is not None and self._fired[rule_index] >= rule.limit:
+                    continue
+                if (
+                    rule.probability < 1.0
+                    and self._rngs[rule_index].random() >= rule.probability
+                ):
+                    continue
+                self._fired[rule_index] += 1
+                return rule
+        return None
+
+    def fired(self) -> Dict[str, int]:
+        """Total firings per site (in this process — counters do not cross forks)."""
+        with self._lock:
+            totals: Dict[str, int] = {}
+            for rule, count in zip(self.rules, self._fired):
+                totals[rule.site] = totals.get(rule.site, 0) + count
+            return totals
+
+    def invocations(self) -> Dict[str, int]:
+        """How many opportunities each site has counted so far."""
+        with self._lock:
+            return dict(self._invocations)
+
+    # ------------------------------------------------------------------ #
+    # Serialization (how a plan rides on ServiceConfig into forked workers)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "rules": [asdict(rule) for rule in self.rules]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"a fault plan must be a dict, got {type(payload).__name__}"
+            )
+        unknown = set(payload) - {"seed", "rules"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault-plan field(s): {sorted(unknown)}"
+            )
+        rules = payload.get("rules", [])
+        if not isinstance(rules, (list, tuple)):
+            raise ConfigurationError("fault-plan 'rules' must be a list")
+        checked = []
+        for rule in rules:
+            if isinstance(rule, FaultRule):
+                checked.append(rule)
+                continue
+            if not isinstance(rule, dict):
+                raise ConfigurationError(
+                    f"each fault rule must be a dict, got {type(rule).__name__}"
+                )
+            unknown = set(rule) - {f.name for f in _RULE_FIELDS}
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown fault-rule field(s): {sorted(unknown)}"
+                )
+            checked.append(FaultRule(**rule))
+        return cls(rules=checked, seed=payload.get("seed", 0))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, document: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(document))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultPlan(rules={len(self.rules)}, seed={self.seed})"
+
+
+_RULE_FIELDS = tuple(FaultRule.__dataclass_fields__.values())
+
+
+# --------------------------------------------------------------------------- #
+# Payload mutators used by the IPC hooks
+# --------------------------------------------------------------------------- #
+def truncate_buffer(body: bytes) -> bytes:
+    """Cut a frame stream mid-buffer: the first half, short of its length."""
+    return bytes(body[: len(body) // 2])
+
+
+def corrupt_buffer(body: bytes) -> bytes:
+    """Flip one byte a third of the way in (length-preserving corruption)."""
+    if not body:
+        return body
+    corrupted = bytearray(body)
+    corrupted[len(corrupted) // 3] ^= 0xFF
+    return bytes(corrupted)
+
+
+# --------------------------------------------------------------------------- #
+# Process-wide active plan (for hooks that never see a ServiceConfig)
+# --------------------------------------------------------------------------- #
+_active_plan: Optional[FaultPlan] = None
+_active_lock = threading.Lock()
+
+
+def install_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install (or clear, with ``None``) the process-wide fault plan."""
+    global _active_plan
+    with _active_lock:
+        _active_plan = plan
+    return plan
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The process-wide fault plan, or ``None`` when chaos is off."""
+    with _active_lock:
+        return _active_plan
+
+
+def maybe_fire(site: str) -> Optional[FaultRule]:
+    """``should_fire`` against the installed plan; ``None`` when none is."""
+    plan = active_plan()
+    return None if plan is None else plan.should_fire(site)
+
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "corrupt_buffer",
+    "install_plan",
+    "maybe_fire",
+    "truncate_buffer",
+]

@@ -37,6 +37,13 @@ service (datasets → gallery → service):
     residency over the shared root, aggregated stats with respawn
     carry-forward, and routed responses bit-identical to single-process
     serving.
+``resilience``
+    The failure-handling policies behind the router: per-request
+    :class:`Deadline` budgets, :class:`RetryPolicy` (bounded, jittered
+    exponential backoff, idempotent identifies only), and the per-worker
+    consecutive-failure :class:`CircuitBreaker` that degrades an arc until
+    a health ping heals it.  Chaos testing drives them through
+    :class:`~repro.runtime.faults.FaultPlan` (``ServiceConfig.fault_plan``).
 """
 
 from repro.service.config import ServiceConfig
@@ -55,6 +62,12 @@ from repro.service.http import (
     HttpServiceError,
     HttpServiceServer,
     ServiceClient,
+)
+from repro.service.resilience import (
+    CircuitBreaker,
+    Deadline,
+    ResiliencePolicy,
+    RetryPolicy,
 )
 from repro.service.router import GalleryRouter, HashRing
 
@@ -76,4 +89,8 @@ __all__ = [
     "ServiceClient",
     "GalleryRouter",
     "HashRing",
+    "CircuitBreaker",
+    "Deadline",
+    "ResiliencePolicy",
+    "RetryPolicy",
 ]

@@ -25,6 +25,7 @@ from repro.runtime.cache import (
     ArtifactCache,
     get_default_cache,
 )
+from repro.runtime.faults import FaultPlan
 from repro.runtime.runner import ExperimentRunner
 
 
@@ -115,6 +116,29 @@ class ServiceConfig:
         :class:`~repro.service.service.IdentificationService` over the
         shared disk root, with the TTL/LRU residency policy applied per
         worker.
+    request_deadline_s:
+        Deadline on every router data-channel IPC read
+        (:class:`~repro.service.router.GalleryRouter`).  A worker that does
+        not reply within it is treated exactly like a dead one — reaped,
+        respawned, and (for identify) retried — so a *hung* worker can never
+        stall its arc forever.
+    retry_attempts / retry_base_delay_s:
+        Bounded retry of idempotent routed identifies after a worker death
+        or timeout: up to ``retry_attempts`` extra attempts, spaced by
+        jittered exponential backoff starting at ``retry_base_delay_s``
+        (see :class:`~repro.service.resilience.RetryPolicy`).  Enroll is
+        **never** blindly retried regardless of these knobs.
+    breaker_threshold:
+        Consecutive failures after which a worker's circuit breaker opens
+        (:class:`~repro.service.resilience.CircuitBreaker`): requests to the
+        degraded arc fail fast, ``GET /healthz`` reports the failure detail,
+        and the next successful health ping heals the breaker.
+    fault_plan:
+        Optional fault-injection plan spec
+        (:meth:`~repro.runtime.faults.FaultPlan.to_dict` payload) for chaos
+        and soak testing; ``None`` (the default) disables injection
+        entirely.  The plan rides through ``to_dict``/``from_dict`` into
+        forked router workers like every other knob.
     index_enabled / index_rank / index_top_c:
         The candidate-pruning index tier
         (:class:`~repro.gallery.index.PruningIndex`).  Serving routes
@@ -155,6 +179,11 @@ class ServiceConfig:
     http_keep_alive: bool = True
     router_workers: int = 0
     ring_replicas: int = 64
+    request_deadline_s: float = 30.0
+    retry_attempts: int = 1
+    retry_base_delay_s: float = 0.05
+    breaker_threshold: int = 3
+    fault_plan: Optional[Dict[str, Any]] = None
     index_enabled: bool = False
     index_rank: Optional[int] = None
     index_top_c: Optional[int] = None
@@ -253,6 +282,26 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"ring_replicas must be >= 1, got {self.ring_replicas}"
             )
+        if float(self.request_deadline_s) <= 0:
+            raise ConfigurationError(
+                f"request_deadline_s must be > 0, got {self.request_deadline_s}"
+            )
+        if int(self.retry_attempts) < 0:
+            raise ConfigurationError(
+                f"retry_attempts must be >= 0, got {self.retry_attempts}"
+            )
+        if float(self.retry_base_delay_s) < 0:
+            raise ConfigurationError(
+                f"retry_base_delay_s must be >= 0, got {self.retry_base_delay_s}"
+            )
+        if int(self.breaker_threshold) < 1:
+            raise ConfigurationError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.fault_plan is not None:
+            # Validate the spec eagerly so a bad plan fails at construction
+            # (and before it is forked into router workers), not mid-serving.
+            FaultPlan.from_dict(self.fault_plan)
 
     # ------------------------------------------------------------------ #
     # Builders

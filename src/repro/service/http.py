@@ -79,6 +79,7 @@ import numpy as np
 
 from repro.datasets.base import ScanRecord
 from repro.exceptions import ReproError, ValidationError
+from repro.runtime.faults import FaultPlan
 from repro.service import codec as wire_codec
 from repro.service.codec import (
     CONTENT_TYPE_BINARY,
@@ -325,6 +326,12 @@ class HttpServiceServer:
                      "pipeline_depth"):
             if getattr(self, name) < 1:
                 raise ValidationError(f"{name} must be >= 1, got {getattr(self, name)}")
+        # Chaos hook: a configured fault plan may drop connections here.
+        self._fault_plan = (
+            FaultPlan.from_dict(config.fault_plan)
+            if getattr(config, "fault_plan", None)
+            else None
+        )
         self._server: Optional[asyncio.base_events.Server] = None
         self._stop_event: Optional[asyncio.Event] = None
         self._writers: set = set()
@@ -448,6 +455,17 @@ class HttpServiceServer:
                     )
                     break
                 if request is None:
+                    break
+                if (
+                    self._fault_plan is not None
+                    and self._fault_plan.should_fire("http.drop_connection") is not None
+                ):
+                    # Injected fault: tear the connection down without a
+                    # response.  The client's resend rules decide what is
+                    # safe to retry (GETs and provably-unsent requests).
+                    transport = writer.transport
+                    if transport is not None:
+                        transport.abort()
                     break
                 keep_alive = request.keep_alive and self.keep_alive_enabled
                 # In-flight covers the response write too, so a draining

@@ -1,0 +1,233 @@
+"""Resilience policies of the serving stack: deadlines, retries, breakers.
+
+The router's failure handling grew up as inline constants — one blind retry,
+no deadline on data-channel reads, respawn on every death.  This module
+names the policies so they are configurable, testable, and consistent:
+
+``Deadline``
+    A monotonic-clock budget for one request; the router arms each
+    data-channel read with it so a *hung* worker (stuck, SIGSTOPped,
+    livelocked) is indistinguishable from a dead one — the read times out,
+    the worker is reaped and respawned, and the request fails over.
+``RetryPolicy``
+    Bounded retry with jittered exponential backoff.  Only *idempotent*
+    operations get retries (identify is read-only); enroll keeps its
+    never-blind-retry rule because the worker persists before acknowledging.
+``CircuitBreaker``
+    Per-worker consecutive-failure counter.  At ``threshold`` consecutive
+    failures the breaker opens: the arc is degraded, requests fail fast with
+    a typed error instead of burning a deadline each, and ``/healthz``
+    reports the failure detail.  A successful health ping heals (closes) it.
+
+All knobs ride on :class:`~repro.service.config.ServiceConfig`
+(``request_deadline_s``, ``retry_attempts``, ``retry_base_delay_s``,
+``breaker_threshold``), bundled by :meth:`ResiliencePolicy.from_config`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.exceptions import ConfigurationError
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+
+
+class Deadline:
+    """A monotonic-clock deadline: how much budget one request has left."""
+
+    __slots__ = ("budget_s", "_expires_at")
+
+    def __init__(self, budget_s: float):
+        if float(budget_s) <= 0:
+            raise ConfigurationError(f"deadline budget must be > 0, got {budget_s}")
+        self.budget_s = float(budget_s)
+        self._expires_at = time.monotonic() + self.budget_s
+
+    @classmethod
+    def after(cls, budget_s: float) -> "Deadline":
+        """A deadline ``budget_s`` seconds from now."""
+        return cls(budget_s)
+
+    def remaining(self) -> float:
+        """Seconds left (clamped at 0.0)."""
+        return max(0.0, self._expires_at - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self._expires_at
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deadline(budget_s={self.budget_s}, remaining={self.remaining():.3f})"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with jittered exponential backoff.
+
+    Parameters
+    ----------
+    attempts:
+        Extra attempts after the first (0 disables retry entirely).
+    base_delay_s:
+        Backoff before the first retry; each later retry doubles it
+        (``multiplier``) up to ``max_delay_s``.
+    max_delay_s:
+        Backoff ceiling.
+    multiplier:
+        Exponential growth factor between retries.
+    jitter:
+        Fraction of each delay randomized away (0.5 ⇒ uniform in
+        ``[delay/2, delay]``), so a thundering herd of retries decorrelates.
+    """
+
+    attempts: int = 1
+    base_delay_s: float = 0.05
+    max_delay_s: float = 1.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if int(self.attempts) < 0:
+            raise ConfigurationError(f"attempts must be >= 0, got {self.attempts}")
+        if float(self.base_delay_s) < 0:
+            raise ConfigurationError(
+                f"base_delay_s must be >= 0, got {self.base_delay_s}"
+            )
+        if float(self.max_delay_s) < float(self.base_delay_s):
+            raise ConfigurationError(
+                f"max_delay_s must be >= base_delay_s, got {self.max_delay_s}"
+            )
+        if float(self.multiplier) < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= float(self.jitter) <= 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_s(self, retry_index: int, rng: Optional[random.Random] = None) -> float:
+        """Jittered delay before retry number ``retry_index`` (0-based)."""
+        if self.base_delay_s == 0:
+            return 0.0
+        delay = min(
+            self.max_delay_s, self.base_delay_s * self.multiplier ** max(0, retry_index)
+        )
+        if self.jitter == 0:
+            return delay
+        draw = (rng or random).random()
+        return delay * (1.0 - self.jitter * draw)
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker guarding one worker arc (thread-safe).
+
+    ``record_failure`` increments the consecutive counter; at ``threshold``
+    the breaker opens (:attr:`tripped`) and the router fails requests to
+    that arc fast instead of feeding them into a deadline each.  Any
+    ``record_success`` — in practice the next successful health ping —
+    heals it back to closed.  ``last_error`` survives healing, so
+    ``/healthz`` can always say what went wrong most recently.
+    """
+
+    def __init__(self, threshold: int = 3):
+        if int(threshold) < 1:
+            raise ConfigurationError(
+                f"breaker threshold must be >= 1, got {threshold}"
+            )
+        self.threshold = int(threshold)
+        self._lock = threading.Lock()
+        self._consecutive = 0
+        self._total_failures = 0
+        self._last_error: Optional[str] = None
+
+    def record_failure(self, error: str) -> None:
+        with self._lock:
+            self._consecutive += 1
+            self._total_failures += 1
+            self._last_error = str(error)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive = 0
+
+    @property
+    def tripped(self) -> bool:
+        with self._lock:
+            return self._consecutive >= self.threshold
+
+    @property
+    def state(self) -> str:
+        return BREAKER_OPEN if self.tripped else BREAKER_CLOSED
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._consecutive
+
+    @property
+    def last_error(self) -> Optional[str]:
+        with self._lock:
+            return self._last_error
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Failure detail for ``/healthz``: state, counts, last error."""
+        with self._lock:
+            consecutive = self._consecutive
+            return {
+                "state": BREAKER_OPEN if consecutive >= self.threshold else BREAKER_CLOSED,
+                "consecutive_failures": consecutive,
+                "total_failures": self._total_failures,
+                "last_error": self._last_error,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"consecutive={self.consecutive_failures}/{self.threshold})"
+        )
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """The router's failure-handling knobs in one bundle."""
+
+    request_deadline_s: float = 30.0
+    retry: RetryPolicy = RetryPolicy()
+    breaker_threshold: int = 3
+
+    def __post_init__(self):
+        if float(self.request_deadline_s) <= 0:
+            raise ConfigurationError(
+                f"request_deadline_s must be > 0, got {self.request_deadline_s}"
+            )
+        if int(self.breaker_threshold) < 1:
+            raise ConfigurationError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+
+    @classmethod
+    def from_config(cls, config) -> "ResiliencePolicy":
+        """Build the policy a :class:`ServiceConfig` describes."""
+        return cls(
+            request_deadline_s=float(config.request_deadline_s),
+            retry=RetryPolicy(
+                attempts=int(config.retry_attempts),
+                base_delay_s=float(config.retry_base_delay_s),
+            ),
+            breaker_threshold=int(config.breaker_threshold),
+        )
+
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
+    "Deadline",
+    "ResiliencePolicy",
+    "RetryPolicy",
+]

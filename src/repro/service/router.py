@@ -32,15 +32,27 @@ galleries keep flowing to their own workers.  Workers persist a successful
 enroll to the shared root before acknowledging, so the write survives any
 later crash of that worker.
 
-**Failure handling.**  A worker crash is detected on its next IPC operation
-(or proactively by ``healthz``): the router reaps the process, sweeps any
-``/dev/shm`` segments the dead pid left behind, folds the worker's
-last-polled stats snapshot into a carried accumulator (so aggregate counters
-never double-count or go backwards across respawns — counters accrued since
-the last poll die with the process), and respawns a fresh worker that lazily
-reloads its shard from disk.  Identify is read-only and is retried once on
-the respawned worker; a mid-enroll crash is **never** blindly retried (the
-write may have persisted) and surfaces as an error response instead.
+**Failure handling.**  Every data-channel read is armed with a per-request
+deadline (``config.request_deadline_s``), so a worker that *hangs* — stuck,
+SIGSTOPped, livelocked — is indistinguishable from one that died: the read
+times out and the worker is handled as dead.  A worker death is detected on
+its next IPC operation (or proactively by ``healthz``): the router reaps the
+process (straight to SIGKILL when it was hung — a stuck process cannot
+notice a graceful join), sweeps any ``/dev/shm`` segments the dead pid left
+behind, folds the worker's last-polled stats snapshot into a carried
+accumulator (so aggregate counters never double-count or go backwards across
+respawns — counters accrued since the last poll die with the process), and
+respawns a fresh worker that lazily reloads its shard from disk.  Identify
+is read-only and is retried on the respawned worker (bounded by
+``config.retry_attempts``, spaced by jittered exponential backoff); a
+mid-enroll crash is **never** blindly retried (the write may have persisted)
+and surfaces as an error response instead.  A per-worker circuit breaker
+(:class:`~repro.service.resilience.CircuitBreaker`) counts consecutive
+failures across incarnations: past ``config.breaker_threshold`` the arc is
+degraded — requests fail fast with ``WorkerDegraded`` instead of burning a
+deadline each — until the next successful health ping heals it.  Chaos
+testing drives all of this deterministically through
+:class:`~repro.runtime.faults.FaultPlan` (``config.fault_plan``).
 
 Shutdown (:meth:`GalleryRouter.close`) drains workers one by one: waiting
 out in-flight requests, sending ``shutdown``, and joining each process —
@@ -54,9 +66,12 @@ import asyncio
 import bisect
 import hashlib
 import multiprocessing
+import random
 import socket
 import struct
 import threading
+import time
+from collections import deque
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
@@ -77,6 +92,7 @@ from repro.service.messages import (
     ServiceStats,
 )
 from repro.service.registry import _GALLERY_META_FILE
+from repro.service.resilience import CircuitBreaker, ResiliencePolicy
 from repro.service.worker import recv_message, send_message, worker_main
 
 PathLike = Union[str, Path]
@@ -156,6 +172,16 @@ class HashRing:
 # --------------------------------------------------------------------------- #
 class _WorkerDied(Exception):
     """An IPC operation failed because the worker process or channel died."""
+
+
+class _WorkerHung(_WorkerDied):
+    """A data-channel read hit its deadline: the worker is stuck, not gone.
+
+    Handled exactly like a death (reap → respawn → retry), except the reap
+    goes straight to SIGKILL — a hung worker cannot notice its closed
+    channel ends, so the graceful join would burn the whole escalation
+    ladder before giving up.
+    """
 
 
 class _WorkerHandle:
@@ -285,6 +311,8 @@ class GalleryRouter:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.control_timeout_s = float(control_timeout_s)
+        #: Deadline / retry / breaker knobs from the config, in one bundle.
+        self.policy = ResiliencePolicy.from_config(self.config)
         self.registry = _RouterGalleryView(self.root)
         self._max_message_bytes = int(self.config.max_stream_bytes)
         self._worker_config = self.config.replace(router_workers=0).to_dict()
@@ -305,6 +333,21 @@ class GalleryRouter:
         #: Per-worker last successful stats poll of the *current* incarnation.
         self._last_stats: Dict[str, Dict[str, Any]] = {}
         self._respawns = 0
+        self._worker_timeouts = 0
+        #: Recent worker-death reasons (newest last) — the observable record
+        #: of *why* arcs failed, surfaced through ``stats().router``.
+        self._deaths: deque = deque(maxlen=32)
+        #: Per-worker consecutive-failure breakers.  Keyed by worker *name*,
+        #: so a breaker survives respawns: an arc that keeps failing across
+        #: fresh incarnations trips open and fails fast until a health ping
+        #: succeeds.
+        self._breakers: Dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(threshold=self.policy.breaker_threshold)
+            for name in self._ring.members
+        }
+        #: Jitter source for retry backoff (timing-only; responses are
+        #: deterministic regardless of when a retry lands).
+        self._retry_rng = random.Random(0x5EED)
         self._closed = False
         self._handles: Dict[str, _WorkerHandle] = {}
         with self._lock:
@@ -342,7 +385,9 @@ class GalleryRouter:
         with self._lock:
             return self._handles[name]
 
-    def _on_worker_death(self, handle: _WorkerHandle) -> None:
+    def _on_worker_death(
+        self, handle: _WorkerHandle, hung: bool = False, reason: Optional[str] = None
+    ) -> None:
         """Reap, account, sweep, and respawn one dead incarnation (idempotent)."""
         with self._lock:
             if self._handles.get(handle.name) is not handle or not handle.alive:
@@ -350,15 +395,26 @@ class GalleryRouter:
             handle.alive = False
             if self._closed:
                 return  # close() owns the remaining cleanup
+            if hung:
+                self._worker_timeouts += 1
+            self._deaths.append(
+                f"{handle.name} (pid {handle.pid}): {reason or 'channel failure'}"
+            )
             # Counters of the dead incarnation: its last polled snapshot is
             # folded exactly once; anything accrued after that poll died
             # with the process and is honestly lost, never re-counted.
             _merge_record(self._carried, self._last_stats.pop(handle.name, None))
             self._respawns += 1
-            self._reap(handle)
+            # Always SIGKILL on the failure path: the incarnation is
+            # untrusted (dead, hung, or speaking garbage), so there is
+            # nothing worth draining — and a still-alive worker cannot be
+            # EOF'd anyway, because siblings forked later inherit duplicate
+            # copies of its router-side channel fds, which would stall the
+            # graceful join until its timeout expires.
+            self._reap(handle, kill_first=True)
             self._handles[handle.name] = self._spawn(handle.name)
 
-    def _reap(self, handle: _WorkerHandle) -> None:
+    def _reap(self, handle: _WorkerHandle, kill_first: bool = False) -> None:
         """Close channels, join (escalating to kill), sweep leaked segments."""
         for sock in (handle.data_sock, handle.control_sock):
             try:
@@ -366,6 +422,14 @@ class GalleryRouter:
             except OSError:  # pragma: no cover - already closed
                 pass
         process = handle.process
+        if kill_first and process.is_alive():
+            # A hung (or SIGSTOPped) worker cannot notice its closed channel
+            # ends — and even a responsive one may never see EOF, since
+            # sibling workers hold inherited copies of these fds — so
+            # waiting out the graceful join would stall failover far past
+            # the deadline; SIGKILL works even on a stopped process.  Only
+            # ``close()`` joins gracefully, after an acked shutdown op.
+            process.kill()
         process.join(timeout=10.0)
         if process.is_alive():  # pragma: no cover - wedged worker
             process.terminate()
@@ -401,14 +465,25 @@ class GalleryRouter:
     def _data_call(
         self, handle: _WorkerHandle, buffers: Sequence[bytes]
     ) -> Dict[str, Any]:
-        """One request/reply on the data channel (serialized per worker)."""
+        """One request/reply on the data channel (serialized per worker).
+
+        The read is armed with the per-request deadline
+        (``config.request_deadline_s``): a worker that is merely *hung* —
+        stuck in a syscall, SIGSTOPped, livelocked — times out and is
+        handled exactly like a dead one, so no arc can stall forever.
+        """
         body = b"".join(buffers)
         with handle.data_lock:
             if not handle.alive:
                 raise _WorkerDied("worker is marked dead")
             try:
+                handle.data_sock.settimeout(self.policy.request_deadline_s)
                 handle.data_sock.sendall(struct.pack("<I", len(body)) + body)
                 message = recv_message(handle.data_sock, self._max_message_bytes)
+            except socket.timeout as exc:
+                raise _WorkerHung(
+                    f"no reply within the {self.policy.request_deadline_s}s deadline"
+                ) from exc
             except (OSError, FrameError) as exc:
                 raise _WorkerDied(str(exc)) from exc
         if message is None:
@@ -424,7 +499,11 @@ class GalleryRouter:
                 handle.control_sock.settimeout(self.control_timeout_s)
                 send_message(handle.control_sock, {"kind": op, "scans": []})
                 message = recv_message(handle.control_sock, self._max_message_bytes)
-            except (OSError, FrameError, socket.timeout) as exc:
+            except socket.timeout as exc:
+                raise _WorkerHung(
+                    f"no {op} reply within the {self.control_timeout_s}s control timeout"
+                ) from exc
+            except (OSError, FrameError) as exc:
                 raise _WorkerDied(str(exc)) from exc
         if message is None:
             raise _WorkerDied("worker closed the control channel")
@@ -452,23 +531,40 @@ class GalleryRouter:
         return self._ring.lookup(gallery)
 
     def identify(self, request: IdentifyRequest) -> IdentifyResponse:
-        """Serve one identify on the owning worker (retried once on crash).
+        """Serve one identify on the owning worker (bounded retry on failure).
 
-        Identify is read-only, so a crash mid-request is safe to retry: the
-        dead worker is respawned (lazily reloading its shard from disk) and
-        the request is re-sent exactly once.
+        Identify is read-only, so a crash or timeout mid-request is safe to
+        retry: the dead (or hung → killed) worker is respawned — lazily
+        reloading its shard from disk — and the request is re-sent, up to
+        ``config.retry_attempts`` extra attempts spaced by jittered
+        exponential backoff.  If the arc's breaker is open (too many
+        consecutive failures), the request fails fast instead of burning a
+        deadline against a worker that keeps dying.
         """
         self._check_open()
         buffers = encode_identify_frames(request)
+        worker = self._ring.lookup(request.gallery)
+        breaker = self._breakers[worker]
         last_error = "no live worker"
-        for _attempt in range(2):
-            handle = self._handle_for(self._ring.lookup(request.gallery))
+        attempts = 1 + self.policy.retry.attempts
+        for attempt in range(attempts):
+            if breaker.tripped:
+                return self._degraded_identify(request, worker, breaker)
+            handle = self._handle_for(worker)
             try:
                 reply = self._data_call(handle, buffers)
             except _WorkerDied as exc:
                 last_error = str(exc)
-                self._on_worker_death(handle)
+                breaker.record_failure(last_error)
+                self._on_worker_death(
+                    handle, hung=isinstance(exc, _WorkerHung), reason=last_error
+                )
+                if attempt + 1 < attempts:
+                    delay = self.policy.retry.backoff_s(attempt, self._retry_rng)
+                    if delay > 0:
+                        time.sleep(delay)
                 continue
+            breaker.record_success()
             return IdentifyResponse.from_dict(self._document(reply))
         return IdentifyResponse(
             request_id=request.request_id,
@@ -476,6 +572,23 @@ class GalleryRouter:
             status="error",
             metadata=dict(request.metadata),
             error=f"WorkerCrashed: {last_error}",
+        )
+
+    def _degraded_identify(
+        self, request: IdentifyRequest, worker: str, breaker: CircuitBreaker
+    ) -> IdentifyResponse:
+        """Fast-fail against an arc whose breaker is open."""
+        snap = breaker.snapshot()
+        return IdentifyResponse(
+            request_id=request.request_id,
+            gallery=request.gallery,
+            status="error",
+            metadata=dict(request.metadata),
+            error=(
+                f"WorkerDegraded: {worker} breaker open after "
+                f"{snap['consecutive_failures']} consecutive failures "
+                f"(last: {snap['last_error']}); a successful health ping heals it"
+            ),
         )
 
     async def identify_async(self, request: IdentifyRequest) -> IdentifyResponse:
@@ -516,21 +629,39 @@ class GalleryRouter:
         """
         self._check_open()
         buffers = encode_enroll_frames(request)
+        worker = self._ring.lookup(request.gallery)
+        breaker = self._breakers[worker]
         with self._writer_lock(request.gallery):
-            handle = self._handle_for(self._ring.lookup(request.gallery))
-            try:
-                reply = self._data_call(handle, buffers)
-            except _WorkerDied as exc:
-                self._on_worker_death(handle)
+            if breaker.tripped:
+                snap = breaker.snapshot()
                 return EnrollResponse(
                     request_id=request.request_id,
                     gallery=request.gallery,
                     status="error",
                     error=(
-                        f"WorkerCrashed: worker died mid-enroll ({exc}); not "
+                        f"WorkerDegraded: {worker} breaker open after "
+                        f"{snap['consecutive_failures']} consecutive failures "
+                        f"(last: {snap['last_error']}); enroll was not attempted"
+                    ),
+                )
+            handle = self._handle_for(worker)
+            try:
+                reply = self._data_call(handle, buffers)
+            except _WorkerDied as exc:
+                hung = isinstance(exc, _WorkerHung)
+                breaker.record_failure(str(exc))
+                self._on_worker_death(handle, hung=hung, reason=str(exc))
+                verb = "timed out" if hung else "died"
+                return EnrollResponse(
+                    request_id=request.request_id,
+                    gallery=request.gallery,
+                    status="error",
+                    error=(
+                        f"WorkerCrashed: worker {verb} mid-enroll ({exc}); not "
                         "retried — check the gallery state before resending"
                     ),
                 )
+            breaker.record_success()
         return EnrollResponse.from_dict(self._document(reply))
 
     def _writer_lock(self, gallery: str) -> threading.Lock:
@@ -544,16 +675,25 @@ class GalleryRouter:
     # Health / stats
     # ------------------------------------------------------------------ #
     def healthz(self) -> Dict[str, Any]:
-        """Ping every worker; respawn the dead; report per-worker state.
+        """Ping every worker; respawn the dead; heal breakers; report detail.
 
         ``status`` is ``"ok"`` when every worker answered (including ones
         that had to be respawned first — their entry carries
         ``respawned: true``) and ``"degraded"`` if any worker could not be
-        brought back.
+        brought back.  Each entry carries the arc's failure detail —
+        breaker state, consecutive-failure count, last error — as of before
+        the probe for arcs that answered (a successful ping is also what
+        **heals** an open breaker, ``healed: true``), and as of after the
+        failed probe for arcs that did not, so a degraded 503 always says
+        what went wrong.
         """
         self._check_open()
         workers: Dict[str, Any] = {}
         for name in self._ring.members:
+            breaker = self._breakers[name]
+            # Snapshot before probing: this is the state that degraded the
+            # arc, which the probe below may immediately heal.
+            detail = breaker.snapshot()
             respawns_before = self._respawns
             document = None
             for _attempt in range(2):
@@ -561,13 +701,29 @@ class GalleryRouter:
                 try:
                     document = self._document(self._control_call(handle, "ping"))
                     break
-                except _WorkerDied:
-                    self._on_worker_death(handle)
+                except _WorkerDied as exc:
+                    breaker.record_failure(str(exc))
+                    self._on_worker_death(
+                        handle, hung=isinstance(exc, _WorkerHung), reason=str(exc)
+                    )
+            if document is not None:
+                breaker.record_success()
+            else:
+                # The probe itself discovered the failure: report the
+                # post-probe detail instead, or a degraded entry could not
+                # say what killed the arc (``healed`` stays False either
+                # way — nothing answered).
+                detail = breaker.snapshot()
             workers[name] = {
                 "alive": document is not None,
                 "respawned": self._respawns > respawns_before,
                 "pid": None if document is None else document.get("pid"),
                 "resident": [] if document is None else list(document.get("resident", [])),
+                "breaker": detail["state"],
+                "consecutive_failures": detail["consecutive_failures"],
+                "total_failures": detail["total_failures"],
+                "last_error": detail["last_error"],
+                "healed": detail["state"] == "open" and document is not None,
             }
         status = "ok" if all(entry["alive"] for entry in workers.values()) else "degraded"
         return {"status": status, "galleries": self.registry.names(), "workers": workers}
@@ -587,8 +743,10 @@ class GalleryRouter:
                 handle = self._handle_for(name)
                 try:
                     record = self._document(self._control_call(handle, "stats"))
-                except _WorkerDied:
-                    self._on_worker_death(handle)
+                except _WorkerDied as exc:
+                    self._on_worker_death(
+                        handle, hung=isinstance(exc, _WorkerHung), reason=str(exc)
+                    )
                     continue
                 records[name] = record
                 with self._lock:
@@ -647,12 +805,20 @@ class GalleryRouter:
             cache_kinds=cache_kinds,
             cache_dir=cache_dir,
         )
+        with self._lock:
+            worker_timeouts = self._worker_timeouts
+            deaths = list(self._deaths)
         stats.router = {
             "workers": len(self._ring.members),
             "alive_workers": alive,
             "ring_size": len(self._ring),
             "ring_replicas": self.config.ring_replicas,
             "respawns": respawns,
+            "worker_timeouts": worker_timeouts,
+            "deaths": deaths,
+            "breakers": {
+                name: breaker.snapshot() for name, breaker in self._breakers.items()
+            },
             "per_worker": {
                 name: int(record.get("requests", 0))
                 for name, record in records.items()
@@ -682,6 +848,22 @@ class GalleryRouter:
         """How many worker incarnations have been replaced after a crash."""
         with self._lock:
             return self._respawns
+
+    @property
+    def worker_timeouts(self) -> int:
+        """How many worker deaths were deadline timeouts (hung, not dead)."""
+        with self._lock:
+            return self._worker_timeouts
+
+    @property
+    def deaths(self) -> List[str]:
+        """Recent worker-death reasons, oldest first (bounded window)."""
+        with self._lock:
+            return list(self._deaths)
+
+    def breaker(self, worker: str) -> CircuitBreaker:
+        """The consecutive-failure breaker guarding ``worker``'s arc."""
+        return self._breakers[worker]
 
     def close(self) -> None:
         """Drain and stop every worker (idempotent).

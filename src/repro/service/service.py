@@ -46,6 +46,7 @@ from repro.gallery.reference import ReferenceGallery
 from repro.runtime.backend import INDEXED_PRECISION
 from repro.runtime.batch import build_group_matrix_batched
 from repro.runtime.cache import frozen_array_digest
+from repro.runtime.faults import FaultPlan, install_plan
 from repro.runtime.results import TimingRecorder
 from repro.service.config import ServiceConfig
 from repro.service.messages import (
@@ -82,6 +83,14 @@ class IdentificationService:
         if config is None:
             config = registry.config if registry is not None else ServiceConfig()
         self.config = config
+        #: The configured fault-injection plan (chaos/soak testing), if any.
+        #: Installing it process-wide lets hooks that never see the config —
+        #: the artifact cache's disk tier — find it too.
+        self.fault_plan = (
+            install_plan(FaultPlan.from_dict(config.fault_plan))
+            if config.fault_plan
+            else None
+        )
         self.registry = registry if registry is not None else GalleryRegistry(config=config)
         self.cache = self.registry.cache
         #: Serializes gallery mutation (enroll-driven refits swap

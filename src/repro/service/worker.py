@@ -38,10 +38,12 @@ import signal
 import socket
 import struct
 import threading
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.runtime.faults import FaultPlan, corrupt_buffer, truncate_buffer
 from repro.service.codec import (
     FrameError,
     decode_frames,
@@ -119,6 +121,44 @@ def _error_reply(exc: BaseException) -> Dict[str, Any]:
         "error": f"{type(exc).__name__}: {exc}",
         "scans": [],
     }
+
+
+def _send_reply(
+    sock: socket.socket, reply: Dict[str, Any], plan: Optional[FaultPlan]
+) -> bool:
+    """Send one data-channel reply, applying any planned reply faults.
+
+    Returns ``False`` when the channel can no longer be trusted (a truncated
+    frame leaves the router waiting on bytes that will never come), so the
+    serve loop exits and the router's read surfaces the failure.
+    """
+    if plan is None:
+        send_message(sock, reply)
+        return True
+    if plan.should_fire("worker.crash") is not None:
+        # Die exactly like a SIGKILL'd worker: no reply, no service.close(),
+        # any /dev/shm segments left for the router's crash sweep.
+        os._exit(17)
+    rule = plan.should_fire("worker.hang")
+    if rule is not None:
+        # Stuck, not dead: only the router's data-channel deadline can tell.
+        time.sleep(rule.delay_s if rule.delay_s > 0 else 3600.0)
+    rule = plan.should_fire("worker.slow_reply")
+    if rule is not None:
+        time.sleep(rule.delay_s)
+    body = b"".join(encode_frames(reply, []))
+    rule = plan.should_fire("ipc.truncate_frame")
+    if rule is not None:
+        sock.sendall(struct.pack(_LENGTH_FORMAT, len(body)) + truncate_buffer(body))
+        return False
+    rule = plan.should_fire("ipc.corrupt_frame")
+    if rule is not None:
+        # Length-aligned but byte-corrupted: the router's codec rejects the
+        # magic with a typed FrameError instead of desyncing.
+        sock.sendall(struct.pack(_LENGTH_FORMAT, len(body)) + corrupt_buffer(body))
+        return True
+    sock.sendall(struct.pack(_LENGTH_FORMAT, len(body)) + body)
+    return True
 
 
 # --------------------------------------------------------------------------- #
@@ -220,6 +260,9 @@ def worker_main(
     config = ServiceConfig.from_dict(config_payload)
     registry = GalleryRegistry(root=root, config=config)
     service = IdentificationService(registry=registry, config=config)
+    # The service installed the configured fault plan process-wide (so the
+    # cache's disk-tier hooks see it); reply faults draw from the same plan.
+    plan = service.fault_plan
     max_message_bytes = int(config.max_stream_bytes)
     control_thread = threading.Thread(
         target=_control_loop,
@@ -250,7 +293,8 @@ def worker_main(
                     pass
                 break
             try:
-                send_message(data_sock, reply)
+                if not _send_reply(data_sock, reply, plan):
+                    break
             except OSError:
                 break
     finally:

@@ -5,6 +5,7 @@ import pytest
 
 from repro.exceptions import ValidationError
 from repro.runtime.cache import ArtifactCache, get_default_cache, set_default_cache
+from repro.runtime.faults import FaultPlan, install_plan
 
 
 class TestKeys:
@@ -173,3 +174,50 @@ class TestFrozenArrayDigest:
         assert base.flags.writeable  # a view's base stays mutable
         base[2] = 100.0  # mutating through the base must change the digest
         assert frozen_array_digest(view) != digest
+
+
+class TestInjectedDiskFaults:
+    """The ``cache.read_error``/``cache.write_error`` fault sites: the disk
+    tier is best-effort, so an injected I/O fault degrades to a miss (or a
+    skipped persist), is counted in ``disk_errors``, and never corrupts."""
+
+    def test_read_fault_degrades_to_a_counted_miss(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path)
+        value = np.arange(8.0)
+        cache.put("group_matrix", "k", value)
+        cache.clear()  # memory gone: the next get must go through disk
+        plan = FaultPlan([{"site": "cache.read_error", "start": 0, "limit": 1}])
+        try:
+            install_plan(plan)
+            assert cache.get("group_matrix", "k") is None  # degraded to a miss
+        finally:
+            install_plan(None)
+        stats = cache.stats("group_matrix")
+        assert stats.disk_errors == 1
+        assert stats.as_dict()["disk_errors"] == 1
+        # The archive itself was never touched: the fault-free retry hits.
+        np.testing.assert_array_equal(cache.get("group_matrix", "k"), value)
+        assert cache.stats("group_matrix").disk_hits == 1
+
+    def test_write_fault_skips_persist_counts_and_leaves_no_litter(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path)
+        value = np.arange(6.0)
+        plan = FaultPlan([{"site": "cache.write_error", "start": 0, "limit": 1}])
+        try:
+            install_plan(plan)
+            cache.put("leverage", "k", value)
+        finally:
+            install_plan(None)
+        # The memory tier still serves this process...
+        np.testing.assert_array_equal(cache.get("leverage", "k"), value)
+        # ...but nothing reached disk — no archive and no tmp litter — so a
+        # second process view misses: the failed write costs a recompute,
+        # never correctness.
+        assert list(tmp_path.rglob("*")) in ([], [tmp_path / "leverage"])
+        assert cache.stats("leverage").disk_errors == 1
+        assert ArtifactCache(cache_dir=tmp_path).get("leverage", "k") is None
+        # With the plan exhausted, the same put persists normally.
+        cache.put("leverage", "k", value)
+        np.testing.assert_array_equal(
+            ArtifactCache(cache_dir=tmp_path).get("leverage", "k"), value
+        )

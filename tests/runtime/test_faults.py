@@ -1,0 +1,171 @@
+"""Tests for the deterministic fault-injection plane."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.faults import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    corrupt_buffer,
+    install_plan,
+    maybe_fire,
+    truncate_buffer,
+)
+
+
+class TestFaultRule:
+    def test_rejects_unknown_site(self):
+        with pytest.raises(ConfigurationError, match="unknown fault site"):
+            FaultRule(site="worker.teleport")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"start": -1},
+            {"every": 0},
+            {"limit": 0},
+            {"probability": 1.5},
+            {"probability": -0.1},
+            {"delay_s": -2.0},
+        ],
+    )
+    def test_rejects_invalid_schedules(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultRule(site="worker.crash", **kwargs)
+
+    def test_every_known_site_constructs(self):
+        for site in FAULT_SITES:
+            assert FaultRule(site=site).site == site
+
+
+class TestFaultPlanSchedule:
+    def test_fires_at_start_then_every_up_to_limit(self):
+        plan = FaultPlan([{"site": "cache.read_error", "start": 2, "every": 3,
+                           "limit": 2}])
+        fired_at = [
+            index for index in range(12)
+            if plan.should_fire("cache.read_error") is not None
+        ]
+        assert fired_at == [2, 5]
+        assert plan.fired() == {"cache.read_error": 2}
+        assert plan.invocations() == {"cache.read_error": 12}
+
+    def test_unlimited_rule_keeps_firing(self):
+        plan = FaultPlan([{"site": "worker.slow_reply", "every": 2, "limit": None}])
+        hits = sum(
+            plan.should_fire("worker.slow_reply") is not None for _ in range(10)
+        )
+        assert hits == 5
+
+    def test_sites_count_independently(self):
+        plan = FaultPlan([
+            {"site": "cache.read_error", "start": 1},
+            {"site": "cache.write_error", "start": 1},
+        ])
+        assert plan.should_fire("cache.read_error") is None
+        assert plan.should_fire("cache.read_error") is not None
+        # write_error's counter has not moved; index 0 is still ineligible.
+        assert plan.should_fire("cache.write_error") is None
+        assert plan.should_fire("cache.write_error") is not None
+
+    def test_should_fire_rejects_unknown_site(self):
+        plan = FaultPlan()
+        with pytest.raises(ConfigurationError, match="unknown fault site"):
+            plan.should_fire("cache.rm_rf")
+
+    def test_firing_returns_the_matching_rule(self):
+        plan = FaultPlan([{"site": "worker.hang", "delay_s": 0.25}])
+        rule = plan.should_fire("worker.hang")
+        assert rule is not None and rule.delay_s == 0.25
+
+    def test_probability_is_seed_deterministic(self):
+        def pattern(seed):
+            plan = FaultPlan(
+                [{"site": "http.drop_connection", "probability": 0.5,
+                  "limit": None}],
+                seed=seed,
+            )
+            return [
+                plan.should_fire("http.drop_connection") is not None
+                for _ in range(64)
+            ]
+
+        assert pattern(7) == pattern(7)
+        assert any(pattern(7))
+        assert not all(pattern(7))
+        assert pattern(7) != pattern(8)
+
+
+class TestFaultPlanSerialization:
+    def test_dict_round_trip_replays_identically(self):
+        spec = {
+            "seed": 3,
+            "rules": [
+                {"site": "worker.crash", "start": 4, "every": 1, "limit": 1,
+                 "probability": 1.0, "delay_s": 0.0},
+                {"site": "cache.read_error", "start": 0, "every": 2,
+                 "limit": 3, "probability": 0.8, "delay_s": 0.0},
+            ],
+        }
+        first = FaultPlan.from_dict(spec)
+        second = FaultPlan.from_dict(first.to_dict())
+        assert first.to_dict() == second.to_dict()
+        for _ in range(20):
+            assert (
+                (first.should_fire("cache.read_error") is None)
+                == (second.should_fire("cache.read_error") is None)
+            )
+
+    def test_json_round_trip(self):
+        plan = FaultPlan([{"site": "ipc.corrupt_frame", "start": 2}], seed=9)
+        assert FaultPlan.from_json(plan.to_json()).to_dict() == plan.to_dict()
+
+    def test_rejects_unknown_plan_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown fault-plan field"):
+            FaultPlan.from_dict({"seed": 0, "rules": [], "chaos": True})
+
+    def test_rejects_unknown_rule_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown fault-rule field"):
+            FaultPlan.from_dict(
+                {"rules": [{"site": "worker.crash", "severity": "high"}]}
+            )
+
+    def test_rejects_non_dict_payloads(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_dict(["worker.crash"])
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_dict({"rules": "worker.crash"})
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_dict({"rules": ["worker.crash"]})
+
+
+class TestBufferMutators:
+    def test_truncate_halves_the_buffer(self):
+        body = bytes(range(10))
+        assert truncate_buffer(body) == body[:5]
+        assert truncate_buffer(b"") == b""
+
+    def test_corrupt_preserves_length_and_flips_one_byte(self):
+        body = bytes(range(30))
+        mutated = corrupt_buffer(body)
+        assert len(mutated) == len(body)
+        flipped = [i for i, (a, b) in enumerate(zip(body, mutated)) if a != b]
+        assert flipped == [10]
+        assert mutated[10] == body[10] ^ 0xFF
+        assert corrupt_buffer(b"") == b""
+
+
+class TestActivePlan:
+    def test_install_activate_and_clear(self):
+        assert maybe_fire("cache.read_error") is None  # no plan installed
+        plan = FaultPlan([{"site": "cache.read_error", "limit": None}])
+        try:
+            assert install_plan(plan) is plan
+            assert active_plan() is plan
+            assert maybe_fire("cache.read_error") is not None
+        finally:
+            install_plan(None)
+        assert active_plan() is None
+        assert maybe_fire("cache.read_error") is None

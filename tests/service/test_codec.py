@@ -273,6 +273,34 @@ class TestStructuralErrors:
             except ValidationError:
                 continue
 
+    def test_fault_plane_truncation_is_a_typed_frame_error(self):
+        """The fault plane's mid-buffer split (``ipc.truncate_frame``) must
+        surface as FrameError at EVERY possible split point — the codec may
+        never misparse or desync on a partially written stream."""
+        from repro.runtime.faults import truncate_buffer
+
+        body = self._valid_body()
+        assert truncate_buffer(body) == body[: len(body) // 2]
+        for cut in range(len(body)):
+            with pytest.raises(FrameError):
+                decode_frames(body[:cut])
+
+    def test_fault_plane_corruption_is_a_typed_frame_error(self):
+        """``ipc.corrupt_frame`` keeps the length but flips a byte; whatever
+        the byte lands on (magic, length prefix, header JSON, payload), the
+        outcome is a typed error, never a silent misparse."""
+        from repro.runtime.faults import corrupt_buffer
+
+        body = self._valid_body()
+        mutated = corrupt_buffer(body)
+        assert len(mutated) == len(body) and mutated != body
+        try:
+            header, arrays = decode_frames(mutated)
+        except FrameError:
+            return
+        with pytest.raises(ValidationError):
+            identify_request_from_frames(header, arrays)
+
     def test_pack_frame_rejects_over_u32_payloads(self):
         class FakeBytes(bytes):
             def __len__(self):
@@ -280,3 +308,68 @@ class TestStructuralErrors:
 
         with pytest.raises(ValidationError):
             pack_frame(FakeBytes())
+
+
+class TestPartialWritesOnTheWire:
+    """The IPC read path under the fault plane's partial writes.
+
+    ``worker._send_reply`` with an ``ipc.truncate_frame`` rule sends the
+    declared length followed by only half the body, then stops using the
+    channel.  The reader must surface exactly one typed :class:`FrameError`
+    and treat the connection as dead — never block forever, never misparse,
+    never resynchronize onto garbage.
+    """
+
+    def _reply_body(self):
+        header = {"kind": "response", "ok": True, "document": {"status": "ok"},
+                  "scans": []}
+        return b"".join(encode_frames(header, []))
+
+    def test_truncated_then_closed_stream_raises_frame_error(self):
+        import socket
+
+        from repro.runtime.faults import truncate_buffer
+        from repro.service.worker import recv_message
+
+        body = self._reply_body()
+        reader, writer = socket.socketpair()
+        try:
+            # Exactly what the worker's truncate fault puts on the wire.
+            writer.sendall(struct.pack("<I", len(body)) + truncate_buffer(body))
+            writer.close()
+            with pytest.raises(FrameError, match="closed mid-message"):
+                recv_message(reader, 1 << 20)
+        finally:
+            reader.close()
+
+    def test_corrupted_reply_is_length_aligned_but_rejected(self):
+        import socket
+
+        from repro.runtime.faults import corrupt_buffer
+        from repro.service.worker import recv_message
+
+        body = self._reply_body()
+        reader, writer = socket.socketpair()
+        try:
+            writer.sendall(struct.pack("<I", len(body)) + corrupt_buffer(body))
+            with pytest.raises(FrameError):
+                recv_message(reader, 1 << 20)
+            # The stream stays aligned: a follow-up clean message parses.
+            writer.sendall(struct.pack("<I", len(body)) + body)
+            header, arrays = recv_message(reader, 1 << 20)
+            assert header["ok"] is True and arrays == []
+        finally:
+            writer.close()
+            reader.close()
+
+    def test_eof_at_a_message_boundary_is_none_not_an_error(self):
+        import socket
+
+        from repro.service.worker import recv_message
+
+        reader, writer = socket.socketpair()
+        writer.close()
+        try:
+            assert recv_message(reader, 1 << 20) is None
+        finally:
+            reader.close()

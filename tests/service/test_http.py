@@ -18,6 +18,7 @@ import pytest
 
 from repro.exceptions import ValidationError
 from repro.runtime.cache import ArtifactCache
+from repro.runtime.faults import install_plan
 from repro.service import (
     BackgroundHttpServer,
     GalleryRegistry,
@@ -469,3 +470,71 @@ class TestLifecycle:
         http_service.close()  # races the in-flight identify on purpose
         thread.join()
         assert results and results[0].ok
+
+
+class TestInjectedConnectionDrops:
+    """The ``http.drop_connection`` fault site vs. the client's resend rules.
+
+    A dropped connection is the one fault where the *client* decides what
+    is safe: a GET is idempotent and is resent on a fresh connection, but
+    a POST that was fully sent may already have executed server-side, so
+    the error must propagate to the caller instead of a blind retry.
+    """
+
+    def _dropping_service(self, sessions, fault_plan):
+        reference_scans, _ = sessions
+        config = ServiceConfig(
+            n_features=60, batch_window_s=0.01, fault_plan=fault_plan
+        )
+        registry = GalleryRegistry(config=config, cache=ArtifactCache())
+        registry.build("hcp", reference_scans)
+        return IdentificationService(registry=registry, config=config)
+
+    def test_dropped_get_is_transparently_resent(self, sessions):
+        plan = {"seed": 0,
+                "rules": [{"site": "http.drop_connection", "start": 1, "limit": 1}]}
+        service = self._dropping_service(sessions, plan)
+        try:
+            with BackgroundHttpServer(service, port=0) as background:
+                with ServiceClient(port=background.port) as service_client:
+                    assert service_client.healthz()["status"] == "ok"
+                    # Request index 1 is torn down after the server reads it
+                    # but before it answers; the client resends the GET on a
+                    # fresh connection and the caller never sees the fault.
+                    assert service_client.healthz() == {
+                        "status": "ok",
+                        "galleries": ["hcp"],
+                    }
+                assert background.server._fault_plan.fired() == {
+                    "http.drop_connection": 1
+                }
+        finally:
+            service.close()
+            install_plan(None)
+
+    def test_dropped_post_raises_instead_of_blind_retry(self, sessions):
+        _, probe_scans = sessions
+        plan = {"seed": 0,
+                "rules": [{"site": "http.drop_connection", "start": 0, "limit": 1}]}
+        service = self._dropping_service(sessions, plan)
+        try:
+            serial = service.registry.get("hcp").identify(probe_scans[:1])
+            with BackgroundHttpServer(service, port=0) as background:
+                with ServiceClient(port=background.port) as service_client:
+                    with pytest.raises(OSError):
+                        service_client.identify(gallery="hcp", scans=probe_scans[:1])
+                    # The fault fired before dispatch, so the identify never
+                    # executed — exactly why the client may not retry blind:
+                    # it cannot know that from the dead socket alone.
+                    assert service.stats().requests == 0
+                    retried = service_client.identify(
+                        gallery="hcp", scans=probe_scans[:1]
+                    )
+                    assert retried.ok
+                    assert retried.predicted_subject_ids == serial.predicted_subject_ids
+                assert background.server._fault_plan.fired() == {
+                    "http.drop_connection": 1
+                }
+        finally:
+            service.close()
+            install_plan(None)

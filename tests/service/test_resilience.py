@@ -1,0 +1,149 @@
+"""Tests for the resilience policy layer (deadlines, retries, breakers)."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service import ServiceConfig
+from repro.service.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    Deadline,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+
+
+class TestDeadline:
+    def test_counts_down_and_clamps_at_zero(self):
+        deadline = Deadline.after(30.0)
+        assert 0.0 < deadline.remaining() <= 30.0
+        assert not deadline.expired
+        spent = Deadline(1e-9)
+        assert spent.remaining() == 0.0
+        assert spent.expired
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ConfigurationError):
+            Deadline(0.0)
+        with pytest.raises(ConfigurationError):
+            Deadline(-1.0)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_within_bounds(self):
+        policy = RetryPolicy(attempts=4, base_delay_s=0.1, max_delay_s=0.5,
+                             multiplier=2.0, jitter=0.0)
+        assert [policy.backoff_s(i) for i in range(4)] == [0.1, 0.2, 0.4, 0.5]
+
+    def test_jitter_stays_in_the_documented_band(self):
+        policy = RetryPolicy(base_delay_s=0.2, max_delay_s=0.2, jitter=0.5)
+        rng = random.Random(42)
+        for retry_index in range(50):
+            delay = policy.backoff_s(retry_index, rng)
+            assert 0.1 <= delay <= 0.2
+
+    def test_zero_base_delay_disables_backoff(self):
+        assert RetryPolicy(base_delay_s=0.0, max_delay_s=0.0).backoff_s(3) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempts": -1},
+            {"base_delay_s": -0.1},
+            {"base_delay_s": 0.5, "max_delay_s": 0.1},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_rejects_invalid_policies(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class TestCircuitBreaker:
+    def test_trips_at_threshold_and_heals_on_success(self):
+        breaker = CircuitBreaker(threshold=3)
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record_failure("boom 1")
+        breaker.record_failure("boom 2")
+        assert not breaker.tripped
+        breaker.record_failure("boom 3")
+        assert breaker.tripped
+        assert breaker.state == BREAKER_OPEN
+        breaker.record_success()
+        assert not breaker.tripped
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_success_resets_consecutive_but_not_history(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure("first")
+        breaker.record_success()
+        breaker.record_failure("second")
+        snapshot = breaker.snapshot()
+        assert snapshot == {
+            "state": BREAKER_CLOSED,
+            "consecutive_failures": 1,
+            "total_failures": 2,
+            "last_error": "second",
+        }
+        # last_error survives healing: /healthz can always explain the past.
+        breaker.record_success()
+        assert breaker.last_error == "second"
+
+    def test_rejects_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(threshold=0)
+
+
+class TestResiliencePolicy:
+    def test_from_config_carries_every_knob(self):
+        config = ServiceConfig(
+            request_deadline_s=2.5,
+            retry_attempts=3,
+            retry_base_delay_s=0.2,
+            breaker_threshold=5,
+        )
+        policy = ResiliencePolicy.from_config(config)
+        assert policy.request_deadline_s == 2.5
+        assert policy.retry.attempts == 3
+        assert policy.retry.base_delay_s == 0.2
+        assert policy.breaker_threshold == 5
+
+    def test_defaults_match_service_config_defaults(self):
+        policy = ResiliencePolicy.from_config(ServiceConfig())
+        assert policy == ResiliencePolicy()
+
+    def test_rejects_invalid_bundle(self):
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(request_deadline_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(breaker_threshold=0)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"request_deadline_s": 0.0},
+            {"retry_attempts": -1},
+            {"retry_base_delay_s": -0.5},
+            {"breaker_threshold": 0},
+            {"fault_plan": {"rules": [{"site": "nope"}]}},
+            {"fault_plan": {"seed": 0, "surprise": 1}},
+        ],
+    )
+    def test_service_config_validates_resilience_knobs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(**kwargs)
+
+    def test_fault_plan_round_trips_through_config_dict(self):
+        plan = {"seed": 5, "rules": [{"site": "worker.crash", "start": 2,
+                                      "every": 1, "limit": 1,
+                                      "probability": 1.0, "delay_s": 0.0}]}
+        config = ServiceConfig(fault_plan=plan, request_deadline_s=1.0)
+        restored = ServiceConfig.from_dict(config.to_dict())
+        assert restored.fault_plan == plan
+        assert restored.request_deadline_s == 1.0

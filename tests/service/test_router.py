@@ -30,6 +30,7 @@ from repro.service import (
     EnrollRequest,
     GalleryRegistry,
     GalleryRouter,
+    HttpServiceError,
     IdentificationService,
     IdentifyRequest,
     ServiceClient,
@@ -299,6 +300,134 @@ class TestCrashRecovery:
         for pid in pids + [dead_pid]:
             assert not list(_SHM_DIR.glob(f"{SEGMENT_PREFIX}-{pid}-*"))
         assert not _router_children()
+
+
+class TestDeadlineFailover:
+    def test_hung_worker_fails_over_within_the_deadline(self, workload):
+        """Satellite regression: a SIGSTOPped worker must be timed out, killed,
+        and the identify retried on its respawn — never waited on forever."""
+        deadline_s = 1.0
+        config = workload["config"].replace(
+            request_deadline_s=deadline_s, retry_attempts=1
+        )
+        router = GalleryRouter(workload["root"], config=config, workers=WORKERS)
+        try:
+            name = workload["names"][0]
+            assert _identify(router, workload, name) == workload["reference"][name]
+            hung_pid = _owner_pid(router, name)
+            os.kill(hung_pid, signal.SIGSTOP)
+            try:
+                start = time.monotonic()
+                document = _identify(router, workload, name)
+                elapsed = time.monotonic() - start
+            finally:
+                # The reap SIGKILLs the stopped process, but never leave a
+                # stopped pid behind if the assertion path changes.
+                try:
+                    os.kill(hung_pid, signal.SIGCONT)
+                except ProcessLookupError:
+                    pass
+            assert document == workload["reference"][name]
+            # One deadline to detect the hang, one for the retried attempt,
+            # plus kill/respawn/reload slack — far below a blind blocking read.
+            assert elapsed < deadline_s * 2 + 8.0
+            assert elapsed >= deadline_s  # the deadline, not luck, found it
+            assert router.worker_timeouts == 1
+            assert router.respawns == 1
+            assert _owner_pid(router, name) != hung_pid
+            assert any("deadline" in reason for reason in router.deaths)
+        finally:
+            router.close()
+        assert not _router_children()
+
+    def test_breaker_opens_fails_fast_and_heals_on_ping(
+        self, router, workload, monkeypatch
+    ):
+        name = workload["names"][0]
+        worker = router.route(name)
+        threshold = router.policy.breaker_threshold
+
+        def always_dead(handle, buffers):
+            raise _WorkerDied("synthetic data-channel failure")
+
+        monkeypatch.setattr(router, "_data_call", always_dead)
+        responses = []
+        while not router.breaker(worker).tripped:
+            responses.append(
+                router.identify(
+                    IdentifyRequest(gallery=name, scans=workload["probes"][name])
+                )
+            )
+            assert len(responses) <= threshold  # each identify records >= 1 failure
+        # The first exhausted its retries against the dead channel; the last
+        # may already have tripped the breaker mid-retry and failed fast.
+        assert "WorkerCrashed" in (responses[0].error or "")
+
+        # Open breaker: fail fast with the typed degraded error, no deadline burned.
+        degraded = router.identify(
+            IdentifyRequest(gallery=name, scans=workload["probes"][name])
+        )
+        assert degraded.status == "error"
+        assert "WorkerDegraded" in (degraded.error or "")
+        assert "synthetic data-channel failure" in (degraded.error or "")
+        enroll = router.enroll(EnrollRequest(gallery=name, scans=[]))
+        assert not enroll.ok and "WorkerDegraded" in (enroll.error or "")
+
+        # Failure detail is observable before healing.
+        stats_block = router.stats().router
+        snapshot = stats_block["breakers"][worker]
+        assert snapshot["state"] == "open"
+        assert snapshot["consecutive_failures"] >= threshold
+        assert snapshot["last_error"] == "synthetic data-channel failure"
+        assert any("synthetic data-channel failure" in r for r in router.deaths)
+
+        # A health probe pings over the control channel (untouched by the
+        # patch): the arc answers, the breaker heals, detail survives.
+        monkeypatch.undo()
+        health = router.healthz()
+        entry = health["workers"][worker]
+        assert entry["breaker"] == "open"  # pre-probe state that degraded it
+        assert entry["healed"] is True
+        assert entry["last_error"] == "synthetic data-channel failure"
+        assert not router.breaker(worker).tripped
+        assert _identify(router, workload, name) == workload["reference"][name]
+
+    def test_degraded_healthz_is_a_503_with_worker_detail(
+        self, router, workload, monkeypatch
+    ):
+        """Satellite: GET /healthz must answer 503 when any arc is degraded,
+        and the document must say which worker and why."""
+        name = workload["names"][0]
+        target = router.route(name)
+        original = router._control_call
+
+        def refuse_target(handle, op):
+            if handle.name == target:
+                raise _WorkerDied("control channel refused")
+            return original(handle, op)
+
+        monkeypatch.setattr(router, "_control_call", refuse_target)
+        with BackgroundHttpServer(router, port=0) as server:
+            with ServiceClient(port=server.port) as service_client:
+                with pytest.raises(HttpServiceError) as excinfo:
+                    service_client.healthz()
+        assert excinfo.value.status == 503
+        payload = excinfo.value.payload
+        assert payload["status"] == "degraded"
+        entry = payload["workers"][target]
+        assert entry["alive"] is False
+        assert entry["last_error"] == "control channel refused"
+        # Both probe attempts recorded against the arc's breaker.
+        assert entry["consecutive_failures"] >= 1
+        assert entry["breaker"] in {"closed", "open"}
+        assert all(
+            peer["alive"]
+            for worker_name, peer in payload["workers"].items()
+            if worker_name != target
+        )
+        # Once the control channel answers again, the next probe heals: 200.
+        monkeypatch.undo()
+        assert router.healthz()["status"] == "ok"
 
 
 class TestLifecycle:

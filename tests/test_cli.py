@@ -418,6 +418,152 @@ class TestRoutedServeCommand:
         assert "router              : " in output
         assert _shm_segments() == []
 
+    @pytest.mark.integration
+    def test_routed_http_drains_on_sigterm_without_zombies_or_segments(
+        self, tmp_path
+    ):
+        """Satellite: SIGTERM (the supervisor's signal, not a terminal's
+        SIGINT) must drain the routed fleet the same way — exit 0, drained
+        banner, no surviving processes in the group, no shm segments."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        from repro.datasets.hcp import HCPLikeDataset
+        from repro.service import ServiceClient
+
+        gallery_dir = tmp_path / "gal"
+        assert main(
+            [
+                "gallery", "build", "--dir", str(gallery_dir),
+                "--subjects", "6", "--regions", "24", "--timepoints", "60",
+                "--features", "40", "--seed", "3",
+            ]
+        ) == 0
+
+        src_dir = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src_dir}:{env.get('PYTHONPATH', '')}".rstrip(":")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--dir", str(gallery_dir), "--http", "0", "--window", "0.01",
+                "--router-workers", "2",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            start_new_session=True,  # own group: killable as one fleet
+        )
+        try:
+            port = None
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                line = process.stdout.readline()
+                if not line:
+                    break
+                if line.startswith("serving gallery"):
+                    port = int(line.rsplit(":", 1)[1])
+                if line.startswith("  - worker-1"):
+                    break
+            assert port is not None, "server never announced its port"
+            # Make a gallery resident first, so the drain has real shm
+            # segments and loaded workers to release — not an idle fleet.
+            probes = HCPLikeDataset(
+                n_subjects=6, n_regions=24, n_timepoints=60, random_state=3
+            ).generate_session("REST", encoding="RL", day=2)
+            with ServiceClient(port=port) as client:
+                response = client.identify(gallery="gal", scans=probes[:2])
+                assert response.ok
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:  # pragma: no cover - hung server
+                os.killpg(process.pid, signal.SIGKILL)
+                process.communicate()
+        assert process.returncode == 0, output
+        assert "shutdown: in-flight batches drained" in output
+        # No zombies: the whole session (server + forked workers) is gone.
+        group_deadline = time.monotonic() + 10.0
+        while time.monotonic() < group_deadline:
+            try:
+                os.killpg(process.pid, 0)
+            except ProcessLookupError:
+                break
+            time.sleep(0.05)
+        else:  # pragma: no cover - leaked fleet
+            pytest.fail("worker fleet survived SIGTERM")
+        assert _shm_segments() == []
+
+
+class TestFaultPlanFlag:
+    """`serve --fault-plan PATH`: loading, validation, and the banner."""
+
+    def _build(self, tmp_path, capsys):
+        gallery_dir = tmp_path / "gal"
+        assert main(
+            [
+                "gallery", "build", "--dir", str(gallery_dir),
+                "--subjects", "6", "--regions", "24", "--timepoints", "60",
+                "--features", "40", "--seed", "5",
+            ]
+        ) == 0
+        capsys.readouterr()
+        return gallery_dir
+
+    def test_missing_plan_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(
+            [
+                "serve", "--dir", str(tmp_path / "gal"),
+                "--fault-plan", str(tmp_path / "absent.json"),
+            ]
+        ) == 1
+        assert "cannot read fault plan" in capsys.readouterr().err
+
+    def test_invalid_json_is_a_clean_error(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text("not json {{")
+        assert main(
+            ["serve", "--dir", str(tmp_path / "gal"), "--fault-plan", str(plan_path)]
+        ) == 1
+        assert "is not valid JSON" in capsys.readouterr().err
+
+    def test_invalid_plan_spec_is_a_configuration_error(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps({"rules": [{"site": "worker.teleport"}]}))
+        assert main(
+            ["serve", "--dir", str(tmp_path / "gal"), "--fault-plan", str(plan_path)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "serve failed" in err and "unknown fault site" in err
+
+    def test_valid_plan_prints_the_banner_and_serves(self, tmp_path, capsys):
+        from repro.runtime.faults import install_plan
+
+        gallery_dir = self._build(tmp_path, capsys)
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps({
+            "seed": 0,
+            "rules": [{"site": "worker.slow_reply", "delay_s": 0.0, "limit": 1}],
+        }))
+        try:
+            assert main(
+                [
+                    "serve", "--dir", str(gallery_dir),
+                    "--requests", "1", "--rounds", "1",
+                    "--fault-plan", str(plan_path),
+                ]
+            ) == 0
+            output = capsys.readouterr().out
+            assert f"fault injection: 1 rule(s) loaded from {plan_path}" in output
+        finally:
+            # serve installed the plan process-wide; never leak it into
+            # other in-process tests.
+            install_plan(None)
+
 
 class TestRuntimeInfoCommand:
     def test_runtime_info_prints_cache_workers_and_blas(self, capsys):
