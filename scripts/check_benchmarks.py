@@ -28,7 +28,14 @@ and writes per-phase outcomes, p50/p99 latency, and every hard-gate
 verdict to PATH (``BENCH_chaos.json`` in CI); all of its gates
 (bit-identity to the fault-free replay, bounded error rate, observable
 respawns/timeouts/disk errors, bounded hung-worker failover, zero leaked
-segments or worker processes) are hard gates.
+segments or worker processes) are hard gates.  ``--fleet-trajectory PATH``
+runs the fleet-churn benchmark — the live membership schedule (2 → 3 → 4
+→ 3 via ``add_worker``/``remove_worker``) under concurrent identify +
+enroll load — and writes per-step remap fractions, drain outcomes, and
+every hard-gate verdict to PATH (``BENCH_fleet.json`` in CI); all of its
+gates (bit-identity to the resize-free replay, zero identify errors,
+durable-or-safe-to-resend enrolls, remap <= 1.5/N per step, clean drains
+within the deadline, zero leaks) are hard gates.
 
 Usage::
 
@@ -38,6 +45,7 @@ Usage::
     PYTHONPATH=src python scripts/check_benchmarks.py --index-trajectory BENCH_index.json
     PYTHONPATH=src python scripts/check_benchmarks.py --router-trajectory BENCH_router.json
     PYTHONPATH=src python scripts/check_benchmarks.py --chaos-trajectory BENCH_chaos.json
+    PYTHONPATH=src python scripts/check_benchmarks.py --fleet-trajectory BENCH_fleet.json
 """
 
 from __future__ import annotations
@@ -59,6 +67,7 @@ REQUIRED_BENCHMARKS = {
     "bench_index_pruning",
     "bench_router_scaling",
     "bench_chaos_serving",
+    "bench_fleet_churn",
 }
 
 
@@ -184,6 +193,34 @@ def write_chaos_trajectory(
     return record
 
 
+def write_fleet_trajectory(
+    path: Path, galleries=None, subjects=None, hold=None
+) -> dict:
+    """Run the fleet-churn benchmark and write its trajectory record.
+
+    Runs the live membership schedule (2 → 3 → 4 → 3) under concurrent
+    identify + enroll load at the acceptance workload by default; the
+    keyword overrides shrink it for smoke runs.  The record carries
+    per-step remap fractions and drain outcomes plus a ``gate_failures``
+    list in which *every* entry is a hard failure: correctness across a
+    resize has no soft mode.
+    """
+    _benchmarks_on_path()
+    import bench_fleet_churn as bench
+
+    kwargs = {}
+    if galleries is not None:
+        kwargs["n_galleries"] = int(galleries)
+    if subjects is not None:
+        kwargs["n_subjects"] = int(subjects)
+    if hold is not None:
+        kwargs["hold_s"] = float(hold)
+    outcome = bench.run_fleet_churn_benchmark(**kwargs)
+    record = bench.trajectory_record(outcome)
+    path.write_text(json.dumps(record, indent=2))
+    return record
+
+
 def run_import_checks() -> int:
     """Import every ``benchmarks/bench_*.py`` module; 0 when all succeed.
 
@@ -269,6 +306,26 @@ def main(argv=None) -> int:
         "--chaos-requests", metavar="N", type=int, default=None,
         help="override the identify requests per gallery per phase of "
         "--chaos-trajectory (>= 4 so every fault rule fires)",
+    )
+    parser.add_argument(
+        "--fleet-trajectory", metavar="PATH", default=None,
+        help="run the fleet-churn benchmark (live 2→3→4→3 membership "
+        "schedule under concurrent identify + enroll load) and write its "
+        "trajectory record (per-step remap fractions, drain outcomes, "
+        "hard-gate verdicts) to PATH",
+    )
+    parser.add_argument(
+        "--fleet-galleries", metavar="N", type=int, default=None,
+        help="override the gallery count of --fleet-trajectory (smoke runs)",
+    )
+    parser.add_argument(
+        "--fleet-subjects", metavar="N", type=int, default=None,
+        help="override the subjects per gallery of --fleet-trajectory",
+    )
+    parser.add_argument(
+        "--fleet-hold", metavar="SECONDS", type=float, default=None,
+        help="override the load hold between membership steps of "
+        "--fleet-trajectory",
     )
     args = parser.parse_args(argv)
 
@@ -388,6 +445,43 @@ def main(argv=None) -> int:
         if record["gate_failures"]:
             for failure in record["gate_failures"]:
                 print(f"FAIL chaos trajectory: {failure}")
+            return 1
+
+    if args.fleet_trajectory:
+        record = write_fleet_trajectory(
+            Path(args.fleet_trajectory),
+            galleries=args.fleet_galleries,
+            subjects=args.fleet_subjects,
+            hold=args.fleet_hold,
+        )
+        totals = record["totals"]
+        remap = ", ".join(
+            "{action} {frac:.3f}/{bound:.3f}".format(
+                action=step["action"],
+                frac=step["remap_fraction"],
+                bound=step["remap_bound"],
+            )
+            for step in record["steps"]
+        )
+        print(
+            "fleet trajectory: {ok}/{requests} bit-identical, "
+            "{errors} error(s), churn {churn_ok}+{resends} resend(s), "
+            "remap [{remap}], members={members} -> {path}".format(
+                ok=totals["ok"],
+                requests=totals["requests"],
+                errors=totals["errors"],
+                churn_ok=totals["churn_ok"],
+                resends=totals["churn_resends"],
+                remap=remap,
+                members=len(record["final_members"]),
+                path=args.fleet_trajectory,
+            )
+        )
+        # Every fleet gate is hard: correctness across a resize has no
+        # soft mode.
+        if record["gate_failures"]:
+            for failure in record["gate_failures"]:
+                print(f"FAIL fleet trajectory: {failure}")
             return 1
     return 0
 

@@ -233,6 +233,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "that does not reply in time is reaped and respawned (default 30)",
     )
     serve_parser.add_argument(
+        "--drain-deadline", type=float, default=None, metavar="SECONDS",
+        help="routed mode: how long remove_worker waits for a leaving "
+        "worker to drain before falling back to the crash path (default 30)",
+    )
+    serve_parser.add_argument(
+        "--admin-token", default=None, metavar="TOKEN",
+        help="enable POST /admin/workers (live fleet add/remove) behind "
+        "this bearer token; omitted = the admin endpoint stays disabled",
+    )
+    serve_parser.add_argument(
+        "--rescale-file", default=None, metavar="PATH",
+        help="routed mode: file holding the target fleet size; SIGHUP "
+        "re-reads it and adds/removes workers to match (default: "
+        "<gallery-root>/fleet-size)",
+    )
+    serve_parser.add_argument(
         "--fault-plan", default=None, metavar="PATH",
         help="JSON fault-injection plan for chaos/soak testing (see "
         "docs/serving.md for the format); faults fire deterministically "
@@ -633,6 +649,10 @@ def _serve(args) -> int:
     overrides = {}
     if args.request_deadline is not None:
         overrides["request_deadline_s"] = args.request_deadline
+    if args.drain_deadline is not None:
+        overrides["drain_deadline_s"] = args.drain_deadline
+    if args.admin_token is not None:
+        overrides["admin_token"] = args.admin_token
     config = ServiceConfig(
         max_batch_size=args.max_batch,
         batch_window_s=args.window,
@@ -668,7 +688,7 @@ def _serve(args) -> int:
                     "(routed serving loads from disk; build it first)"
                 )
             if args.http is not None:
-                return _serve_http(router, name)
+                return _serve_http(router, name, rescale_file=args.rescale_file)
             return _serve_rounds(router, name, args)
         finally:
             # Drains every worker (each releases its own pool and /dev/shm
@@ -768,7 +788,50 @@ def _serve_rounds(service, name, args) -> int:
     return 1 if failed else 0
 
 
-def _serve_http(service, name) -> int:
+def _apply_rescale(router, path) -> None:
+    """Bring the fleet to the worker count ``path`` holds (SIGHUP handler).
+
+    The file carries one integer — the *target* fleet size; workers are
+    added or removed one at a time until the membership matches.  A
+    missing, unreadable, or non-integer file is logged and ignored (a
+    stray SIGHUP must never tear the fleet down), as is a racing resize.
+    """
+    from repro.exceptions import ReproError
+
+    try:
+        target = int(Path(path).read_text().strip())
+    except (OSError, ValueError) as exc:
+        print(f"rescale ignored: cannot read a fleet size from {path}: {exc}",
+              flush=True)
+        return
+    if target < 1:
+        print(f"rescale ignored: target fleet size must be >= 1, got {target}",
+              flush=True)
+        return
+    try:
+        while len(router.workers) < target:
+            record = router.add_worker()
+            print(
+                f"rescale: added {record['worker']} "
+                f"({record['members_after']} workers, "
+                f"{record['remapped_galleries']} galleries remapped, "
+                f"{record['warmed']} warmed)",
+                flush=True,
+            )
+        while len(router.workers) > target:
+            record = router.remove_worker()
+            drained = "drained" if record["drained"] else "killed after drain failure"
+            print(
+                f"rescale: removed {record['worker']} "
+                f"({record['members_after']} workers, {drained} "
+                f"in {record['drain_s']:.2f}s)",
+                flush=True,
+            )
+    except ReproError as exc:
+        print(f"rescale stopped: {exc}", flush=True)
+
+
+def _serve_http(service, name, rescale_file=None) -> int:
     """HTTP mode: serve the gallery until SIGINT/SIGTERM, then drain."""
     import asyncio
     import signal
@@ -812,12 +875,35 @@ def _serve_http(service, name) -> int:
                     f"  - {worker_name} (pid {entry.get('pid')}): {resident}",
                     flush=True,
                 )
+            if service.config.admin_token:
+                print("admin: POST /admin/workers enabled (bearer token)", flush=True)
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:
                 loop.add_signal_handler(signum, server.stop)
             except NotImplementedError:  # pragma: no cover - non-Unix loop
                 signal.signal(signum, lambda *_: server.stop())
+        if workers is not None and hasattr(signal, "SIGHUP"):
+            # Live rescale: SIGHUP re-reads the target fleet size and
+            # resizes off the event loop (a resize spawns/drains worker
+            # processes; the loop keeps serving meanwhile).
+            rescale_path = (
+                Path(rescale_file) if rescale_file
+                else Path(service.root) / "fleet-size"
+            )
+
+            def _on_sighup() -> None:
+                loop.run_in_executor(None, _apply_rescale, service, rescale_path)
+
+            try:
+                loop.add_signal_handler(signal.SIGHUP, _on_sighup)
+                print(
+                    f"rescale: SIGHUP re-reads the target fleet size "
+                    f"from {rescale_path}",
+                    flush=True,
+                )
+            except NotImplementedError:  # pragma: no cover - non-Unix loop
+                pass
         await server.serve_forever()
         print("shutdown: in-flight batches drained", flush=True)
         return server.requests_served

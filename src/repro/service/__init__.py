@@ -30,20 +30,25 @@ service (datasets → gallery → service):
     pipelined keep-alive connections, content-negotiated codecs, and a
     streaming binary enroll path; responses are bit-identical to in-process
     identifies under either codec.
-``router`` / ``worker``
-    :class:`GalleryRouter` + the worker process entrypoint — multi-process
-    scale-out: gallery names partitioned across service worker processes by
-    a consistent-hash ring (:class:`HashRing`), per-worker TTL/LRU
-    residency over the shared root, aggregated stats with respawn
-    carry-forward, and routed responses bit-identical to single-process
-    serving.
+``fleet`` / ``router`` / ``worker``
+    Multi-process scale-out, split control/data plane.
+    :class:`FleetControlPlane` owns membership (the consistent-hash
+    :class:`HashRing`), worker spawn/reap/respawn, live
+    ``add_worker``/``remove_worker`` resizes (warm before commit, drain
+    after commit), the breaker registry, and stats carry-forward;
+    :class:`GalleryRouter` is the pure data plane — route → frame →
+    dispatch → retry — with per-worker TTL/LRU residency over the shared
+    root and routed responses bit-identical to single-process serving,
+    including during a resize.
 ``resilience``
     The failure-handling policies behind the router: per-request
     :class:`Deadline` budgets, :class:`RetryPolicy` (bounded, jittered
-    exponential backoff, idempotent identifies only), and the per-worker
+    exponential backoff, idempotent identifies only), the per-worker
     consecutive-failure :class:`CircuitBreaker` that degrades an arc until
-    a health ping heals it.  Chaos testing drives them through
-    :class:`~repro.runtime.faults.FaultPlan` (``ServiceConfig.fault_plan``).
+    a health ping heals it, and the fleet's :class:`BreakerRegistry`
+    (incarnation-tagged breakers, retired on removal).  Chaos testing
+    drives them through :class:`~repro.runtime.faults.FaultPlan`
+    (``ServiceConfig.fault_plan``).
 """
 
 from repro.service.config import ServiceConfig
@@ -64,11 +69,13 @@ from repro.service.http import (
     ServiceClient,
 )
 from repro.service.resilience import (
+    BreakerRegistry,
     CircuitBreaker,
     Deadline,
     ResiliencePolicy,
     RetryPolicy,
 )
+from repro.service.fleet import FleetControlPlane, ResizeInProgress
 from repro.service.router import GalleryRouter, HashRing
 
 __all__ = [
@@ -87,8 +94,11 @@ __all__ = [
     "HttpServiceError",
     "HttpServiceServer",
     "ServiceClient",
+    "FleetControlPlane",
     "GalleryRouter",
     "HashRing",
+    "ResizeInProgress",
+    "BreakerRegistry",
     "CircuitBreaker",
     "Deadline",
     "ResiliencePolicy",

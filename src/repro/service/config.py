@@ -133,6 +133,26 @@ class ServiceConfig:
         (:class:`~repro.service.resilience.CircuitBreaker`): requests to the
         degraded arc fail fast, ``GET /healthz`` reports the failure detail,
         and the next successful health ping heals the breaker.
+    warm_on_add:
+        Whether a live ``add_worker``
+        (:meth:`~repro.service.fleet.FleetControlPlane.add_worker`) warms
+        the joining worker before the ring commit: the gallery names the
+        prospective ring assigns to it are prefetched through the worker
+        ``warm`` op, so the remapped arc serves its first identify from
+        residency instead of a cold disk load.  ``False`` commits
+        immediately and lets the newcomer warm lazily.
+    drain_deadline_s:
+        How long a live ``remove_worker`` waits for the leaving worker to
+        drain — finish its in-flight request, persist resident galleries,
+        and return its final stats snapshot.  A worker that misses the
+        deadline is handled like a crash: SIGKILLed, ``/dev/shm`` swept,
+        and its last *polled* stats snapshot carried instead.
+    admin_token:
+        Bearer token of the fleet-administration endpoint
+        (``POST /admin/workers``).  ``None`` (the default) disables the
+        endpoint entirely — every request gets a structured ``403`` — so
+        membership cannot be mutated over HTTP unless the operator opted
+        in at startup.
     fault_plan:
         Optional fault-injection plan spec
         (:meth:`~repro.runtime.faults.FaultPlan.to_dict` payload) for chaos
@@ -183,6 +203,9 @@ class ServiceConfig:
     retry_attempts: int = 1
     retry_base_delay_s: float = 0.05
     breaker_threshold: int = 3
+    warm_on_add: bool = True
+    drain_deadline_s: float = 30.0
+    admin_token: Optional[str] = None
     fault_plan: Optional[Dict[str, Any]] = None
     index_enabled: bool = False
     index_rank: Optional[int] = None
@@ -297,6 +320,17 @@ class ServiceConfig:
         if int(self.breaker_threshold) < 1:
             raise ConfigurationError(
                 f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if float(self.drain_deadline_s) <= 0:
+            raise ConfigurationError(
+                f"drain_deadline_s must be > 0, got {self.drain_deadline_s}"
+            )
+        if self.admin_token is not None and (
+            not isinstance(self.admin_token, str) or not self.admin_token
+        ):
+            raise ConfigurationError(
+                "admin_token must be a non-empty string or None, got "
+                f"{self.admin_token!r}"
             )
         if self.fault_plan is not None:
             # Validate the spec eagerly so a bad plan fails at construction

@@ -8,7 +8,9 @@ lifecycle: ``docs/serving.md``):
 :class:`~repro.service.service.IdentificationService` over a small
 ``asyncio``-streams HTTP/1.1 server — no third-party web framework, no new
 dependency: ``POST /identify``, ``POST /enroll``, ``GET /stats``,
-``GET /healthz``.
+``GET /healthz``, and — on routed deployments that configured an
+``admin_token`` — ``POST /admin/workers`` for live fleet resizes
+(bearer-token gated, 409 while another resize is in flight).
 
 **Codec negotiation (contract).** Request bodies are content-negotiated via
 ``Content-Type``: ``application/json`` (the default and the bit-identity
@@ -95,14 +97,17 @@ from repro.service.messages import (
     IdentifyResponse,
     ServiceStats,
 )
+from repro.service.fleet import ResizeInProgress
 from repro.service.service import IdentificationService
 
 #: Reason phrases for the status codes the server actually emits.
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
     501: "Not Implemented",
@@ -115,6 +120,7 @@ _ROUTES = {
     "/enroll": ("POST",),
     "/stats": ("GET",),
     "/healthz": ("GET",),
+    "/admin/workers": ("POST",),
 }
 
 
@@ -703,6 +709,8 @@ class HttpServiceServer:
                 return 200, stats.to_dict()
             if request.path == "/identify":
                 return await self._handle_identify(request)
+            if request.path == "/admin/workers":
+                return await self._handle_admin_workers(request)
             return await self._handle_enroll(request)
         except Exception as exc:  # noqa: BLE001 - a handler bug must not kill the connection loop
             return 500, _error_body(type(exc).__name__, str(exc))
@@ -715,6 +723,68 @@ class HttpServiceServer:
         if not isinstance(payload, dict):
             raise ValidationError("the request body must be a JSON object")
         return payload
+
+    async def _handle_admin_workers(
+        self, request: _HttpRequest
+    ) -> Tuple[int, Dict[str, Any]]:
+        """``POST /admin/workers``: live fleet membership changes.
+
+        Admin-only: the endpoint is disabled (structured 403) unless the
+        deployment configured an ``admin_token``, and every request must
+        present it as ``Authorization: Bearer <token>``.  The body selects
+        the change — ``{"action": "add"|"remove", "worker": optional}`` —
+        and one resize runs at a time: a request racing an in-flight resize
+        gets a 409 instead of queueing behind it.
+        """
+        add = getattr(self.service, "add_worker", None)
+        remove = getattr(self.service, "remove_worker", None)
+        if add is None or remove is None:
+            return 404, _error_body(
+                "NotRouted",
+                "fleet administration requires routed serving "
+                "(start with router_workers >= 1)",
+            )
+        token = getattr(self.service.config, "admin_token", None)
+        if not token:
+            return 403, _error_body(
+                "AdminDisabled",
+                "the admin endpoint is disabled; configure admin_token to enable it",
+            )
+        supplied = request.headers.get("authorization", "")
+        if supplied != f"Bearer {token}":
+            return 403, _error_body(
+                "Forbidden", "missing or invalid admin bearer token"
+            )
+        try:
+            payload = self._decode_json(request)
+        except ReproError as exc:
+            return 400, _error_body(type(exc).__name__, str(exc))
+        action = payload.get("action")
+        worker = payload.get("worker")
+        if action not in ("add", "remove"):
+            return 400, _error_body(
+                "UnknownAction",
+                f"action must be 'add' or 'remove', got {action!r}",
+            )
+        if worker is not None and (not isinstance(worker, str) or not worker):
+            return 400, _error_body(
+                "BadWorkerName", "worker must be a non-empty string when given"
+            )
+        # Off the event loop: a resize spawns/drains worker processes.
+        loop = asyncio.get_running_loop()
+        mutate = add if action == "add" else remove
+        try:
+            record = await loop.run_in_executor(None, mutate, worker)
+        except ResizeInProgress as exc:
+            return 409, _error_body("ResizeInProgress", str(exc))
+        except ReproError as exc:
+            return 400, _error_body(type(exc).__name__, str(exc))
+        return 200, {
+            "status": "ok",
+            "action": action,
+            "workers": list(getattr(self.service, "workers", [])),
+            "resize": record,
+        }
 
     async def _handle_identify(self, request: _HttpRequest) -> Tuple[int, Dict[str, Any]]:
         try:
@@ -891,6 +961,7 @@ class ServiceClient:
         path: str,
         payload: Optional[Dict[str, Any]] = None,
         frames: Optional[Sequence[bytes]] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ):
         import http.client
 
@@ -909,6 +980,8 @@ class ServiceClient:
         else:
             body = None
             headers = {}
+        if extra_headers:
+            headers.update(extra_headers)
         try:
             self._send(method, path, body, headers)
         except (ConnectionError, OSError):
@@ -1117,6 +1190,26 @@ class ServiceClient:
     def healthz(self) -> Dict[str, Any]:
         """GET the liveness document."""
         return self._request("GET", "/healthz")
+
+    def admin_workers(
+        self,
+        action: str,
+        worker: Optional[str] = None,
+        token: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """POST a live fleet resize (``action`` is ``"add"`` or ``"remove"``).
+
+        Requires the server-side ``admin_token``; a missing or wrong token
+        is a structured 403, a racing resize a structured 409 (both raise
+        :class:`HttpServiceError` with the status attached).
+        """
+        payload: Dict[str, Any] = {"action": action}
+        if worker is not None:
+            payload["worker"] = worker
+        extra = {"Authorization": f"Bearer {token}"} if token is not None else None
+        return self._request(
+            "POST", "/admin/workers", payload=payload, extra_headers=extra
+        )
 
     def close(self) -> None:
         """Close the underlying connection (idempotent)."""

@@ -18,6 +18,11 @@ names the policies so they are configurable, testable, and consistent:
     failures the breaker opens: the arc is degraded, requests fail fast with
     a typed error instead of burning a deadline each, and ``/healthz``
     reports the failure detail.  A successful health ping heals (closes) it.
+``BreakerRegistry``
+    The fleet's breaker bookkeeping: one breaker per worker name, tagged
+    with the incarnation it guards (bumped on every respawn) and retired —
+    dropped from the active set, final snapshot logged — when the worker is
+    removed from the fleet by a live resize.
 
 All knobs ride on :class:`~repro.service.config.ServiceConfig`
 (``request_deadline_s``, ``retry_attempts``, ``retry_base_delay_s``,
@@ -192,6 +197,105 @@ class CircuitBreaker:
         )
 
 
+class BreakerRegistry:
+    """Per-worker breakers with incarnation tracking and retirement.
+
+    The fleet control plane keeps one :class:`CircuitBreaker` per worker
+    *name*, tagged with the **incarnation** it currently guards: the counter
+    bumps every time the worker is respawned after a crash.  The breaker
+    itself deliberately survives the bump — an arc that keeps failing across
+    fresh incarnations must still trip — but snapshots expose the
+    incarnation so observability can tell "incarnation 3 of worker-1" apart
+    from its predecessors.  When a worker is *removed* from the fleet
+    (``remove_worker``), its breaker is ``retire``\\d: dropped from the
+    active registry (it can no longer trip, heal, or report as a live arc)
+    with its final snapshot appended to a bounded retirement log surfaced
+    through ``/stats``.
+    """
+
+    #: How many retired-breaker snapshots are kept (newest last).
+    RETIRED_WINDOW = 32
+
+    def __init__(self, threshold: int = 3):
+        if int(threshold) < 1:
+            raise ConfigurationError(
+                f"breaker threshold must be >= 1, got {threshold}"
+            )
+        self.threshold = int(threshold)
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._incarnations: Dict[str, int] = {}
+        self._retired: list = []
+
+    def ensure(self, worker: str) -> CircuitBreaker:
+        """The breaker guarding ``worker``; created at incarnation 0."""
+        with self._lock:
+            breaker = self._breakers.get(worker)
+            if breaker is None:
+                breaker = CircuitBreaker(threshold=self.threshold)
+                self._breakers[worker] = breaker
+                self._incarnations[worker] = 0
+            return breaker
+
+    def incarnation(self, worker: str) -> int:
+        """Which incarnation of ``worker`` the breaker currently guards."""
+        with self._lock:
+            return self._incarnations.get(worker, 0)
+
+    def bump_incarnation(self, worker: str) -> int:
+        """Record a respawn: the breaker now guards a fresh incarnation."""
+        with self._lock:
+            if worker not in self._breakers:
+                self._breakers[worker] = CircuitBreaker(threshold=self.threshold)
+                self._incarnations[worker] = 0
+            self._incarnations[worker] = self._incarnations.get(worker, 0) + 1
+            return self._incarnations[worker]
+
+    def retire(self, worker: str) -> Optional[Dict[str, Any]]:
+        """Drop ``worker``'s breaker; its final snapshot joins the log."""
+        with self._lock:
+            breaker = self._breakers.pop(worker, None)
+            incarnation = self._incarnations.pop(worker, 0)
+            if breaker is None:
+                return None
+            snapshot = breaker.snapshot()
+            snapshot["worker"] = worker
+            snapshot["incarnation"] = incarnation
+            self._retired.append(snapshot)
+            del self._retired[: -self.RETIRED_WINDOW]
+            return dict(snapshot)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Active breakers: each worker's failure detail + incarnation."""
+        with self._lock:
+            entries = list(self._breakers.items())
+            incarnations = dict(self._incarnations)
+        return {
+            worker: {**breaker.snapshot(), "incarnation": incarnations.get(worker, 0)}
+            for worker, breaker in entries
+        }
+
+    def retired_snapshots(self) -> list:
+        """Final snapshots of removed workers' breakers (bounded, newest last)."""
+        with self._lock:
+            return [dict(snapshot) for snapshot in self._retired]
+
+    def __contains__(self, worker: str) -> bool:
+        with self._lock:
+            return worker in self._breakers
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._breakers)
+
+    def names(self) -> list:
+        with self._lock:
+            return sorted(self._breakers)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BreakerRegistry(workers={self.names()}, threshold={self.threshold})"
+
+
 @dataclass(frozen=True)
 class ResiliencePolicy:
     """The router's failure-handling knobs in one bundle."""
@@ -226,6 +330,7 @@ class ResiliencePolicy:
 __all__ = [
     "BREAKER_CLOSED",
     "BREAKER_OPEN",
+    "BreakerRegistry",
     "CircuitBreaker",
     "Deadline",
     "ResiliencePolicy",

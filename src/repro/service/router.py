@@ -1,22 +1,22 @@
-"""Gallery router: consistent-hash scale-out across service worker processes.
+"""Gallery router: the data plane of multi-process scale-out.
 
 One :class:`~repro.service.service.IdentificationService` is one process and
 one GIL.  :class:`GalleryRouter` turns the servable process into a servable
-fleet: gallery names are partitioned across a pool of worker processes
-(:mod:`repro.service.worker`) by a consistent-hash ring, every worker runs
-its own service over the **shared** gallery root with the TTL/LRU residency
-policy applied per worker, and the router exposes the same facade the HTTP
-front end already serves (``identify`` / ``identify_async`` / ``enroll`` /
-``stats`` / ``healthz`` / ``close`` plus a name-only ``registry`` view) — so
-``serve --router-workers N`` swaps the single service for a fleet without
-touching the HTTP layer's routes or codecs.
+fleet — but since the control-plane split it owns only the **request path**:
+route a gallery name through the fleet's consistent-hash ring, frame the
+request onto the owning worker's data channel, apply the retry/breaker
+policy, and unwrap the reply.  Everything about *who is in the fleet* —
+ring membership, worker spawn/reap/respawn, live ``add_worker`` /
+``remove_worker`` resizes, breaker registry, stats carry-forward — lives in
+the control plane (:class:`~repro.service.fleet.FleetControlPlane`,
+exposed as :attr:`GalleryRouter.fleet`).
 
-**Placement** (:class:`HashRing`).  Each worker contributes
-``ring_replicas`` virtual nodes at ``sha256(worker#replica)`` positions; a
-gallery name maps to the first node clockwise of ``sha256(name)``.
-Placement is deterministic across processes and restarts, the spread over
-many names is balanced, and adding or removing one worker remaps only the
-arc segments it owns — about ``1/N`` of the names, never a full reshuffle.
+The router exposes the same facade the HTTP front end already serves
+(``identify`` / ``identify_async`` / ``enroll`` / ``stats`` / ``healthz`` /
+``close`` plus a name-only ``registry`` view, and now ``add_worker`` /
+``remove_worker`` for ``POST /admin/workers``) — so ``serve
+--router-workers N`` swaps the single service for a fleet without touching
+the HTTP layer's routes or codecs.
 
 **Correctness.**  Requests travel to workers over the length-prefixed IPC
 transport of :mod:`repro.service.worker`, which reuses the HTTP binary frame
@@ -24,66 +24,65 @@ codec — scan float64 bit patterns survive the hop exactly, and the worker
 serves them through the same sync ``identify`` path as a single-process
 deployment.  Routed identify responses are therefore bit-identical to
 single-process serving under either HTTP codec (pinned by
-``benchmarks/bench_router_scaling.py``).
+``benchmarks/bench_router_scaling.py``) — **including during a live
+resize** (pinned by ``benchmarks/bench_fleet_churn.py``): remapping a
+gallery only changes where it is computed, never what is computed.
 
-**Writes.**  Enroll takes a per-gallery single-writer lock at the router:
-concurrent enrolls against one gallery serialize, identifies against other
-galleries keep flowing to their own workers.  Workers persist a successful
-enroll to the shared root before acknowledging, so the write survives any
-later crash of that worker.
+**Writes.**  Enroll takes a per-gallery single-writer lock at the router
+and resolves the owning worker *inside* that lock: concurrent enrolls
+against one gallery serialize, and an enroll racing a fleet resize routes
+against the committed ring — the write lands exactly once, on the owner the
+commit chose.  Workers persist a successful enroll to the shared root
+before acknowledging, so the write survives any later crash of that worker.
 
 **Failure handling.**  Every data-channel read is armed with a per-request
-deadline (``config.request_deadline_s``), so a worker that *hangs* — stuck,
-SIGSTOPped, livelocked — is indistinguishable from one that died: the read
-times out and the worker is handled as dead.  A worker death is detected on
-its next IPC operation (or proactively by ``healthz``): the router reaps the
-process (straight to SIGKILL when it was hung — a stuck process cannot
-notice a graceful join), sweeps any ``/dev/shm`` segments the dead pid left
-behind, folds the worker's last-polled stats snapshot into a carried
-accumulator (so aggregate counters never double-count or go backwards across
-respawns — counters accrued since the last poll die with the process), and
-respawns a fresh worker that lazily reloads its shard from disk.  Identify
-is read-only and is retried on the respawned worker (bounded by
-``config.retry_attempts``, spaced by jittered exponential backoff); a
-mid-enroll crash is **never** blindly retried (the write may have persisted)
-and surfaces as an error response instead.  A per-worker circuit breaker
-(:class:`~repro.service.resilience.CircuitBreaker`) counts consecutive
-failures across incarnations: past ``config.breaker_threshold`` the arc is
-degraded — requests fail fast with ``WorkerDegraded`` instead of burning a
-deadline each — until the next successful health ping heals it.  Chaos
-testing drives all of this deterministically through
-:class:`~repro.runtime.faults.FaultPlan` (``config.fault_plan``).
+deadline (``config.request_deadline_s``), so a worker that *hangs* is
+indistinguishable from one that died: the read times out and the worker is
+handled as dead.  Deaths are reported to the control plane, which reaps
+(SIGKILL-first), sweeps ``/dev/shm``, folds the last-polled stats snapshot
+into the carried accumulators, and respawns.  Identify is read-only and is
+retried (bounded by ``config.retry_attempts``, jittered exponential
+backoff) — each attempt re-routes, so a retry that lands after a resize
+commit follows the new ring.  A mid-enroll crash is **never** blindly
+retried (the write may have persisted) and surfaces as an error response;
+an enroll whose worker *drained out of the fleet before the frame was
+sent* surfaces a distinct typed error that is safe to resend.  Per-worker
+circuit breakers (kept in the fleet's
+:class:`~repro.service.resilience.BreakerRegistry`) degrade an arc past
+``config.breaker_threshold`` consecutive failures until a health ping
+heals it.
 
-Shutdown (:meth:`GalleryRouter.close`) drains workers one by one: waiting
-out in-flight requests, sending ``shutdown``, and joining each process —
-which releases that worker's runner pool and shared-memory segments — before
-the router's own sockets close.
+Shutdown (:meth:`GalleryRouter.close`) delegates to the control plane,
+which drains workers one by one before the channel ends close.
 """
 
 from __future__ import annotations
 
 import asyncio
-import bisect
-import hashlib
-import multiprocessing
 import random
 import socket
 import struct
 import threading
 import time
-from collections import deque
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.exceptions import ValidationError
-from repro.runtime.shm import SEGMENT_PREFIX
 from repro.service.codec import (
     FrameError,
     encode_enroll_frames,
-    encode_frames,
     encode_identify_frames,
 )
 from repro.service.config import ServiceConfig
+from repro.service.fleet import (
+    FleetControlPlane,
+    HashRing,
+    ResizeInProgress,
+    WorkerDied,
+    WorkerHandle,
+    WorkerHung,
+    WorkerRetired,
+)
 from repro.service.messages import (
     EnrollRequest,
     EnrollResponse,
@@ -91,183 +90,16 @@ from repro.service.messages import (
     IdentifyResponse,
     ServiceStats,
 )
-from repro.service.registry import _GALLERY_META_FILE
-from repro.service.resilience import CircuitBreaker, ResiliencePolicy
-from repro.service.worker import recv_message, send_message, worker_main
+from repro.service.resilience import CircuitBreaker
+from repro.service.worker import recv_message, send_message
 
 PathLike = Union[str, Path]
 
-#: Where POSIX shared-memory segments surface on Linux (the crash sweep
-#: removes a dead worker's ``repro-shm-<pid>-*`` entries from here).
-_SHM_DIR = Path("/dev/shm")
-
-
-# --------------------------------------------------------------------------- #
-# Consistent-hash ring
-# --------------------------------------------------------------------------- #
-class HashRing:
-    """A consistent-hash ring with virtual nodes.
-
-    Placement is a pure function of the member and key strings (sha256), so
-    every router process — and every restart — routes a gallery name to the
-    same worker.  ``replicas`` virtual nodes per member smooth the spread;
-    adding or removing a member only remaps the ring arcs its virtual nodes
-    own (≈ ``1/N`` of the key space), which is what keeps per-worker gallery
-    residency warm across fleet resizes.
-    """
-
-    def __init__(self, members: Sequence[str] = (), replicas: int = 64):
-        if int(replicas) < 1:
-            raise ValidationError(f"replicas must be >= 1, got {replicas}")
-        self.replicas = int(replicas)
-        self._members: set = set()
-        self._points: List[tuple] = []
-        for member in members:
-            self.add(member)
-
-    @staticmethod
-    def _hash(key: str) -> int:
-        return int.from_bytes(
-            hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
-        )
-
-    @property
-    def members(self) -> List[str]:
-        """Sorted member names currently on the ring."""
-        return sorted(self._members)
-
-    def __len__(self) -> int:
-        """Number of virtual nodes (``members * replicas``)."""
-        return len(self._points)
-
-    def add(self, member: str) -> None:
-        """Add a member (idempotent); inserts its virtual nodes."""
-        if not isinstance(member, str) or not member:
-            raise ValidationError("ring member must be a non-empty string")
-        if member in self._members:
-            return
-        self._members.add(member)
-        for replica in range(self.replicas):
-            bisect.insort(self._points, (self._hash(f"{member}#{replica}"), member))
-
-    def remove(self, member: str) -> None:
-        """Remove a member and its virtual nodes (idempotent)."""
-        if member not in self._members:
-            return
-        self._members.discard(member)
-        self._points = [point for point in self._points if point[1] != member]
-
-    def lookup(self, key: str) -> str:
-        """The member owning ``key``: first virtual node clockwise of its hash."""
-        if not self._points:
-            raise ValidationError("the hash ring has no members")
-        # (h,) sorts before any (h, member), so bisect_left finds the first
-        # virtual node at or clockwise of the key's position.
-        index = bisect.bisect_left(self._points, (self._hash(str(key)),))
-        return self._points[index % len(self._points)][1]
-
-
-# --------------------------------------------------------------------------- #
-# Worker handles
-# --------------------------------------------------------------------------- #
-class _WorkerDied(Exception):
-    """An IPC operation failed because the worker process or channel died."""
-
-
-class _WorkerHung(_WorkerDied):
-    """A data-channel read hit its deadline: the worker is stuck, not gone.
-
-    Handled exactly like a death (reap → respawn → retry), except the reap
-    goes straight to SIGKILL — a hung worker cannot notice its closed
-    channel ends, so the graceful join would burn the whole escalation
-    ladder before giving up.
-    """
-
-
-class _WorkerHandle:
-    """One live worker incarnation: process + data/control channels."""
-
-    __slots__ = (
-        "name", "process", "pid", "data_sock", "control_sock",
-        "data_lock", "control_lock", "alive",
-    )
-
-    def __init__(self, name, process, data_sock, control_sock):
-        self.name = name
-        self.process = process
-        self.pid = process.pid
-        self.data_sock = data_sock
-        self.control_sock = control_sock
-        self.data_lock = threading.Lock()
-        self.control_lock = threading.Lock()
-        self.alive = True
-
-
-#: ServiceStats counter fields that simply sum across workers.
-_SUM_FIELDS = ("requests", "probes", "batches", "coalesced_batches", "errors", "batchers")
-
-#: Derived ratios recomputed after merging (summing them would be wrong).
-_DERIVED_KEYS = ("pruning_ratio", "hit_rate", "mean_batch_size")
-
-
-def _empty_accumulator() -> Dict[str, Any]:
-    acc: Dict[str, Any] = {field: 0 for field in _SUM_FIELDS}
-    acc["max_batch_size"] = 0
-    acc["galleries"] = {}
-    acc["pruning"] = {}
-    acc["cache_kinds"] = {}
-    return acc
-
-
-def _merge_record(acc: Dict[str, Any], record: Optional[Dict[str, Any]]) -> None:
-    """Fold one worker stats document (``ServiceStats.to_dict``) into ``acc``."""
-    if not record:
-        return
-    for field in _SUM_FIELDS:
-        acc[field] += int(record.get(field, 0))
-    acc["max_batch_size"] = max(acc["max_batch_size"], int(record.get("max_batch_size", 0)))
-    for name, count in (record.get("galleries") or {}).items():
-        acc["galleries"][name] = acc["galleries"].get(name, 0) + int(count)
-    for group in ("pruning", "cache_kinds"):
-        for name, counters in (record.get(group) or {}).items():
-            entry = acc[group].setdefault(name, {})
-            for key, value in counters.items():
-                if key in _DERIVED_KEYS:
-                    continue
-                entry[key] = entry.get(key, 0) + value
-
-
-class _RouterGalleryView:
-    """Name-only registry surface over the shared gallery root.
-
-    The HTTP front end only asks its service's registry two questions —
-    ``names()`` and membership — and in routed mode the shared root on disk
-    is the source of truth (workers persist every create/enroll before
-    acknowledging), so this view answers both from the filesystem without
-    talking to any worker.
-    """
-
-    def __init__(self, root: Path):
-        self._root = Path(root)
-
-    def names(self) -> List[str]:
-        if not self._root.exists():
-            return []
-        return sorted(
-            path.name
-            for path in self._root.iterdir()
-            if path.is_dir() and (path / _GALLERY_META_FILE).exists()
-        )
-
-    def __contains__(self, name: str) -> bool:
-        if not isinstance(name, str) or not name or "/" in name or "\\" in name:
-            return False
-        if name in (".", ".."):
-            return False
-        return (self._root / name / _GALLERY_META_FILE).exists()
-
-    def __len__(self) -> int:
-        return len(self.names())
+# Backwards-compatible aliases: these names grew up in this module and are
+# pinned by tests and downstream imports.
+_WorkerDied = WorkerDied
+_WorkerHung = WorkerHung
+_WorkerRetired = WorkerRetired
 
 
 # --------------------------------------------------------------------------- #
@@ -282,16 +114,17 @@ class GalleryRouter:
         Shared gallery root directory (each worker's registry loads lazily
         from it; workers persist writes back into it).
     config:
-        Deployment knobs.  ``router_workers`` sets the fleet size when
-        ``workers`` is not given; ``ring_replicas`` sets the virtual-node
-        count; everything else (batching, residency, cache, backend) is
-        applied per worker.  The config handed to workers always has
-        ``router_workers=0`` — a worker is a plain single-process service.
+        Deployment knobs.  ``router_workers`` sets the initial fleet size
+        when ``workers`` is not given; ``ring_replicas`` sets the
+        virtual-node count; ``warm_on_add`` / ``drain_deadline_s`` steer
+        live resizes; everything else (batching, residency, cache, backend)
+        is applied per worker.
     workers:
-        Explicit fleet size override (>= 1).
+        Explicit initial fleet size override (>= 1).
     control_timeout_s:
-        Socket timeout of control-channel operations (ping/stats); a worker
-        that cannot answer within it is treated as dead and respawned.
+        Socket timeout of control-channel operations (ping/stats/warm); a
+        worker that cannot answer within it is treated as dead and
+        respawned.
     """
 
     def __init__(
@@ -308,205 +141,80 @@ class GalleryRouter:
                 f"GalleryRouter needs at least one worker, got {count} "
                 "(set router_workers >= 1 or pass workers=)"
             )
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
-        self.control_timeout_s = float(control_timeout_s)
-        #: Deadline / retry / breaker knobs from the config, in one bundle.
-        self.policy = ResiliencePolicy.from_config(self.config)
-        self.registry = _RouterGalleryView(self.root)
-        self._max_message_bytes = int(self.config.max_stream_bytes)
-        self._worker_config = self.config.replace(router_workers=0).to_dict()
-        # fork keeps spawn latency negligible and inherits the already-built
-        # socketpair ends; spawns are serialized under the router lock so a
-        # child can never inherit a sibling's not-yet-closed worker-side fd.
-        self._mp = multiprocessing.get_context("fork")
-        self._ring = HashRing(
-            [f"worker-{index}" for index in range(count)],
-            replicas=self.config.ring_replicas,
+        #: The control plane: membership, lifecycle, breakers, accounting.
+        self.fleet = FleetControlPlane(
+            root, self.config, workers=count, control_timeout_s=control_timeout_s
         )
-        self._lock = threading.RLock()
-        self._close_lock = threading.Lock()
+        self.root = self.fleet.root
+        self.control_timeout_s = self.fleet.control_timeout_s
+        #: Deadline / retry / breaker knobs from the config, in one bundle.
+        self.policy = self.fleet.policy
+        #: Name-only registry view over the shared root (HTTP front end).
+        self.registry = self.fleet.registry
+        self._max_message_bytes = int(self.config.max_stream_bytes)
+        self._writer_registry_lock = threading.Lock()
         self._writer_locks: Dict[str, threading.Lock] = {}
-        #: Totals of every dead worker incarnation (their last-polled stats
-        #: snapshots), so aggregate stats never double-count a respawn.
-        self._carried = _empty_accumulator()
-        #: Per-worker last successful stats poll of the *current* incarnation.
-        self._last_stats: Dict[str, Dict[str, Any]] = {}
-        self._respawns = 0
-        self._worker_timeouts = 0
-        #: Recent worker-death reasons (newest last) — the observable record
-        #: of *why* arcs failed, surfaced through ``stats().router``.
-        self._deaths: deque = deque(maxlen=32)
-        #: Per-worker consecutive-failure breakers.  Keyed by worker *name*,
-        #: so a breaker survives respawns: an arc that keeps failing across
-        #: fresh incarnations trips open and fails fast until a health ping
-        #: succeeds.
-        self._breakers: Dict[str, CircuitBreaker] = {
-            name: CircuitBreaker(threshold=self.policy.breaker_threshold)
-            for name in self._ring.members
-        }
         #: Jitter source for retry backoff (timing-only; responses are
         #: deterministic regardless of when a retry lands).
         self._retry_rng = random.Random(0x5EED)
         self._closed = False
-        self._handles: Dict[str, _WorkerHandle] = {}
-        with self._lock:
-            for name in self._ring.members:
-                self._handles[name] = self._spawn(name)
-
-    # ------------------------------------------------------------------ #
-    # Worker lifecycle
-    # ------------------------------------------------------------------ #
-    def _spawn(self, name: str) -> _WorkerHandle:
-        """Fork one worker (caller holds the router lock)."""
-        data_router, data_worker = socket.socketpair()
-        control_router, control_worker = socket.socketpair()
-        process = self._mp.Process(
-            target=worker_main,
-            args=(data_worker, control_worker, self._worker_config, str(self.root), name),
-            name=f"repro-router-{name}",
-            daemon=True,
-        )
-        process.start()
-        # The parent's copies of the worker-side ends must close immediately:
-        # the worker process must be the only holder, so its death surfaces
-        # as EOF/EPIPE on the router's ends.
-        data_worker.close()
-        control_worker.close()
-        return _WorkerHandle(name, process, data_router, control_router)
-
-    def _handle_for(self, name: str) -> _WorkerHandle:
-        """The live handle of ``name``; respawns a silently-dead worker."""
-        with self._lock:
-            handle = self._handles[name]
-            if handle.alive and handle.process.is_alive():
-                return handle
-        self._on_worker_death(handle)
-        with self._lock:
-            return self._handles[name]
-
-    def _on_worker_death(
-        self, handle: _WorkerHandle, hung: bool = False, reason: Optional[str] = None
-    ) -> None:
-        """Reap, account, sweep, and respawn one dead incarnation (idempotent)."""
-        with self._lock:
-            if self._handles.get(handle.name) is not handle or not handle.alive:
-                return  # another thread already replaced this incarnation
-            handle.alive = False
-            if self._closed:
-                return  # close() owns the remaining cleanup
-            if hung:
-                self._worker_timeouts += 1
-            self._deaths.append(
-                f"{handle.name} (pid {handle.pid}): {reason or 'channel failure'}"
-            )
-            # Counters of the dead incarnation: its last polled snapshot is
-            # folded exactly once; anything accrued after that poll died
-            # with the process and is honestly lost, never re-counted.
-            _merge_record(self._carried, self._last_stats.pop(handle.name, None))
-            self._respawns += 1
-            # Always SIGKILL on the failure path: the incarnation is
-            # untrusted (dead, hung, or speaking garbage), so there is
-            # nothing worth draining — and a still-alive worker cannot be
-            # EOF'd anyway, because siblings forked later inherit duplicate
-            # copies of its router-side channel fds, which would stall the
-            # graceful join until its timeout expires.
-            self._reap(handle, kill_first=True)
-            self._handles[handle.name] = self._spawn(handle.name)
-
-    def _reap(self, handle: _WorkerHandle, kill_first: bool = False) -> None:
-        """Close channels, join (escalating to kill), sweep leaked segments."""
-        for sock in (handle.data_sock, handle.control_sock):
-            try:
-                sock.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
-        process = handle.process
-        if kill_first and process.is_alive():
-            # A hung (or SIGSTOPped) worker cannot notice its closed channel
-            # ends — and even a responsive one may never see EOF, since
-            # sibling workers hold inherited copies of these fds — so
-            # waiting out the graceful join would stall failover far past
-            # the deadline; SIGKILL works even on a stopped process.  Only
-            # ``close()`` joins gracefully, after an acked shutdown op.
-            process.kill()
-        process.join(timeout=10.0)
-        if process.is_alive():  # pragma: no cover - wedged worker
-            process.terminate()
-            process.join(timeout=5.0)
-        if process.is_alive():  # pragma: no cover - unkillable worker
-            process.kill()
-            process.join(timeout=5.0)
-        self._sweep_segments(handle.pid)
-
-    @staticmethod
-    def _sweep_segments(pid: Optional[int]) -> int:
-        """Unlink ``/dev/shm`` segments a killed worker pid left behind.
-
-        A cleanly-draining worker releases its own segments before exiting;
-        this sweep covers SIGKILL (no finalizers ran in the worker).  Segment
-        names embed the creating pid, so the sweep can never touch another
-        process's segments.
-        """
-        if pid is None or not _SHM_DIR.exists():
-            return 0
-        swept = 0
-        for path in _SHM_DIR.glob(f"{SEGMENT_PREFIX}-{int(pid)}-*"):
-            try:
-                path.unlink()
-                swept += 1
-            except OSError:  # pragma: no cover - raced with another cleaner
-                pass
-        return swept
 
     # ------------------------------------------------------------------ #
     # IPC calls
     # ------------------------------------------------------------------ #
     def _data_call(
-        self, handle: _WorkerHandle, buffers: Sequence[bytes]
+        self, handle: WorkerHandle, buffers: Sequence[bytes]
     ) -> Dict[str, Any]:
         """One request/reply on the data channel (serialized per worker).
 
         The read is armed with the per-request deadline
         (``config.request_deadline_s``): a worker that is merely *hung* —
         stuck in a syscall, SIGSTOPped, livelocked — times out and is
-        handled exactly like a dead one, so no arc can stall forever.
+        handled exactly like a dead one, so no arc can stall forever.  A
+        handle that was drained out of the fleet raises
+        :class:`~repro.service.fleet.WorkerRetired` *before* anything is
+        sent, so the caller knows the operation never happened.
         """
         body = b"".join(buffers)
         with handle.data_lock:
             if not handle.alive:
-                raise _WorkerDied("worker is marked dead")
+                if handle.retired:
+                    raise WorkerRetired(
+                        f"{handle.name} drained out of the fleet before the "
+                        "request was sent"
+                    )
+                raise WorkerDied("worker is marked dead")
             try:
                 handle.data_sock.settimeout(self.policy.request_deadline_s)
                 handle.data_sock.sendall(struct.pack("<I", len(body)) + body)
                 message = recv_message(handle.data_sock, self._max_message_bytes)
             except socket.timeout as exc:
-                raise _WorkerHung(
+                raise WorkerHung(
                     f"no reply within the {self.policy.request_deadline_s}s deadline"
                 ) from exc
             except (OSError, FrameError) as exc:
-                raise _WorkerDied(str(exc)) from exc
+                raise WorkerDied(str(exc)) from exc
         if message is None:
-            raise _WorkerDied("worker closed the data channel")
+            raise WorkerDied("worker closed the data channel")
         return message[0]
 
-    def _control_call(self, handle: _WorkerHandle, op: str) -> Dict[str, Any]:
+    def _control_call(self, handle: WorkerHandle, op: str) -> Dict[str, Any]:
         """One request/reply on the control channel (time-bounded)."""
         with handle.control_lock:
             if not handle.alive:
-                raise _WorkerDied("worker is marked dead")
+                raise WorkerDied("worker is marked dead")
             try:
                 handle.control_sock.settimeout(self.control_timeout_s)
                 send_message(handle.control_sock, {"kind": op, "scans": []})
                 message = recv_message(handle.control_sock, self._max_message_bytes)
             except socket.timeout as exc:
-                raise _WorkerHung(
+                raise WorkerHung(
                     f"no {op} reply within the {self.control_timeout_s}s control timeout"
                 ) from exc
             except (OSError, FrameError) as exc:
-                raise _WorkerDied(str(exc)) from exc
+                raise WorkerDied(str(exc)) from exc
         if message is None:
-            raise _WorkerDied("worker closed the control channel")
+            raise WorkerDied("worker closed the control channel")
         return message[0]
 
     @staticmethod
@@ -528,7 +236,7 @@ class GalleryRouter:
     # ------------------------------------------------------------------ #
     def route(self, gallery: str) -> str:
         """The worker name the ring assigns to ``gallery``."""
-        return self._ring.lookup(gallery)
+        return self.fleet.route(gallery)
 
     def identify(self, request: IdentifyRequest) -> IdentifyResponse:
         """Serve one identify on the owning worker (bounded retry on failure).
@@ -537,27 +245,34 @@ class GalleryRouter:
         retry: the dead (or hung → killed) worker is respawned — lazily
         reloading its shard from disk — and the request is re-sent, up to
         ``config.retry_attempts`` extra attempts spaced by jittered
-        exponential backoff.  If the arc's breaker is open (too many
-        consecutive failures), the request fails fast instead of burning a
-        deadline against a worker that keeps dying.
+        exponential backoff.  Every attempt re-routes through the ring, so
+        a retry racing a fleet resize lands on the committed owner.  If the
+        arc's breaker is open (too many consecutive failures), the request
+        fails fast instead of burning a deadline against a worker that
+        keeps dying.
         """
         self._check_open()
         buffers = encode_identify_frames(request)
-        worker = self._ring.lookup(request.gallery)
-        breaker = self._breakers[worker]
         last_error = "no live worker"
         attempts = 1 + self.policy.retry.attempts
         for attempt in range(attempts):
+            worker = self.fleet.route(request.gallery)
+            breaker = self.fleet.breaker(worker)
             if breaker.tripped:
                 return self._degraded_identify(request, worker, breaker)
-            handle = self._handle_for(worker)
             try:
+                handle = self.fleet.handle_for(worker)
                 reply = self._data_call(handle, buffers)
-            except _WorkerDied as exc:
+            except WorkerRetired as exc:
+                # The member drained away before the frame was sent: nothing
+                # failed, nothing to break — re-route immediately.
+                last_error = str(exc)
+                continue
+            except WorkerDied as exc:
                 last_error = str(exc)
                 breaker.record_failure(last_error)
-                self._on_worker_death(
-                    handle, hung=isinstance(exc, _WorkerHung), reason=last_error
+                self.fleet.on_worker_death(
+                    handle, hung=isinstance(exc, WorkerHung), reason=last_error
                 )
                 if attempt + 1 < attempts:
                     delay = self.policy.retry.backoff_s(attempt, self._retry_rng)
@@ -613,7 +328,7 @@ class GalleryRouter:
         from concurrent.futures import ThreadPoolExecutor
 
         with ThreadPoolExecutor(
-            max_workers=min(len(requests), max(2, len(self._ring.members)))
+            max_workers=min(len(requests), max(2, len(self.fleet.members)))
         ) as pool:
             return list(pool.map(self.identify, requests))
 
@@ -621,17 +336,21 @@ class GalleryRouter:
         """Enroll on the owning worker under the gallery's single-writer lock.
 
         Concurrent enrolls against one gallery serialize here (the worker's
-        serve lock makes them safe; the router lock makes them *ordered*);
-        identifies and enrolls against other galleries are untouched.  A
-        crash mid-enroll is never retried — the worker persists before
-        acknowledging, so the write may already be on disk and a blind
-        resend could enroll the scans twice.
+        serve lock makes them safe; the router lock makes them *ordered*).
+        The owner is resolved **inside** the writer lock: an enroll racing a
+        fleet resize routes against the committed ring, so the write lands
+        exactly once on the owner the commit chose.  A crash mid-enroll is
+        never retried — the worker persists before acknowledging, so the
+        write may already be on disk and a blind resend could enroll the
+        scans twice.  A worker that *drained out of the fleet* before the
+        frame was sent surfaces a distinct typed error instead: no write
+        occurred, so resending (now routed to the new owner) is safe.
         """
         self._check_open()
         buffers = encode_enroll_frames(request)
-        worker = self._ring.lookup(request.gallery)
-        breaker = self._breakers[worker]
         with self._writer_lock(request.gallery):
+            worker = self.fleet.route(request.gallery)
+            breaker = self.fleet.breaker(worker)
             if breaker.tripped:
                 snap = breaker.snapshot()
                 return EnrollResponse(
@@ -644,13 +363,23 @@ class GalleryRouter:
                         f"(last: {snap['last_error']}); enroll was not attempted"
                     ),
                 )
-            handle = self._handle_for(worker)
             try:
+                handle = self.fleet.handle_for(worker)
                 reply = self._data_call(handle, buffers)
-            except _WorkerDied as exc:
-                hung = isinstance(exc, _WorkerHung)
+            except WorkerRetired as exc:
+                return EnrollResponse(
+                    request_id=request.request_id,
+                    gallery=request.gallery,
+                    status="error",
+                    error=(
+                        f"WorkerRetired: {exc}; no write occurred — resending "
+                        "is safe and will route to the new owner"
+                    ),
+                )
+            except WorkerDied as exc:
+                hung = isinstance(exc, WorkerHung)
                 breaker.record_failure(str(exc))
-                self._on_worker_death(handle, hung=hung, reason=str(exc))
+                self.fleet.on_worker_death(handle, hung=hung, reason=str(exc))
                 verb = "timed out" if hung else "died"
                 return EnrollResponse(
                     request_id=request.request_id,
@@ -665,11 +394,24 @@ class GalleryRouter:
         return EnrollResponse.from_dict(self._document(reply))
 
     def _writer_lock(self, gallery: str) -> threading.Lock:
-        with self._lock:
+        with self._writer_registry_lock:
             lock = self._writer_locks.get(gallery)
             if lock is None:
                 lock = self._writer_locks.setdefault(gallery, threading.Lock())
             return lock
+
+    # ------------------------------------------------------------------ #
+    # Live membership (delegated to the control plane)
+    # ------------------------------------------------------------------ #
+    def add_worker(self, name: Optional[str] = None) -> Dict[str, Any]:
+        """Grow the fleet by one worker (spawn → warm → commit)."""
+        self._check_open()
+        return self.fleet.add_worker(name)
+
+    def remove_worker(self, name: Optional[str] = None) -> Dict[str, Any]:
+        """Shrink the fleet by one worker (commit → drain → reap → retire)."""
+        self._check_open()
+        return self.fleet.remove_worker(name)
 
     # ------------------------------------------------------------------ #
     # Health / stats
@@ -689,23 +431,27 @@ class GalleryRouter:
         """
         self._check_open()
         workers: Dict[str, Any] = {}
-        for name in self._ring.members:
-            breaker = self._breakers[name]
+        for name in self.fleet.members:
+            breaker = self.fleet.breaker(name)
             # Snapshot before probing: this is the state that degraded the
             # arc, which the probe below may immediately heal.
             detail = breaker.snapshot()
-            respawns_before = self._respawns
+            respawns_before = self.fleet.respawns
             document = None
             for _attempt in range(2):
-                handle = self._handle_for(name)
                 try:
+                    handle = self.fleet.handle_for(name)
                     document = self._document(self._control_call(handle, "ping"))
                     break
-                except _WorkerDied as exc:
+                except WorkerRetired:
+                    break  # removed mid-healthz: drop it from the report
+                except WorkerDied as exc:
                     breaker.record_failure(str(exc))
-                    self._on_worker_death(
-                        handle, hung=isinstance(exc, _WorkerHung), reason=str(exc)
+                    self.fleet.on_worker_death(
+                        handle, hung=isinstance(exc, WorkerHung), reason=str(exc)
                     )
+            if name not in set(self.fleet.members):
+                continue
             if document is not None:
                 breaker.record_success()
             else:
@@ -716,7 +462,7 @@ class GalleryRouter:
                 detail = breaker.snapshot()
             workers[name] = {
                 "alive": document is not None,
-                "respawned": self._respawns > respawns_before,
+                "respawned": self.fleet.respawns > respawns_before,
                 "pid": None if document is None else document.get("pid"),
                 "resident": [] if document is None else list(document.get("resident", [])),
                 "breaker": detail["state"],
@@ -732,40 +478,33 @@ class GalleryRouter:
         """Aggregate serving counters across the fleet.
 
         Per-worker snapshots are summed with the carried accumulator of
-        every dead incarnation; each successful poll refreshes the snapshot
-        that would be carried if that worker crashed next, so a respawn can
-        neither double-count a worker nor drop previously-reported totals.
+        every dead (or removed) incarnation; each successful poll refreshes
+        the snapshot that would be carried if that worker crashed next, so
+        a respawn can neither double-count a worker nor drop
+        previously-reported totals — and the ``per_worker`` block lists
+        every member even when its poll failed this cycle.
         """
         self._check_open()
         records: Dict[str, Dict[str, Any]] = {}
-        for name in self._ring.members:
+        for name in self.fleet.members:
             for _attempt in range(2):
-                handle = self._handle_for(name)
                 try:
+                    handle = self.fleet.handle_for(name)
                     record = self._document(self._control_call(handle, "stats"))
-                except _WorkerDied as exc:
-                    self._on_worker_death(
-                        handle, hung=isinstance(exc, _WorkerHung), reason=str(exc)
+                except WorkerRetired:
+                    break  # removed mid-poll: nothing to record
+                except WorkerDied as exc:
+                    self.fleet.on_worker_death(
+                        handle, hung=isinstance(exc, WorkerHung), reason=str(exc)
                     )
                     continue
                 records[name] = record
-                with self._lock:
-                    self._last_stats[name] = record
+                self.fleet.note_stats(name, record)
                 break
         return self._merged_stats(records)
 
     def _merged_stats(self, records: Dict[str, Dict[str, Any]]) -> ServiceStats:
-        with self._lock:
-            acc = _empty_accumulator()
-            _merge_record(acc, self._carried)
-            respawns = self._respawns
-            alive = sum(
-                1
-                for handle in self._handles.values()
-                if handle.alive and handle.process.is_alive()
-            )
-        for record in records.values():
-            _merge_record(acc, record)
+        acc = self.fleet.accumulate(records)
         pruning = {
             name: {
                 **entry,
@@ -805,24 +544,18 @@ class GalleryRouter:
             cache_kinds=cache_kinds,
             cache_dir=cache_dir,
         )
-        with self._lock:
-            worker_timeouts = self._worker_timeouts
-            deaths = list(self._deaths)
         stats.router = {
-            "workers": len(self._ring.members),
-            "alive_workers": alive,
-            "ring_size": len(self._ring),
+            "workers": len(self.fleet.members),
+            "alive_workers": self.fleet.alive_count(),
+            "ring_size": self.fleet.ring_size,
             "ring_replicas": self.config.ring_replicas,
-            "respawns": respawns,
-            "worker_timeouts": worker_timeouts,
-            "deaths": deaths,
-            "breakers": {
-                name: breaker.snapshot() for name, breaker in self._breakers.items()
-            },
-            "per_worker": {
-                name: int(record.get("requests", 0))
-                for name, record in records.items()
-            },
+            "respawns": self.fleet.respawns,
+            "worker_timeouts": self.fleet.worker_timeouts,
+            "deaths": self.fleet.deaths,
+            "breakers": self.fleet.breakers.snapshot(),
+            "retired_breakers": self.fleet.breakers.retired_snapshots(),
+            "per_worker": self.fleet.per_worker(records),
+            "resizes": self.fleet.resizes(),
         }
         return stats
 
@@ -834,63 +567,50 @@ class GalleryRouter:
             raise ValidationError("the router is closed")
 
     @property
+    def _handles(self) -> Dict[str, WorkerHandle]:
+        """The control plane's live handle map (shared, not a copy)."""
+        return self.fleet._handles
+
+    @property
     def workers(self) -> List[str]:
         """Sorted worker names on the ring."""
-        return self._ring.members
+        return self.fleet.members
 
     @property
     def ring_size(self) -> int:
         """Number of virtual nodes on the ring (``workers * ring_replicas``)."""
-        return len(self._ring)
+        return self.fleet.ring_size
 
     @property
     def respawns(self) -> int:
         """How many worker incarnations have been replaced after a crash."""
-        with self._lock:
-            return self._respawns
+        return self.fleet.respawns
 
     @property
     def worker_timeouts(self) -> int:
         """How many worker deaths were deadline timeouts (hung, not dead)."""
-        with self._lock:
-            return self._worker_timeouts
+        return self.fleet.worker_timeouts
 
     @property
     def deaths(self) -> List[str]:
         """Recent worker-death reasons, oldest first (bounded window)."""
-        with self._lock:
-            return list(self._deaths)
+        return self.fleet.deaths
 
     def breaker(self, worker: str) -> CircuitBreaker:
         """The consecutive-failure breaker guarding ``worker``'s arc."""
-        return self._breakers[worker]
+        return self.fleet.breaker(worker)
 
     def close(self) -> None:
         """Drain and stop every worker (idempotent).
 
-        New requests are rejected first; then each worker is drained in
-        turn — its in-flight request finishes (the data lock serializes),
-        the ``shutdown`` op is acknowledged, and the process is joined,
-        which releases that worker's runner pool and ``/dev/shm`` segments
-        before the router's own channel ends close.
+        New requests are rejected first; the control plane then drains each
+        worker in turn — its in-flight request finishes (the data lock
+        serializes), the ``shutdown`` op is acknowledged, and the process
+        is joined, which releases that worker's runner pool and
+        ``/dev/shm`` segments before the channel ends close.
         """
-        with self._close_lock:
-            if self._closed:
-                return
-            self._closed = True
-        with self._lock:
-            handles = list(self._handles.values())
-        for handle in handles:
-            with handle.data_lock, handle.control_lock:
-                if handle.alive and handle.process.is_alive():
-                    try:
-                        body = b"".join(encode_frames({"kind": "shutdown", "scans": []}, []))
-                        handle.data_sock.sendall(struct.pack("<I", len(body)) + body)
-                        recv_message(handle.data_sock, self._max_message_bytes)
-                    except (OSError, FrameError):
-                        pass  # already dying; the reap below handles it
-                handle.alive = False
-                self._reap(handle)
+        self._closed = True
+        self.fleet.close()
 
     def __enter__(self) -> "GalleryRouter":
         return self
@@ -901,8 +621,8 @@ class GalleryRouter:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"GalleryRouter(root={str(self.root)!r}, "
-            f"workers={self._ring.members}, closed={self._closed})"
+            f"workers={self.fleet.members}, closed={self._closed})"
         )
 
 
-__all__ = ["GalleryRouter", "HashRing"]
+__all__ = ["GalleryRouter", "HashRing", "ResizeInProgress"]

@@ -27,8 +27,13 @@ acknowledged enroll never loses data.
 
 The worker ignores ``SIGINT`` (a terminal Ctrl-C reaches the whole process
 group; the router drains workers explicitly) and exits when the router sends
-the ``shutdown`` op on the data channel, closing its service — and thereby
+the ``shutdown`` op — or the fleet control plane sends ``drain`` during a
+live ``remove_worker`` (persist residents, reply with a final stats
+snapshot, exit) — on the data channel, closing its service — and thereby
 its runner pool and ``/dev/shm`` segments — before the router joins it.
+The control channel additionally answers ``warm`` (prefetch a list of
+gallery names) so ``add_worker`` can warm a joining worker's arc before the
+ring commit.
 """
 
 from __future__ import annotations
@@ -164,13 +169,54 @@ def _send_reply(
 # --------------------------------------------------------------------------- #
 # Worker process main
 # --------------------------------------------------------------------------- #
+def _drain_document(
+    worker_id: str,
+    service: IdentificationService,
+    registry: GalleryRegistry,
+) -> Dict[str, Any]:
+    """The ``drain`` reply: persist residents, snapshot final stats.
+
+    Every acked enroll was already persisted before its reply, so the
+    persist pass here is a defensive sweep, not a durability requirement;
+    per-gallery failures are reported, never fatal.  The stats snapshot is
+    complete (nothing accrues after it — the serve loop exits next), so the
+    router can fold it into the carried accumulator without losing a single
+    counter to the removal.
+    """
+    info = registry.info()
+    persisted: List[str] = []
+    persist_errors: Dict[str, str] = {}
+    for name, entry in (info.get("galleries") or {}).items():
+        if not entry.get("resident"):
+            continue
+        try:
+            registry.persist(name)
+            persisted.append(name)
+        except Exception as exc:  # noqa: BLE001 - reported per gallery
+            persist_errors[name] = f"{type(exc).__name__}: {exc}"
+    stats = service.stats().to_dict()
+    stats["registry"] = _registry_detail(registry)
+    return {
+        "worker_id": worker_id,
+        "pid": os.getpid(),
+        "drained": True,
+        "persisted": sorted(persisted),
+        "persist_errors": persist_errors,
+        "stats": stats,
+    }
+
+
 def _serve_data_op(
     header: Dict[str, Any],
     arrays: List[np.ndarray],
     service: IdentificationService,
     registry: GalleryRegistry,
 ) -> Optional[Dict[str, Any]]:
-    """Serve one data-channel op; ``None`` means shutdown was requested."""
+    """Serve one data-channel op; ``None`` means shutdown was requested.
+
+    ``drain`` is handled by the serve loop itself (it ends the loop after
+    the reply); this dispatcher only serves request-shaped ops.
+    """
     kind = header.get("kind")
     if kind == "shutdown":
         return None
@@ -189,26 +235,64 @@ def _serve_data_op(
     raise FrameError(f"unknown data op {kind!r}")
 
 
+def _registry_detail(registry: GalleryRegistry) -> Dict[str, Any]:
+    """Residency detail of this worker's registry (for ``per_worker`` stats)."""
+    info = registry.info()
+    return {
+        "resident": sorted(
+            name
+            for name, entry in info["galleries"].items()
+            if entry.get("resident")
+        ),
+        "auto_evictions": info["auto_evictions"],
+        "max_galleries": info["max_galleries"],
+        "ttl_seconds": info["ttl_seconds"],
+    }
+
+
 def _control_document(
-    op: str,
+    header: Dict[str, Any],
     worker_id: str,
     service: IdentificationService,
     registry: GalleryRegistry,
 ) -> Dict[str, Any]:
+    op = header.get("kind")
     if op == "ping":
-        info = registry.info()
+        detail = _registry_detail(registry)
         return {
             "worker_id": worker_id,
             "pid": os.getpid(),
-            "resident": sorted(
-                name
-                for name, entry in info["galleries"].items()
-                if entry.get("resident")
-            ),
-            "auto_evictions": info["auto_evictions"],
+            "resident": detail["resident"],
+            "auto_evictions": detail["auto_evictions"],
         }
     if op == "stats":
-        return service.stats().to_dict()
+        document = service.stats().to_dict()
+        document["registry"] = _registry_detail(registry)
+        return document
+    if op == "warm":
+        # Prefetch the gallery names a prospective ring change assigns to
+        # this worker, so a join commits with its arc already resident.
+        # Loads respect the residency policy: under a max_galleries cap
+        # only the first ``cap`` names are attempted (warming more would
+        # just evict the earlier ones again).
+        requested = [str(name) for name in (header.get("names") or [])]
+        cap = registry.max_galleries
+        to_warm = requested if cap is None else requested[: int(cap)]
+        warmed: List[str] = []
+        failed: Dict[str, str] = {}
+        for name in to_warm:
+            try:
+                registry.get(name)
+                warmed.append(name)
+            except Exception as exc:  # noqa: BLE001 - reported per name
+                failed[name] = f"{type(exc).__name__}: {exc}"
+        return {
+            "worker_id": worker_id,
+            "pid": os.getpid(),
+            "requested": len(requested),
+            "warmed": warmed,
+            "failed": failed,
+        }
     raise FrameError(f"unknown control op {op!r}")
 
 
@@ -229,9 +313,7 @@ def _control_loop(
             return
         header, _ = message
         try:
-            reply = _reply(
-                _control_document(header.get("kind"), worker_id, service, registry)
-            )
+            reply = _reply(_control_document(header, worker_id, service, registry))
         except Exception as exc:  # noqa: BLE001 - reported to the router
             reply = _error_reply(exc)
         try:
@@ -280,6 +362,21 @@ def worker_main(
             if message is None:
                 break
             header, arrays = message
+            if header.get("kind") == "drain":
+                # Leaving the fleet: persist resident galleries (the shared
+                # root already holds every acked enroll — this covers any
+                # other in-memory state), hand the router a final stats
+                # snapshot to fold into its carried accumulator, then exit
+                # the serve loop so close() releases pool + segments before
+                # the router joins the process.
+                try:
+                    send_message(
+                        data_sock,
+                        _reply(_drain_document(worker_id, service, registry)),
+                    )
+                except OSError:
+                    pass
+                break
             try:
                 reply = _serve_data_op(header, arrays, service, registry)
             except Exception as exc:  # noqa: BLE001 - reported to the router

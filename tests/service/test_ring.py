@@ -103,6 +103,48 @@ class TestMembershipChanges:
         ring.remove(extra)
         assert {key: ring.lookup(key) for key in keys} == before
 
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["add", "remove"]), _names),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_remap_stays_bounded_across_a_random_membership_sequence(self, ops):
+        """Live churn property: across an arbitrary add/remove sequence,
+        every step moves only keys that touch the changed member, and the
+        moved fraction stays within 2/N of the key space (N = the larger
+        fleet) — the live-resize invariant ``FleetControlPlane`` relies on."""
+        keys = _keys(600)
+        ring = HashRing(["seed-0", "seed-1"])
+        members = set(ring.members)
+        before = {key: ring.lookup(key) for key in keys}
+        for action, name in ops:
+            if action == "add":
+                if name in members:
+                    continue
+                ring.add(name)
+                members.add(name)
+                changed = name
+            else:
+                if len(members) <= 1:
+                    continue
+                changed = name if name in members else sorted(members)[0]
+                ring.remove(changed)
+                members.discard(changed)
+            after = {key: ring.lookup(key) for key in keys}
+            moved = [key for key in keys if after[key] != before[key]]
+            # Minimal movement: a moved key either left the removed member
+            # or landed on the added one — never survivor-to-survivor.
+            for key in moved:
+                assert changed in (before[key], after[key]), (action, changed, key)
+            larger_fleet = len(members) + (1 if action == "remove" else 0)
+            assert len(moved) <= 2 * len(keys) / max(1, larger_fleet), (
+                action, changed, len(moved), sorted(members),
+            )
+            before = after
+
     def test_add_and_remove_are_idempotent(self):
         ring = HashRing(["a", "b"])
         ring.add("a")

@@ -477,7 +477,17 @@ class TestLifecycle:
         router_block = stats.router
         assert router_block["workers"] == WORKERS
         assert router_block["ring_replicas"] == workload["config"].ring_replicas
-        assert sum(router_block["per_worker"].values()) == stats.requests
-        assert all(count > 0 for count in router_block["per_worker"].values())
+        per_worker = router_block["per_worker"]
+        assert sorted(per_worker) == router.workers  # every member listed
+        assert sum(entry["requests"] for entry in per_worker.values()) == stats.requests
+        for entry in per_worker.values():
+            assert entry["requests"] > 0
+            assert entry["resident_galleries"] == len(entry["resident"])
+            assert entry["resident_galleries"] > 0  # identifies made it resident
+            assert entry["auto_evictions"] == 0  # no residency cap configured
+            assert entry["max_galleries"] is None
+            assert entry["ttl_seconds"] is None
+            assert entry["incarnation"] == 0
+            assert entry["stale"] is False
         summary = "\n".join(stats.summary_lines())
         assert "router" in summary

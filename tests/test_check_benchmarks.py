@@ -5,7 +5,9 @@ test scale: every benchmark module must import, the ``--index-trajectory``
 flag must run the pruning benchmark, write a well-formed ``BENCH_index.json``
 record, and hard-gate on top-1 agreement, and the ``--router-trajectory``
 flag must run the router scaling benchmark, write ``BENCH_router.json``,
-and hard-gate on routed bit-identity.
+and hard-gate on routed bit-identity, and the ``--fleet-trajectory`` flag
+must run the fleet-churn benchmark, write ``BENCH_fleet.json``, and
+hard-gate on every resize invariant.
 """
 
 from __future__ import annotations
@@ -36,6 +38,7 @@ def test_required_benchmarks_exist(check_benchmarks):
         assert (benchmarks_dir / f"{name}.py").is_file(), f"{name}.py is missing"
     assert "bench_index_pruning" in check_benchmarks.REQUIRED_BENCHMARKS
     assert "bench_router_scaling" in check_benchmarks.REQUIRED_BENCHMARKS
+    assert "bench_fleet_churn" in check_benchmarks.REQUIRED_BENCHMARKS
 
 
 def test_index_trajectory_flag_writes_record(check_benchmarks, tmp_path, capsys, monkeypatch):
@@ -148,3 +151,68 @@ def test_router_trajectory_gates_on_bit_identity(
     exit_code = check_benchmarks.main(["--router-trajectory", str(tmp_path / "b.json")])
     assert exit_code == 1
     assert "FAIL router trajectory" in capsys.readouterr().out
+
+
+def test_fleet_trajectory_flag_writes_record(
+    check_benchmarks, tmp_path, capsys, monkeypatch
+):
+    """``--fleet-trajectory`` runs the live 2→3→4→3 membership schedule and
+    writes the record CI uploads as ``BENCH_fleet.json``.
+
+    The workload overrides shrink it to test scale (real forked workers,
+    real warm/drain IPC); every gate is hard — a resize that loses a
+    request, leaks a process, or over-remaps fails at any scale.
+    """
+    monkeypatch.setattr(check_benchmarks, "run_import_checks", lambda: 0)
+    path = tmp_path / "BENCH_fleet.json"
+    exit_code = check_benchmarks.main(
+        [
+            "--fleet-trajectory", str(path),
+            "--fleet-galleries", "3",
+            "--fleet-subjects", "6",
+            "--fleet-hold", "0.3",
+        ]
+    )
+    output = capsys.readouterr().out
+    assert exit_code == 0, output
+    assert "fleet trajectory:" in output
+    record = json.loads(path.read_text())
+    assert record["benchmark"] == "fleet_churn"
+    assert record["workload"]["n_galleries"] == 3
+    assert record["schedule"] == ["add", "add", "remove"]
+    assert record["gate_failures"] == []
+    assert record["bitwise_equal"] is True
+    assert record["totals"]["errors"] == 0
+    assert record["resizes_completed"] == 3
+    assert len(record["final_members"]) == 3
+    assert len(record["steps"]) == 3
+    for step in record["steps"]:
+        assert 0.0 < step["remap_fraction"] <= step["remap_bound"]
+    assert record["steps"][-1]["action"] == "remove"
+    assert record["steps"][-1]["drained"] is True
+
+
+def test_fleet_trajectory_gates_on_resize_invariants(
+    check_benchmarks, tmp_path, capsys, monkeypatch
+):
+    """A churn run with any gate failure must fail the check, not just be
+    recorded."""
+    def broken(path, galleries=None, subjects=None, hold=None):
+        record = {
+            "benchmark": "fleet_churn",
+            "steps": [],
+            "totals": {
+                "ok": 10, "requests": 10, "errors": 0,
+                "churn_ok": 5, "churn_resends": 0, "churn_failed": 0,
+            },
+            "final_members": ["worker-0", "worker-1", "worker-2"],
+            "gate_failures": ["step remove 4→3: leaving worker did not drain"],
+        }
+        path.write_text(json.dumps(record))
+        return record
+
+    monkeypatch.setattr(check_benchmarks, "run_import_checks", lambda: 0)
+    monkeypatch.setattr(check_benchmarks, "write_fleet_trajectory", broken)
+    exit_code = check_benchmarks.main(["--fleet-trajectory", str(tmp_path / "b.json")])
+    assert exit_code == 1
+    assert "FAIL fleet trajectory" in capsys.readouterr().out
