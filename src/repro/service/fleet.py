@@ -30,13 +30,21 @@ module owns the control plane:
         → *drain* the leaving worker (its in-flight request finishes under
         the data-channel lock, the ``drain`` op persists resident galleries
         and returns a final stats snapshot that is folded into the carried
-        accumulator) → reap with the existing SIGKILL-escalation +
-        ``/dev/shm`` sweep → retire the breaker.
+        accumulator) → join the cleanly-exiting process (SIGKILL escalation
+        + ``/dev/shm`` sweep only if the drain failed) → retire the breaker.
 
     One resize runs at a time (:class:`ResizeInProgress` otherwise), and
     identifies issued during a resize stay bit-identical to single-process
     serving: every worker serves the same persisted galleries through the
     same kernel, so remapping a name only changes *where* it is computed.
+    Both protocols **write-fence** the remapped galleries — they hold those
+    galleries' single-writer locks (the same locks the data plane's enroll
+    holds across its worker round-trip) from before the warm (join) or
+    commit (leave) until after the commit.  Acquiring the fence waits out
+    any in-flight enroll to a remapped gallery (acked ⇒ persisted) and
+    blocks new ones until the ring change lands, so a warmed resident copy
+    on the newcomer — or a survivor's first lazy load — can never be
+    invalidated by a write that was still racing toward the old owner.
 
 The data plane (``GalleryRouter``) keeps the request path: it routes through
 :meth:`FleetControlPlane.route`, borrows handles via
@@ -324,6 +332,13 @@ class FleetControlPlane:
         )
         self._lock = threading.RLock()
         self._close_lock = threading.Lock()
+        #: Per-gallery single-writer locks.  The data plane's enroll holds
+        #: one across owner resolution *and* the worker round-trip, which is
+        #: what lets a resize use them as a **write fence**: once a resize
+        #: holds a gallery's lock, no write to it is in flight anywhere in
+        #: the fleet, and none can start until the lock is released.
+        self._writer_registry_lock = threading.Lock()
+        self._writer_locks: Dict[str, threading.Lock] = {}
         #: Totals of every dead or removed worker incarnation (their last
         #: known stats snapshots), so aggregate stats never double-count a
         #: respawn and never regress when a member leaves the fleet.
@@ -590,6 +605,57 @@ class FleetControlPlane:
         return document if isinstance(document, dict) else {}
 
     # ------------------------------------------------------------------ #
+    # Single-writer locks and the resize write fence
+    # ------------------------------------------------------------------ #
+    def writer_lock(self, gallery: str) -> threading.Lock:
+        """The per-gallery single-writer lock (shared with the data plane)."""
+        with self._writer_registry_lock:
+            lock = self._writer_locks.get(gallery)
+            if lock is None:
+                lock = self._writer_locks.setdefault(gallery, threading.Lock())
+            return lock
+
+    def _acquire_write_fence(self, remapped) -> Dict[str, threading.Lock]:
+        """Acquire the writer locks of every gallery the resize remaps.
+
+        ``remapped`` is a callable listing the persisted gallery names whose
+        owner the pending membership change moves.  Acquiring their writer
+        locks waits out any in-flight enroll to those galleries (enroll
+        holds the lock across its worker round-trip) and blocks new ones,
+        so while the fence is held the shared root is the *complete* state
+        of every remapped gallery: a warm prefetch or a survivor's first
+        lazy load after the commit can never capture a resident copy that
+        a still-in-flight write would silently invalidate.
+
+        The acquisition loops to a fixed point: a gallery persisted for the
+        first time while the fence was being assembled (its creating enroll
+        raced the resize) is picked up on the next pass.  A creating enroll
+        still unpersisted when the fence converges is benign — the new
+        owner cannot load a gallery that is not on disk yet, so its first
+        successful serve reads the post-enroll state.
+
+        Locks are acquired in sorted name order; the only multi-lock
+        acquirer is a resize and resizes are serialized, so the order can
+        never deadlock against single-lock enrolls.  The caller must not
+        hold the fleet lock (enroll takes writer lock → fleet lock; the
+        fence must follow the same order).
+        """
+        held: Dict[str, threading.Lock] = {}
+        while True:
+            missing = [name for name in sorted(remapped()) if name not in held]
+            if not missing:
+                return held
+            for name in missing:
+                lock = self.writer_lock(name)
+                lock.acquire()
+                held[name] = lock
+
+    @staticmethod
+    def _release_write_fence(held: Dict[str, threading.Lock]) -> None:
+        for lock in reversed(list(held.values())):
+            lock.release()
+
+    # ------------------------------------------------------------------ #
     # Live membership changes
     # ------------------------------------------------------------------ #
     def add_worker(self, name: Optional[str] = None) -> Dict[str, Any]:
@@ -599,9 +665,14 @@ class FleetControlPlane:
         by prefetching the gallery names the prospective ring assigns to it
         (skippable via ``config.warm_on_add``), and only then committed —
         the ring mutation is atomic under the fleet lock, so a lookup sees
-        either the old ring or the new one, never an in-between.  A failed
-        spawn or warm aborts the join and reaps the newcomer; the serving
-        fleet is untouched.
+        either the old ring or the new one, never an in-between.  The
+        joining arc is **write-fenced** across the warm+commit window: the
+        remapped galleries' writer locks are held, so an enroll routed to
+        the old owner either lands (durably, on disk) before the newcomer
+        loads the gallery, or blocks and re-routes to the newcomer after
+        the commit — a warmed resident copy can never go silently stale.
+        A failed spawn or warm aborts the join and reaps the newcomer; the
+        serving fleet is untouched.
         """
         self._check_open()
         if not self._resize_mutex.acquire(blocking=False):
@@ -613,7 +684,13 @@ class FleetControlPlane:
             started = time.perf_counter()
             with self._lock:
                 if name is None:
+                    # An operator may have added an explicit "worker-N" name
+                    # ahead of the monotonic index: skip past collisions so
+                    # an auto name can never overwrite a live handle.
                     name = f"worker-{self._next_index}"
+                    while name in self._ring._members or name in self._handles:
+                        self._next_index += 1
+                        name = f"worker-{self._next_index}"
                     self._next_index += 1
                 elif name in self._ring._members or name in self._handles:
                     raise ValidationError(f"worker {name!r} is already a fleet member")
@@ -621,32 +698,37 @@ class FleetControlPlane:
                 members_before = self._ring.members
             # The joining arc, computed against a prospective ring: these are
             # the only names whose owner changes when the commit lands.
-            gallery_names = self.registry.names()
             prospective = HashRing(
                 members_before + [name], replicas=self._ring.replicas
             )
-            joining = [
-                gallery for gallery in gallery_names
-                if prospective.lookup(gallery) == name
-            ]
-            with self._lock:
-                handle = self._spawn(name)
-            warm_document: Dict[str, Any] = {}
-            if self.config.warm_on_add and joining:
-                try:
-                    warm_document = self._warm_call(handle, joining)
-                except WorkerDied as exc:
-                    handle.alive = False
-                    self._reap(handle, kill_first=True)
-                    raise ValidationError(
-                        f"join of {name} aborted: warm prefetch failed ({exc}); "
-                        "the serving fleet is unchanged"
-                    ) from exc
-            with self._lock:
-                self._ring.add(name)
-                self._handles[name] = handle
-                self.breakers.ensure(name)
-                members_after = self._ring.members
+            fence = self._acquire_write_fence(
+                lambda: [
+                    gallery for gallery in self.registry.names()
+                    if prospective.lookup(gallery) == name
+                ]
+            )
+            try:
+                joining = sorted(fence)
+                with self._lock:
+                    handle = self._spawn(name)
+                warm_document: Dict[str, Any] = {}
+                if self.config.warm_on_add and joining:
+                    try:
+                        warm_document = self._warm_call(handle, joining)
+                    except WorkerDied as exc:
+                        handle.alive = False
+                        self._reap(handle, kill_first=True)
+                        raise ValidationError(
+                            f"join of {name} aborted: warm prefetch failed ({exc}); "
+                            "the serving fleet is unchanged"
+                        ) from exc
+                with self._lock:
+                    self._ring.add(name)
+                    self._handles[name] = handle
+                    self.breakers.ensure(name)
+                    members_after = self._ring.members
+            finally:
+                self._release_write_fence(fence)
             record = {
                 "action": "add",
                 "worker": name,
@@ -670,7 +752,11 @@ class FleetControlPlane:
         """Shrink the fleet by one worker: commit → drain → reap → retire.
 
         The shrunken ring commits **first** — new lookups route to the
-        survivors — then the leaving worker drains: its in-flight request
+        survivors — with the leaving arc **write-fenced** across the
+        commit: the remapped galleries' writer locks are held, so every
+        enroll the old owner acknowledged is on disk before the commit
+        point, and a survivor's first lazy load after the commit reads the
+        complete state.  Then the leaving worker drains: its in-flight request
         finishes (the data lock serializes), the ``drain`` op persists
         resident galleries and returns a final stats snapshot folded into
         the carried accumulator (fleet totals never regress), and the
@@ -704,17 +790,28 @@ class FleetControlPlane:
                         f"(members: {members_before})"
                     )
                 self._resize_inflight = f"remove {name}"
-                leaving = [
+            # Fence the leaving arc, then commit: acquiring the writer locks
+            # waits out in-flight enrolls to the remapped galleries (acked ⇒
+            # persisted), so the disk state a survivor lazy-loads after the
+            # commit can never miss a write the old owner acknowledged.
+            fence = self._acquire_write_fence(
+                lambda: [
                     gallery for gallery in self.registry.names()
-                    if self._ring.lookup(gallery) == name
+                    if self.route(gallery) == name
                 ]
-                # Commit first: from here on every new lookup routes to a
-                # survivor, so the drain below only has to wait out requests
-                # that were already in flight.
-                self._ring.remove(name)
-                handle = self._handles[name]
-                handle.retired = True
-                members_after = self._ring.members
+            )
+            try:
+                leaving = sorted(fence)
+                with self._lock:
+                    # Commit: from here on every new lookup routes to a
+                    # survivor, so the drain below only has to wait out
+                    # requests that were already in flight.
+                    self._ring.remove(name)
+                    handle = self._handles[name]
+                    handle.retired = True
+                    members_after = self._ring.members
+            finally:
+                self._release_write_fence(fence)
             drain_started = time.perf_counter()
             drained = False
             drain_error: Optional[str] = None
@@ -740,7 +837,11 @@ class FleetControlPlane:
                     self._deaths.append(
                         f"{name} (pid {handle.pid}): drain failed ({drain_error})"
                     )
-            self._reap(handle, kill_first=True)
+            # An acked drain means the worker is already exiting its serve
+            # loop on its own (pool shutdown, finalizers, segment release):
+            # join it gracefully.  Only a failed drain — dead, hung, or
+            # deadline miss — goes straight to SIGKILL + sweep.
+            self._reap(handle, kill_first=not drained)
             retired_breaker = self.breakers.retire(name)
             record = {
                 "action": "remove",
@@ -767,8 +868,17 @@ class FleetControlPlane:
     # Accounting (what /stats reports)
     # ------------------------------------------------------------------ #
     def note_stats(self, name: str, record: Dict[str, Any]) -> None:
-        """Remember the latest successful stats poll of ``name``."""
+        """Remember the latest successful stats poll of ``name``.
+
+        A poll racing a removal is dropped: re-inserting a departed
+        member's snapshot after ``remove_worker`` purged it would leak the
+        entry — and double-count the dead incarnation if the same name is
+        later re-added and crashes.
+        """
         with self._lock:
+            handle = self._handles.get(name)
+            if handle is None or handle.retired:
+                return
             self._last_stats[name] = record
 
     def accumulate(self, records: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:

@@ -73,6 +73,7 @@ own event loop for in-process tests and benchmarks.
 from __future__ import annotations
 
 import asyncio
+import hmac
 import json
 import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -751,7 +752,11 @@ class HttpServiceServer:
                 "the admin endpoint is disabled; configure admin_token to enable it",
             )
         supplied = request.headers.get("authorization", "")
-        if supplied != f"Bearer {token}":
+        # Constant-time comparison: a plain != leaks how much of the token
+        # prefix matched through response timing.
+        if not hmac.compare_digest(
+            supplied.encode("utf-8"), f"Bearer {token}".encode("utf-8")
+        ):
             return 403, _error_body(
                 "Forbidden", "missing or invalid admin bearer token"
             )

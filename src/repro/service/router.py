@@ -28,12 +28,18 @@ single-process serving under either HTTP codec (pinned by
 resize** (pinned by ``benchmarks/bench_fleet_churn.py``): remapping a
 gallery only changes where it is computed, never what is computed.
 
-**Writes.**  Enroll takes a per-gallery single-writer lock at the router
-and resolves the owning worker *inside* that lock: concurrent enrolls
-against one gallery serialize, and an enroll racing a fleet resize routes
-against the committed ring — the write lands exactly once, on the owner the
-commit chose.  Workers persist a successful enroll to the shared root
-before acknowledging, so the write survives any later crash of that worker.
+**Writes.**  Enroll takes a per-gallery single-writer lock (owned by the
+control plane) and resolves the owning worker *inside* that lock:
+concurrent enrolls against one gallery serialize, and an enroll racing a
+fleet resize routes against the committed ring — the write lands exactly
+once, on the owner the commit chose.  A resize holds the same locks as a
+*write fence* over the galleries it remaps (from before the warm or
+commit until after the commit), so an enroll to a remapping gallery
+either completes durably before the new owner loads it or blocks and
+re-routes to the new owner — a resident copy can never go silently stale
+across the handoff.  Workers persist a successful enroll to the shared
+root before acknowledging, so the write survives any later crash of that
+worker.
 
 **Failure handling.**  Every data-channel read is armed with a per-request
 deadline (``config.request_deadline_s``), so a worker that *hangs* is
@@ -152,8 +158,6 @@ class GalleryRouter:
         #: Name-only registry view over the shared root (HTTP front end).
         self.registry = self.fleet.registry
         self._max_message_bytes = int(self.config.max_stream_bytes)
-        self._writer_registry_lock = threading.Lock()
-        self._writer_locks: Dict[str, threading.Lock] = {}
         #: Jitter source for retry backoff (timing-only; responses are
         #: deterministic regardless of when a retry lands).
         self._retry_rng = random.Random(0x5EED)
@@ -394,11 +398,9 @@ class GalleryRouter:
         return EnrollResponse.from_dict(self._document(reply))
 
     def _writer_lock(self, gallery: str) -> threading.Lock:
-        with self._writer_registry_lock:
-            lock = self._writer_locks.get(gallery)
-            if lock is None:
-                lock = self._writer_locks.setdefault(gallery, threading.Lock())
-            return lock
+        # The registry lives in the control plane so a resize can use the
+        # same locks as a write fence over the galleries it remaps.
+        return self.fleet.writer_lock(gallery)
 
     # ------------------------------------------------------------------ #
     # Live membership (delegated to the control plane)

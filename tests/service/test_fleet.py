@@ -142,6 +142,18 @@ class TestAddWorker:
         again = router.add_worker()["worker"]
         assert again != added  # a fresh incarnation never shadows a retiree
 
+    def test_auto_names_skip_an_explicit_collision(self, router):
+        # An operator squatting on the next monotonic index must not make
+        # the auto-generated name overwrite (and leak) the live handle.
+        router.add_worker(f"worker-{WORKERS}")
+        squatter = router.fleet._handles[f"worker-{WORKERS}"]
+        record = router.add_worker()
+        assert record["worker"] == f"worker-{WORKERS + 1}"
+        assert len(router.workers) == WORKERS + 2
+        assert len(set(router.workers)) == WORKERS + 2
+        assert router.fleet._handles[f"worker-{WORKERS}"] is squatter
+        assert squatter.alive and squatter.process.is_alive()
+
 
 class TestRemoveWorker:
     def test_remove_drains_and_totals_never_regress(self, router, workload):
@@ -170,6 +182,26 @@ class TestRemoveWorker:
         # The survivors own everything now, still bit-identical.
         _identify_all_match(router, workload)
         assert router.stats().requests == 2 * len(workload["names"])
+
+    def test_clean_drain_joins_the_worker_gracefully(self, router):
+        # An acked drain means the worker exits its own close() path (pool
+        # shutdown, segment release): it must be joined, not SIGKILLed.
+        victim = max(router.workers, key=lambda m: (len(m), m))
+        handle = router.fleet._handles[victim]
+        record = router.remove_worker(victim)
+        assert record["drained"] is True
+        assert handle.process.exitcode == 0
+
+    def test_note_stats_after_removal_is_dropped(self, router):
+        victim = max(router.workers, key=lambda m: (len(m), m))
+        router.stats()  # seed _last_stats for every member
+        router.remove_worker(victim)
+        # A stats poll that raced the removal must not resurrect the dead
+        # member's snapshot (it would leak, then double-count a later
+        # incarnation under the same name).
+        router.fleet.note_stats(victim, {"requests": 99})
+        assert victim not in router.fleet._last_stats
+        assert victim not in router.stats().router["per_worker"]
 
     def test_remove_rejects_the_last_worker(self, router):
         router.remove_worker()
@@ -213,6 +245,84 @@ class TestResizeSerialization:
             router.fleet._resize_mutex.release()
         # Released: the next resize goes through.
         assert router.add_worker()["action"] == "add"
+
+
+class TestWriteFencing:
+    """A resize must fence writes to the galleries it remaps: an enroll in
+    flight toward the old owner (it holds the gallery's writer lock across
+    the worker round-trip) has to land durably *before* the new owner
+    captures a resident copy, or the copy would go silently stale."""
+
+    def test_add_worker_fences_the_joining_arc(self, router, workload):
+        joining = f"worker-{WORKERS}"  # the next auto-generated member name
+        prospective = HashRing(
+            router.workers + [joining], replicas=router.config.ring_replicas
+        )
+        candidate = 0
+        while True:
+            name = f"fence-{candidate:03d}"
+            if prospective.lookup(name) == joining and name not in router.registry:
+                break
+            candidate += 1
+        dataset = HCPLikeDataset(
+            n_subjects=4, n_regions=32, n_timepoints=80, random_state=47
+        )
+        enroll = router.enroll(
+            EnrollRequest(
+                gallery=name,
+                scans=list(dataset.generate_session("REST", encoding="LR", day=1)),
+                create=True,
+            )
+        )
+        assert enroll.ok
+        # Simulate an in-flight enroll to the joining arc by holding its
+        # single-writer lock: the join must not warm or commit past it.
+        lock = router.fleet.writer_lock(name)
+        assert lock.acquire(timeout=5.0)
+        done = threading.Event()
+        results = []
+        try:
+            thread = threading.Thread(
+                target=lambda: (results.append(router.add_worker()), done.set()),
+                daemon=True,
+            )
+            thread.start()
+            assert not done.wait(0.5)  # fenced: the resize waits the write out
+            assert joining not in router.workers  # ...and has not committed
+        finally:
+            lock.release()
+        assert done.wait(10.0)
+        record = results[0]
+        assert record["worker"] == joining
+        assert name in record["remapped_sample"]
+        assert joining in router.workers
+
+    def test_remove_worker_fences_the_leaving_arc(self, router, workload):
+        name = workload["names"][0]
+        victim = router.route(name)
+        lock = router.fleet.writer_lock(name)
+        assert lock.acquire(timeout=5.0)
+        done = threading.Event()
+        results = []
+        try:
+            thread = threading.Thread(
+                target=lambda: (
+                    results.append(router.remove_worker(victim)),
+                    done.set(),
+                ),
+                daemon=True,
+            )
+            thread.start()
+            assert not done.wait(0.5)  # the commit waits behind the fence
+            assert victim in router.workers
+        finally:
+            lock.release()
+        assert done.wait(10.0)
+        assert results[0]["drained"] is True
+        assert name in results[0]["remapped_sample"]
+        assert victim not in router.workers
+        # The survivors' first loads read the complete post-fence state.
+        _identify_all_match(router, workload)
 
 
 class TestDrainUnderLoad:
